@@ -1,0 +1,130 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation (§5 and the appendices) in one run, printing paper-formatted
+// output. Flags trade fidelity for speed; the defaults complete in a few
+// minutes on a laptop.
+//
+// Usage:
+//
+//	benchall [-quick] [-seed N] [-skip table5,table6,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
+	seed := flag.Int64("seed", 1, "master random seed")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC)")
+	flag.Parse()
+
+	skipped := map[string]bool{}
+	for _, s := range strings.Split(*skip, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			skipped[s] = true
+		}
+	}
+	run := func(name string) bool { return !skipped[strings.ToLower(name)] }
+
+	genCfg := corpus.DefaultConfig()
+	t5 := harness.DefaultTable5Config()
+	t7 := harness.DefaultTable7Config()
+	table6Trials := 3
+	taggedN, labelsN := 900, 1000
+	if *quick {
+		genCfg = corpus.SmallConfig()
+		genCfg.HotelsLondon, genCfg.HotelsAmsterdam = 60, 25
+		genCfg.ReviewsPerHotel = 20
+		genCfg.Restaurants = 80
+		genCfg.ReviewsPerRestaurant = 10
+		t5.QueriesPerSet, t5.Trials = 10, 2
+		t7.QueriesPerSet = 30
+		table6Trials = 2
+		taggedN, labelsN = 500, 600
+	}
+	genCfg.Seed = *seed
+
+	start := time.Now()
+	fmt.Println("== OpineDB experiment suite ==")
+	fmt.Printf("corpus: %d hotels, %d restaurants (seed %d, quick=%v)\n\n",
+		genCfg.HotelsLondon+genCfg.HotelsAmsterdam, genCfg.Restaurants, *seed, *quick)
+
+	if run("table3") {
+		fmt.Println(harness.FormatTable3(harness.RunTable3(*seed)))
+	}
+
+	fmt.Println("generating corpora...")
+	hotels := corpus.GenerateHotels(genCfg)
+	restaurants := corpus.GenerateRestaurants(genCfg)
+	fmt.Printf("  hotels: %d entities, %d reviews; restaurants: %d entities, %d reviews (%.1fs)\n\n",
+		len(hotels.Entities), len(hotels.Reviews),
+		len(restaurants.Entities), len(restaurants.Reviews), time.Since(start).Seconds())
+
+	if run("table4") {
+		fmt.Println(harness.FormatTable4(harness.RunTable4(hotels, restaurants)))
+	}
+
+	needDB := run("table5") || run("table7") || run("table8") || run("figure7") || run("figure8") || run("appendixb")
+	var hotelDB, restDB *core.DB
+	if needDB {
+		fmt.Println("building subjective databases (extraction + markers + summaries)...")
+		buildStart := time.Now()
+		cfg := core.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.UseSubstitutionIndex = run("appendixb")
+		var err error
+		hotelDB, err = harness.BuildDB(hotels, cfg, taggedN, labelsN)
+		if err != nil {
+			log.Fatalf("hotel build: %v", err)
+		}
+		restDB, err = harness.BuildDB(restaurants, cfg, taggedN, labelsN)
+		if err != nil {
+			log.Fatalf("restaurant build: %v", err)
+		}
+		fmt.Printf("  built in %.1fs (hotel: %d extractions, restaurant: %d)\n\n",
+			time.Since(buildStart).Seconds(), len(hotelDB.Extractions), len(restDB.Extractions))
+	}
+
+	if run("table5") {
+		fmt.Println("running Table 5 (quality vs baselines)...")
+		t5.Seed = *seed + 100
+		fmt.Println(harness.FormatTable5(harness.RunTable5(hotels, restaurants, hotelDB, restDB, t5)))
+	}
+	if run("table6") {
+		fmt.Println("running Table 6 (extractor F1)...")
+		fmt.Println(harness.FormatTable6(harness.RunTable6(table6Trials, *seed+200)))
+	}
+	if run("table7") {
+		fmt.Println("running Table 7 (marker speedup)...")
+		t7.Seed = *seed + 300
+		fmt.Println(harness.FormatTable7(harness.RunTable7(hotels, restaurants, hotelDB, restDB, t7)))
+	}
+	if run("table8") {
+		fmt.Println("running Table 8 (interpreter accuracy)...")
+		fmt.Println(harness.FormatTable8(harness.RunTable8(hotels, restaurants, hotelDB, restDB, *seed+400)))
+	}
+	if run("figure7") {
+		fmt.Println(harness.FormatFigure7(harness.RunFigure7(hotelDB)))
+	}
+	if run("figure8") {
+		fmt.Println(harness.FormatFigure8(harness.RunFigure8(hotels, hotelDB)))
+	}
+	if run("appendixb") {
+		fmt.Println(harness.FormatAppendixB(harness.RunAppendixB(hotels, hotelDB)))
+	}
+	if run("appendixc") {
+		fmt.Println(harness.FormatAppendixC(harness.RunAppendixC(*seed + 500)))
+	}
+
+	fmt.Printf("total time: %.1fs\n", time.Since(start).Seconds())
+	os.Exit(0)
+}

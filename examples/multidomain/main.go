@@ -1,0 +1,137 @@
+// Multidomain: the Table 1 / Figure 3 scenario — queries spanning two
+// subjective databases. OpineDB leaves join semantics to future work
+// (§2), so this example composes the two domains the way an application
+// would: evaluate a subjective query in each database and combine the
+// degrees of truth with the same product t-norm used inside each engine.
+//
+//	"a hotel with a lively bar scene AND, in the same city, a
+//	 restaurant with a relaxing atmosphere"
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/fuzzy"
+	"repro/internal/harness"
+)
+
+func main() {
+	genCfg := corpus.SmallConfig()
+	genCfg.HotelsLondon, genCfg.HotelsAmsterdam = 60, 25
+	genCfg.ReviewsPerHotel = 20
+	genCfg.Restaurants = 90
+	genCfg.ReviewsPerRestaurant = 12
+
+	fmt.Println("building hotel and restaurant subjective databases...")
+	start := time.Now()
+	hotels := corpus.GenerateHotels(genCfg)
+	restaurants := corpus.GenerateRestaurants(genCfg)
+	hotelDB, err := harness.BuildDB(hotels, core.DefaultConfig(), 700, 700)
+	if err != nil {
+		log.Fatalf("hotel build: %v", err)
+	}
+	restDB, err := harness.BuildDB(restaurants, core.DefaultConfig(), 700, 700)
+	if err != nil {
+		log.Fatalf("restaurant build: %v", err)
+	}
+	fmt.Printf("built both in %.1fs\n\n", time.Since(start).Seconds())
+
+	opts := core.DefaultQueryOptions()
+	opts.TopK = 0 // need full rankings to join
+
+	hotelQ, err := hotelDB.RankPredicates([]string{"has a lively bar scene"}, nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restQ, err := restDB.RankPredicates([]string{"a relaxing atmosphere"}, nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hotel predicate interpreted as:      %s\n",
+		hotelQ.Interpretations["has a lively bar scene"].String())
+	fmt.Printf("restaurant predicate interpreted as: %s\n\n",
+		restQ.Interpretations["a relaxing atmosphere"].String())
+
+	// Combine: for every (hotel, restaurant) pair in the same budget tier
+	// — the trip planner's join key, since the hotel corpus covers London
+	// and Amsterdam while the restaurant corpus covers Toronto — the
+	// pair's degree of truth is hotelScore ⊗ restaurantScore.
+	type pair struct {
+		hotel, rest string
+		score       float64
+	}
+	hotelTier := func(e *corpus.Entity) int { // quartiles of price/night
+		switch {
+		case e.PricePerNight < 120:
+			return 1
+		case e.PricePerNight < 220:
+			return 2
+		case e.PricePerNight < 350:
+			return 3
+		default:
+			return 4
+		}
+	}
+	restByTier := map[int][]core.ResultRow{}
+	for _, r := range restQ.Rows {
+		tier := restaurants.EntityByID(r.EntityID).PriceRange
+		restByTier[tier] = append(restByTier[tier], r)
+	}
+	v := fuzzy.Product
+	var pairs []pair
+	for _, h := range hotelQ.Rows {
+		tier := hotelTier(hotels.EntityByID(h.EntityID))
+		for _, r := range restByTier[tier] {
+			pairs = append(pairs, pair{
+				hotel: h.EntityID,
+				rest:  r.EntityID,
+				score: v.And(h.Score, r.Score),
+			})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if pairs[i].hotel != pairs[j].hotel {
+			return pairs[i].hotel < pairs[j].hotel
+		}
+		return pairs[i].rest < pairs[j].rest
+	})
+	fmt.Println("top (hotel, restaurant) pairs in the same budget tier:")
+	for i, p := range pairs {
+		if i >= 5 {
+			break
+		}
+		h := hotels.EntityByID(p.hotel)
+		r := restaurants.EntityByID(p.rest)
+		fmt.Printf("  %-22s ⨝ %-20s (tier %d) score %.3f (bar=%.2f vibe=%.2f)\n",
+			h.Name, r.Name, r.PriceRange, p.score, h.Latent["bar"], r.Latent["vibe"])
+	}
+
+	// Cross-domain experiential queries from Table 1, one per domain.
+	fmt.Println("\nother Table 1 experiential queries:")
+	for _, q := range []struct {
+		db   *core.DB
+		text string
+	}{
+		{hotelDB, "has a stunning view"},
+		{hotelDB, "good for business trips"},
+		{restDB, "serves generous portions"},
+		{restDB, "good for groups"},
+	} {
+		res, err := q.db.RankPredicates([]string{q.text}, nil, core.DefaultQueryOptions())
+		if err != nil || len(res.Rows) == 0 {
+			fmt.Printf("  %-28q → no results (%v)\n", q.text, err)
+			continue
+		}
+		in := res.Interpretations[q.text]
+		fmt.Printf("  %-28q → [%s] %-34s top=%s (%.3f)\n",
+			q.text, in.Method, in.String(), res.Rows[0].EntityID, res.Rows[0].Score)
+	}
+}

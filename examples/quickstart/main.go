@@ -1,0 +1,109 @@
+// Quickstart: build a tiny subjective database over a handful of
+// hand-written hotel reviews and ask one mixed objective/subjective query.
+// This demonstrates the minimal public API surface: core.Build with a
+// designer schema, then DB.Query with subjective SQL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	// 1. Raw data: entities with objective attributes + their reviews.
+	entities := []core.EntityData{
+		{ID: "ritz", Objective: map[string]interface{}{"price_pn": 450.0, "city": "london"}},
+		{ID: "budget-inn", Objective: map[string]interface{}{"price_pn": 80.0, "city": "london"}},
+		{ID: "mid-hotel", Objective: map[string]interface{}{"price_pn": 140.0, "city": "london"}},
+	}
+	reviews := []core.ReviewData{
+		// The Ritz: spotless but pricey.
+		{ID: "r1", EntityID: "ritz", Reviewer: "alice", Day: 100, Text: "The room was spotless. The staff was exceptional. The bathroom was luxurious."},
+		{ID: "r2", EntityID: "ritz", Reviewer: "bob", Day: 200, Text: "Immaculate room and very kind staff. The bed was very comfortable."},
+		{ID: "r3", EntityID: "ritz", Reviewer: "carol", Day: 220, Text: "The carpet was very clean. The service was outstanding."},
+		// Budget Inn: cheap and dirty — note the negated positives that
+		// defeat keyword search ("not clean at all").
+		{ID: "r4", EntityID: "budget-inn", Reviewer: "dave", Day: 150, Text: "The room was not clean at all. The carpet was stained. The staff was rude."},
+		{ID: "r5", EntityID: "budget-inn", Reviewer: "erin", Day: 210, Text: "The room was filthy. The bed was worn out."},
+		{ID: "r6", EntityID: "budget-inn", Reviewer: "alice", Day: 300, Text: "The bathroom was dirty and the room was far from clean."},
+		// Mid Hotel: clean enough, fair price.
+		{ID: "r7", EntityID: "mid-hotel", Reviewer: "bob", Day: 130, Text: "The room was very clean. The staff was friendly."},
+		{ID: "r8", EntityID: "mid-hotel", Reviewer: "carol", Day: 250, Text: "The room was clean and tidy. The bed was comfortable."},
+		{ID: "r9", EntityID: "mid-hotel", Reviewer: "frank", Day: 310, Text: "Spotlessly clean room and a helpful receptionist."},
+	}
+
+	// 2. The designer's subjective schema: attributes with seed terms
+	//    (§4.2 — a few seeds per attribute are enough).
+	attrs := []core.AttrSpec{
+		{Name: "room_cleanliness", Seeds: classify.SeedSet{
+			Attribute: "room_cleanliness",
+			Aspects:   []string{"room", "carpet", "bathroom"},
+			Opinions:  []string{"clean", "spotless", "dirty", "filthy", "stained", "immaculate", "tidy"},
+		}},
+		{Name: "staff", Seeds: classify.SeedSet{
+			Attribute: "staff",
+			Aspects:   []string{"staff", "receptionist", "service"},
+			Opinions:  []string{"friendly", "kind", "rude", "exceptional", "helpful", "outstanding"},
+		}},
+		{Name: "comfort", Seeds: classify.SeedSet{
+			Attribute: "comfort",
+			Aspects:   []string{"bed", "mattress"},
+			Opinions:  []string{"comfortable", "worn out", "luxurious"},
+		}},
+	}
+
+	// 3. A small labeled tagging set for the extractor. Real deployments
+	//    label ~900 sentences (§4.1); generated ones work for the demo.
+	rng := rand.New(rand.NewSource(1))
+	tagged := corpus.TaggedFromAspects(corpus.HotelAspects(), corpus.HotelFillers(), 400, rng)
+
+	cfg := core.DefaultConfig()
+	cfg.MarkersPerAttr = 3 // tiny linguistic domains here
+	// θ1 calibration scales with corpus size: nine reviews train word
+	// vectors too coarse for the production threshold (0.75), so the
+	// demo accepts looser matches — sentiment-consistent matching still
+	// keeps "really clean" away from "not clean at all".
+	cfg.W2VThreshold = 0.45
+	db, err := core.Build(core.BuildInput{
+		Name:           "quickstart",
+		Entities:       entities,
+		Reviews:        reviews,
+		Attributes:     attrs,
+		TaggedTraining: tagged,
+	}, cfg)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+
+	// 4. Ask the paper's style of query: an objective price filter plus a
+	//    natural-language subjective predicate.
+	res, err := db.Query(`select * from Hotels where price_pn < 200 and "has really clean rooms" limit 3`)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Println("query: hotels under 200/night with really clean rooms")
+	fmt.Println("rewritten:", res.Rewritten)
+	for _, row := range res.Rows {
+		fmt.Printf("  %-11s score %.3f\n", row.EntityID, row.Score)
+	}
+	fmt.Println()
+	fmt.Println("Expected: mid-hotel ranks first (clean AND under 200);")
+	fmt.Println("budget-inn is cheap but dirty; the ritz is spotless but filtered by price.")
+
+	// 5. Every answer is explainable: provenance back to review phrases.
+	attr := db.Attr("room_cleanliness")
+	if len(res.Rows) > 0 && attr != nil {
+		top := res.Rows[0].EntityID
+		fmt.Printf("\nevidence for %s.room_cleanliness:\n", top)
+		for mi := range attr.Markers {
+			for _, ext := range db.ProvenanceOf("room_cleanliness", top, mi) {
+				fmt.Printf("  review %s: %q\n", ext.ReviewID, ext.Phrase)
+			}
+		}
+	}
+}

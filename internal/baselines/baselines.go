@@ -1,0 +1,173 @@
+// Package baselines implements the two comparison systems of §5.3:
+//
+//   - GZ12, the IR-based opinion entity-ranking baseline (Ganesan & Zhai
+//     2012): each entity is one concatenated review document, ranked by
+//     BM25 against the query predicates, with scores summed over
+//     predicates (their "multiple query predicate" combination).
+//   - The attribute-based (AB) baseline family: what a user gets from
+//     booking.com/yelp by ranking on scraped aggregate attributes —
+//     ByPrice, ByRating, and the best 1- or 2-attribute combination
+//     (picked oracle-style to maximize sat, exactly as §5.3 does).
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/textproc"
+)
+
+// GZ12 is the IR baseline over per-entity documents.
+type GZ12 struct {
+	index *ir.Index
+	ids   []string
+}
+
+// NewGZ12 indexes the dataset's reviews as one document per entity.
+func NewGZ12(d *corpus.Dataset) *GZ12 {
+	docs := map[string][]string{}
+	for _, rv := range d.Reviews {
+		docs[rv.EntityID] = append(docs[rv.EntityID], rv.Text)
+	}
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return &GZ12{index: ir.EntityDocs(docs), ids: ids}
+}
+
+// Rank returns the top-k entities among candidates for a conjunction of
+// predicate texts: per-predicate BM25 scores are summed (with simple
+// query expansion: every token of every predicate contributes).
+func (g *GZ12) Rank(predicates []string, candidates map[string]bool, k int) []string {
+	scores := map[string]float64{}
+	for _, p := range predicates {
+		toks := textproc.Tokenize(p)
+		for _, id := range g.ids {
+			if candidates != nil && !candidates[id] {
+				continue
+			}
+			scores[id] += g.index.Score(id, toks)
+		}
+	}
+	return topKByScore(scores, k)
+}
+
+// RankByRating ranks candidates by a numeric per-entity score (descending)
+// — the ByPrice (ascending price = negated score) and ByRating baselines.
+func RankByRating(d *corpus.Dataset, score func(*corpus.Entity) float64, candidates map[string]bool, k int) []string {
+	scores := map[string]float64{}
+	for _, e := range d.Entities {
+		if candidates != nil && !candidates[e.ID] {
+			continue
+		}
+		scores[e.ID] = score(e)
+	}
+	return topKByScore(scores, k)
+}
+
+// BestAttributeCombo implements the 1-Attribute and 2-Attribute baselines:
+// the user ranks entities by the sum of n scraped attribute scores, trying
+// every combination; the combination maximizing the provided quality
+// functional is reported (§5.3 picks the max over combinations).
+//
+// attrScores maps attribute name → entity id → score. quality evaluates a
+// ranking. It returns the best ranking found.
+func BestAttributeCombo(attrScores map[string]map[string]float64, n, k int, candidates map[string]bool, quality func(ranking []string) float64) []string {
+	names := make([]string, 0, len(attrScores))
+	for a := range attrScores {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	var best []string
+	bestQ := -1.0
+	var combos [][]string
+	switch n {
+	case 1:
+		for _, a := range names {
+			combos = append(combos, []string{a})
+		}
+	case 2:
+		for i := range names {
+			for j := i + 1; j < len(names); j++ {
+				combos = append(combos, []string{names[i], names[j]})
+			}
+		}
+	default:
+		return nil
+	}
+	for _, combo := range combos {
+		scores := map[string]float64{}
+		for _, a := range combo {
+			for id, s := range attrScores[a] {
+				if candidates != nil && !candidates[id] {
+					continue
+				}
+				scores[id] += s
+			}
+		}
+		ranking := topKByScore(scores, k)
+		if q := quality(ranking); q > bestQ {
+			bestQ = q
+			best = ranking
+		}
+	}
+	return best
+}
+
+// HotelAttributeScores extracts the scraped booking.com-style rating
+// attributes from a hotel dataset for the AB baseline.
+func HotelAttributeScores(d *corpus.Dataset) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, e := range d.Entities {
+		for attr, v := range e.PlatformRatings {
+			if out[attr] == nil {
+				out[attr] = map[string]float64{}
+			}
+			out[attr][e.ID] = v
+		}
+	}
+	return out
+}
+
+// RestaurantAttributeScores builds the yelp-style attribute scores:
+// stars, review count, and each categorical filter attribute as a 0/1
+// score (filter match = 1).
+func RestaurantAttributeScores(d *corpus.Dataset) map[string]map[string]float64 {
+	out := map[string]map[string]float64{
+		"Stars":       {},
+		"ReviewCount": {},
+	}
+	for _, e := range d.Entities {
+		out["Stars"][e.ID] = e.Stars
+		out["ReviewCount"][e.ID] = float64(e.ReviewCount)
+		for attr, val := range e.CategoricalAttrs {
+			key := attr + "=" + val
+			if out[key] == nil {
+				out[key] = map[string]float64{}
+			}
+			out[key][e.ID] = 1
+		}
+	}
+	return out
+}
+
+// topKByScore sorts ids by descending score with deterministic ties.
+func topKByScore(scores map[string]float64, k int) []string {
+	ids := make([]string, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] > scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}

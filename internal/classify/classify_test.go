@@ -1,0 +1,300 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embedding"
+	"repro/internal/textproc"
+)
+
+// linearlySeparable builds 2-D examples separated by x0 + x1 > 1.
+func linearlySeparable(rng *rand.Rand, n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		x0, x1 := rng.Float64()*2, rng.Float64()*2
+		label := 0
+		if x0+x1 > 2 {
+			label = 1
+		}
+		out[i] = Example{Features: []float64{x0, x1}, Label: label}
+	}
+	return out
+}
+
+func TestLogRegLearnsSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := linearlySeparable(rng, 400)
+	test := linearlySeparable(rng, 200)
+	m, err := TrainLogReg(train, DefaultLogRegConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.9 {
+		t.Errorf("accuracy %v < 0.9 on separable data", acc)
+	}
+}
+
+func TestLogRegProbRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := TrainLogReg(linearlySeparable(rng, 100), DefaultLogRegConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Bound the magnitude: the linear score overflows to Inf for
+		// astronomically large inputs, which is outside the model's domain.
+		a, b = math.Mod(a, 1e6), math.Mod(b, 1e6)
+		p := m.Prob([]float64{a, b})
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogRegMonotoneInPositiveFeature(t *testing.T) {
+	// With data where feature 0 alone decides the label, probability must
+	// increase with feature 0.
+	rng := rand.New(rand.NewSource(3))
+	var train []Example
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()*2 - 1
+		label := 0
+		if x > 0 {
+			label = 1
+		}
+		train = append(train, Example{Features: []float64{x}, Label: label})
+	}
+	m, err := TrainLogReg(train, DefaultLogRegConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Prob([]float64{1}) <= m.Prob([]float64{-1}) {
+		t.Error("probability should increase with the decisive feature")
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := TrainLogReg(nil, DefaultLogRegConfig(), rng); err == nil {
+		t.Error("empty training set should error")
+	}
+	bad := []Example{{Features: []float64{1}, Label: 0}, {Features: []float64{1, 2}, Label: 1}}
+	if _, err := TrainLogReg(bad, DefaultLogRegConfig(), rng); err == nil {
+		t.Error("inconsistent dims should error")
+	}
+	badLabel := []Example{{Features: []float64{1}, Label: 2}}
+	if _, err := TrainLogReg(badLabel, DefaultLogRegConfig(), rng); err == nil {
+		t.Error("non-binary label should error")
+	}
+}
+
+func TestLogRegAccuracyEmpty(t *testing.T) {
+	m := &LogReg{W: []float64{1}}
+	if m.Accuracy(nil) != 0 {
+		t.Error("accuracy of empty set should be 0")
+	}
+}
+
+func attributeExamples() []TextExample {
+	return []TextExample{
+		{"room clean", "room_cleanliness"},
+		{"room dirty", "room_cleanliness"},
+		{"carpet stained", "room_cleanliness"},
+		{"bedroom spotless", "room_cleanliness"},
+		{"furniture dusty", "room_cleanliness"},
+		{"room filthy", "room_cleanliness"},
+		{"staff friendly", "staff"},
+		{"staff rude", "staff"},
+		{"concierge helpful", "staff"},
+		{"receptionist kind", "staff"},
+		{"staff unhelpful", "staff"},
+		{"service attentive", "staff"},
+		{"breakfast delicious", "breakfast"},
+		{"breakfast stale", "breakfast"},
+		{"coffee cold", "breakfast"},
+		{"eggs tasty", "breakfast"},
+		{"buffet generous", "breakfast"},
+		{"pastries fresh", "breakfast"},
+	}
+}
+
+func TestSoftmaxLearnsAttributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	examples := attributeExamples()
+	m, err := TrainSoftmax(examples, DefaultSoftmaxConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(examples); acc < 0.95 {
+		t.Errorf("training accuracy %v < 0.95", acc)
+	}
+	// Generalization to unseen combinations of seen words.
+	label, p := m.Classify("carpet filthy")
+	if label != "room_cleanliness" {
+		t.Errorf("Classify(carpet filthy) = %q (p=%v)", label, p)
+	}
+	label, _ = m.Classify("receptionist rude")
+	if label != "staff" {
+		t.Errorf("Classify(receptionist rude) = %q", label)
+	}
+}
+
+func TestSoftmaxProbabilitySumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, err := TrainSoftmax(attributeExamples(), DefaultSoftmaxConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := m.featurize("room clean staff")
+	probs := make([]float64, len(m.Labels))
+	m.scores(feats, probs)
+	softmaxInPlace(probs)
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestSoftmaxUnknownWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := TrainSoftmax(attributeExamples(), DefaultSoftmaxConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-unknown text must still return a valid label without panicking.
+	label, p := m.Classify("zzz qqq www")
+	found := false
+	for _, l := range m.Labels {
+		if l == label {
+			found = true
+		}
+	}
+	if !found || p <= 0 {
+		t.Errorf("Classify on unknown text = (%q, %v)", label, p)
+	}
+}
+
+func TestSoftmaxErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := TrainSoftmax(nil, DefaultSoftmaxConfig(), rng); err == nil {
+		t.Error("empty training set should error")
+	}
+}
+
+func TestSoftmaxDeterministic(t *testing.T) {
+	ex := attributeExamples()
+	m1, _ := TrainSoftmax(ex, DefaultSoftmaxConfig(), rand.New(rand.NewSource(9)))
+	m2, _ := TrainSoftmax(ex, DefaultSoftmaxConfig(), rand.New(rand.NewSource(9)))
+	for _, e := range ex {
+		l1, p1 := m1.Classify(e.Text)
+		l2, p2 := m2.Classify(e.Text)
+		if l1 != l2 || p1 != p2 {
+			t.Fatal("same seed must give identical classifiers")
+		}
+	}
+}
+
+// seedModel builds a small embedding model where "room"≈"suite" and
+// "clean"≈"spotless" for expansion tests.
+func seedModel(t *testing.T) *embedding.Model {
+	t.Helper()
+	stats := textproc.NewCorpusStats()
+	for _, d := range [][]string{{"room"}, {"suite"}, {"clean"}, {"spotless"}, {"staff"}} {
+		stats.AddDocument(d)
+	}
+	vecs := map[string]embedding.Vector{
+		"room":     {1, 0, 0},
+		"suite":    {0.95, 0.05, 0},
+		"clean":    {0, 1, 0},
+		"spotless": {0, 0.9, 0.1},
+		"staff":    {0, 0, 1},
+	}
+	m, err := embedding.NewModelFromVectors(vecs, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExpandSeeds(t *testing.T) {
+	m := seedModel(t)
+	seeds := []SeedSet{{
+		Attribute: "room_cleanliness",
+		Aspects:   []string{"room"},
+		Opinions:  []string{"clean"},
+	}}
+	cfg := ExpandConfig{SynonymsPerSeed: 2, MinSim: 0.8, MaxExamples: 100}
+	rng := rand.New(rand.NewSource(10))
+	got := ExpandSeeds(seeds, m, cfg, rng)
+	// room expands to suite; clean expands to spotless → 2×2 cross product.
+	if len(got) != 4 {
+		t.Fatalf("got %d examples, want 4: %v", len(got), got)
+	}
+	texts := map[string]bool{}
+	for _, ex := range got {
+		if ex.Label != "room_cleanliness" {
+			t.Errorf("wrong label %q", ex.Label)
+		}
+		texts[ex.Text] = true
+	}
+	for _, want := range []string{"room clean", "room spotless", "suite clean", "suite spotless"} {
+		if !texts[want] {
+			t.Errorf("missing expanded example %q", want)
+		}
+	}
+}
+
+func TestExpandSeedsCap(t *testing.T) {
+	m := seedModel(t)
+	seeds := []SeedSet{{
+		Attribute: "a",
+		Aspects:   []string{"room", "suite", "staff"},
+		Opinions:  []string{"clean", "spotless"},
+	}}
+	cfg := ExpandConfig{SynonymsPerSeed: 0, MinSim: 0.9, MaxExamples: 3}
+	got := ExpandSeeds(seeds, m, cfg, rand.New(rand.NewSource(11)))
+	if len(got) != 3 {
+		t.Errorf("cap not applied: %d examples", len(got))
+	}
+}
+
+func TestExpandSeedsNilModel(t *testing.T) {
+	seeds := []SeedSet{{Attribute: "a", Aspects: []string{"x"}, Opinions: []string{"y"}}}
+	got := ExpandSeeds(seeds, nil, DefaultExpandConfig(), rand.New(rand.NewSource(12)))
+	if len(got) != 1 || got[0].Text != "x y" {
+		t.Errorf("nil model expansion = %v", got)
+	}
+}
+
+// End-to-end weak supervision: expand seeds, train, verify the paper's
+// claimed behaviour (a high-accuracy classifier from a handful of seeds).
+func TestSeedExpansionTrainsClassifier(t *testing.T) {
+	m := seedModel(t)
+	seeds := []SeedSet{
+		{Attribute: "room_cleanliness", Aspects: []string{"room"}, Opinions: []string{"clean"}},
+		{Attribute: "staff", Aspects: []string{"staff"}, Opinions: []string{"clean"}},
+	}
+	cfg := ExpandConfig{SynonymsPerSeed: 2, MinSim: 0.8, MaxExamples: 0}
+	rng := rand.New(rand.NewSource(13))
+	examples := ExpandSeeds(seeds, m, cfg, rng)
+	clf, err := TrainSoftmax(examples, DefaultSoftmaxConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label, _ := clf.Classify("suite spotless"); label != "room_cleanliness" {
+		t.Errorf("expanded classifier failed on synonym pair: %q", label)
+	}
+}

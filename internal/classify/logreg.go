@@ -1,0 +1,120 @@
+// Package classify provides the supervised learning components of OpineDB:
+//
+//   - LogReg: binary logistic regression trained with SGD + L2, whose
+//     probability output is used directly as the paper's membership
+//     function (§3.3: "we can directly use the probability output as the
+//     membership function").
+//   - Softmax: a multiclass linear classifier over bag-of-words features,
+//     used to assign extracted (aspect, opinion) pairs to subjective
+//     attributes (§4.2).
+//   - ExpandSeeds: word2vec-based seed expansion that builds the weakly
+//     supervised training set for Softmax from a handful of designer seeds.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Example is one binary-labeled training instance.
+type Example struct {
+	Features []float64
+	Label    int // 0 or 1
+}
+
+// LogReg is a binary logistic regression model.
+type LogReg struct {
+	W    []float64
+	Bias float64
+}
+
+// LogRegConfig controls SGD training.
+type LogRegConfig struct {
+	Epochs int
+	LR     float64
+	L2     float64
+}
+
+// DefaultLogRegConfig returns the settings used for membership-function
+// training (1,000 labeled tuples per the paper).
+func DefaultLogRegConfig() LogRegConfig {
+	return LogRegConfig{Epochs: 60, LR: 0.1, L2: 1e-4}
+}
+
+// TrainLogReg fits a logistic regression on examples. All examples must
+// share a feature dimensionality. The rng shuffles example order per epoch.
+func TrainLogReg(examples []Example, cfg LogRegConfig, rng *rand.Rand) (*LogReg, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("classify: no training examples")
+	}
+	dim := len(examples[0].Features)
+	for i, ex := range examples {
+		if len(ex.Features) != dim {
+			return nil, fmt.Errorf("classify: example %d has dim %d, want %d", i, len(ex.Features), dim)
+		}
+		if ex.Label != 0 && ex.Label != 1 {
+			return nil, fmt.Errorf("classify: example %d label %d not binary", i, ex.Label)
+		}
+	}
+	m := &LogReg{W: make([]float64, dim)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		lr := cfg.LR / (1 + 0.05*float64(epoch))
+		for _, i := range perm {
+			ex := examples[i]
+			p := m.Prob(ex.Features)
+			g := p - float64(ex.Label)
+			for j, x := range ex.Features {
+				m.W[j] -= lr * (g*x + cfg.L2*m.W[j])
+			}
+			m.Bias -= lr * g
+		}
+	}
+	return m, nil
+}
+
+// Prob returns P(label=1 | features), the degree of truth when the model is
+// used as a membership function.
+func (m *LogReg) Prob(features []float64) float64 {
+	z := m.Bias
+	for i, x := range features {
+		if i >= len(m.W) {
+			break
+		}
+		z += m.W[i] * x
+	}
+	return sigmoid(z)
+}
+
+// Predict returns the hard 0/1 decision at threshold 0.5.
+func (m *LogReg) Predict(features []float64) int {
+	if m.Prob(features) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy returns the fraction of examples Predict classifies correctly.
+func (m *LogReg) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if m.Predict(ex.Features) == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+func sigmoid(z float64) float64 {
+	if z > 20 {
+		return 1
+	}
+	if z < -20 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

@@ -1,0 +1,89 @@
+package classify
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/embedding"
+)
+
+// SeedSet is the designer's weak supervision for one subjective attribute
+// (§4.2): E is a set of aspect terms the attribute describes, P a set of
+// opinion terms that refer to those aspects.
+type SeedSet struct {
+	Attribute string
+	Aspects   []string // E
+	Opinions  []string // P
+}
+
+// ExpandConfig controls seed expansion.
+type ExpandConfig struct {
+	// SynonymsPerSeed is how many word2vec neighbours to add per seed term.
+	SynonymsPerSeed int
+	// MinSim is the minimum cosine similarity for an expansion to be kept.
+	MinSim float64
+	// MaxExamples caps the generated training set size (cross products can
+	// explode); examples are sampled uniformly when the cap binds.
+	MaxExamples int
+}
+
+// DefaultExpandConfig matches the paper's scale: a few hundred seeds expand
+// into a training set of ~5,000 tuples.
+func DefaultExpandConfig() ExpandConfig {
+	return ExpandConfig{SynonymsPerSeed: 3, MinSim: 0.55, MaxExamples: 5000}
+}
+
+// ExpandSeeds builds a weakly supervised training set from seed sets by
+// (1) expanding each aspect and opinion term with its word2vec synonyms
+// mined from the review corpus and (2) emitting one labeled example per
+// (aspect, opinion) pair in the expanded cross product, labeled with the
+// attribute (the paper's concat(e, p) construction).
+func ExpandSeeds(seeds []SeedSet, model *embedding.Model, cfg ExpandConfig, rng *rand.Rand) []TextExample {
+	var out []TextExample
+	for _, s := range seeds {
+		aspects := expandTerms(s.Aspects, model, cfg)
+		opinions := expandTerms(s.Opinions, model, cfg)
+		for _, e := range aspects {
+			for _, p := range opinions {
+				out = append(out, TextExample{Text: e + " " + p, Label: s.Attribute})
+			}
+		}
+	}
+	if cfg.MaxExamples > 0 && len(out) > cfg.MaxExamples {
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		out = out[:cfg.MaxExamples]
+	}
+	return out
+}
+
+// expandTerms returns the seed terms plus their qualifying synonyms,
+// deduplicated, in deterministic order.
+func expandTerms(terms []string, model *embedding.Model, cfg ExpandConfig) []string {
+	seen := make(map[string]bool, len(terms))
+	var out []string
+	add := func(t string) {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range terms {
+		add(t)
+	}
+	if model == nil || cfg.SynonymsPerSeed <= 0 {
+		return out
+	}
+	var expansions []string
+	for _, t := range terms {
+		for _, nb := range model.MostSimilar(t, cfg.SynonymsPerSeed) {
+			if nb.Sim >= cfg.MinSim {
+				expansions = append(expansions, nb.Word)
+			}
+		}
+	}
+	sort.Strings(expansions)
+	for _, e := range expansions {
+		add(e)
+	}
+	return out
+}

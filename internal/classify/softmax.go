@@ -1,0 +1,202 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sentiment"
+	"repro/internal/textproc"
+)
+
+// TextExample is one labeled short text for attribute classification,
+// e.g. ("room very clean", "room_cleanliness").
+type TextExample struct {
+	Text  string
+	Label string
+}
+
+// Softmax is a multiclass bag-of-words linear classifier. It maps
+// concatenated (aspect, opinion) phrases to subjective attribute names.
+type Softmax struct {
+	Labels []string
+	vocab  map[string]int
+	W      [][]float64 // [class][feature]; feature len(vocab) is the bias
+}
+
+// SoftmaxConfig controls training.
+type SoftmaxConfig struct {
+	Epochs int
+	LR     float64
+	L2     float64
+}
+
+// DefaultSoftmaxConfig returns the attribute-classifier settings.
+func DefaultSoftmaxConfig() SoftmaxConfig {
+	return SoftmaxConfig{Epochs: 40, LR: 0.2, L2: 1e-5}
+}
+
+// TrainSoftmax fits the classifier on the labeled texts.
+func TrainSoftmax(examples []TextExample, cfg SoftmaxConfig, rng *rand.Rand) (*Softmax, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("classify: no training examples")
+	}
+	labelSet := map[string]bool{}
+	vocab := map[string]int{}
+	for _, ex := range examples {
+		labelSet[ex.Label] = true
+		for _, tok := range textproc.Tokenize(ex.Text) {
+			if _, ok := vocab[tok]; !ok {
+				vocab[tok] = len(vocab)
+			}
+		}
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	labelIdx := map[string]int{}
+	for i, l := range labels {
+		labelIdx[l] = i
+	}
+
+	m := &Softmax{Labels: labels, vocab: vocab}
+	dim := len(vocab) + 1 // +1 bias
+	m.W = make([][]float64, len(labels))
+	for c := range m.W {
+		m.W[c] = make([]float64, dim)
+	}
+
+	feats := make([][]int, len(examples))
+	ys := make([]int, len(examples))
+	for i, ex := range examples {
+		feats[i] = m.featurize(ex.Text)
+		ys[i] = labelIdx[ex.Label]
+	}
+
+	probs := make([]float64, len(labels))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(examples))
+		lr := cfg.LR / (1 + 0.05*float64(epoch))
+		for _, i := range perm {
+			m.scores(feats[i], probs)
+			softmaxInPlace(probs)
+			for c := range m.W {
+				g := probs[c]
+				if c == ys[i] {
+					g -= 1
+				}
+				if g == 0 {
+					continue
+				}
+				w := m.W[c]
+				for _, f := range feats[i] {
+					w[f] -= lr * (g + cfg.L2*w[f])
+				}
+				w[dim-1] -= lr * g // bias
+			}
+		}
+	}
+	return m, nil
+}
+
+// KnownTokenFraction returns the fraction of the text's content tokens the
+// classifier was trained on. Stopwords are ignored; intensity and negation
+// words count as known (they modify rather than carry aspect meaning).
+// OpineDB uses this as a schema gate: an extracted phrase mostly made of
+// words outside every seed expansion is out-of-schema and must not be
+// forced into an attribute (§4.2).
+func (m *Softmax) KnownTokenFraction(text string) float64 {
+	var known, total float64
+	for _, tok := range textproc.Tokenize(text) {
+		if textproc.IsStopword(tok) {
+			continue
+		}
+		total++
+		if _, ok := m.vocab[tok]; ok {
+			known++
+			continue
+		}
+		if sentiment.IsIntensifier(tok) || sentiment.IsNegator(tok) {
+			known++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return known / total
+}
+
+// featurize maps text to the indices of present vocabulary words (bag of
+// words, binary features). Unknown words are dropped.
+func (m *Softmax) featurize(text string) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, tok := range textproc.Tokenize(text) {
+		if id, ok := m.vocab[tok]; ok && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// scores fills out[c] with the linear score of class c.
+func (m *Softmax) scores(feats []int, out []float64) {
+	bias := len(m.vocab)
+	for c, w := range m.W {
+		s := w[bias]
+		for _, f := range feats {
+			s += w[f]
+		}
+		out[c] = s
+	}
+}
+
+// Classify returns the most probable label for text and its probability.
+func (m *Softmax) Classify(text string) (string, float64) {
+	feats := m.featurize(text)
+	probs := make([]float64, len(m.Labels))
+	m.scores(feats, probs)
+	softmaxInPlace(probs)
+	best := 0
+	for c := range probs {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return m.Labels[best], probs[best]
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (m *Softmax) Accuracy(examples []TextExample) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if got, _ := m.Classify(ex.Text); got == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+func softmaxInPlace(scores []float64) {
+	max := math.Inf(-1)
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		scores[i] = math.Exp(s - max)
+		sum += scores[i]
+	}
+	for i := range scores {
+		scores[i] /= sum
+	}
+}

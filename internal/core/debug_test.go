@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"testing"
+)
+
+// TestDebugInterpretations prints interpreter diagnostics when run with
+// -v; it never fails. Kept as executable documentation of the fixture's
+// interpreter behaviour.
+func TestDebugInterpretations(t *testing.T) {
+	_, db := testDB(t)
+	for _, pred := range []string{
+		"has really clean rooms",
+		"spotless rooms",
+		"has firm beds",
+		"has luxurious bathrooms",
+		"is a romantic getaway",
+		"kid friendly hotel",
+		"good for motorcyclists",
+		"has great towel art",
+		"quiet room",
+	} {
+		in := db.Interpret(pred)
+		t.Logf("%-28s → method=%-8s sim=%.3f terms=%s matched=%q",
+			pred, in.Method, in.Similarity, in.String(), in.MatchedPhrase)
+		w := db.InterpretW2VOnly(pred)
+		t.Logf("%-28s   [w2v-only] sim=%.3f terms=%s matched=%q",
+			"", w.Similarity, w.String(), w.MatchedPhrase)
+		c := db.InterpretCooccurOnly(pred)
+		t.Logf("%-28s   [cooccur ] conf=%.3f terms=%s", "", c.Similarity, c.String())
+	}
+	for _, pred := range []string{"good for motorcyclists", "is a romantic getaway"} {
+		t.Logf("tally for %q:\n%s", pred, db.DebugCooccurTally(pred))
+	}
+}

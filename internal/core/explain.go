@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explanation justifies one entity's rank for one query: per-predicate
+// interpretation, degree of truth, the marker summary behind it, and
+// sample review evidence — the §4.2.2 provenance promise ("any result
+// returned can be supported with evidence from the reviews") as a public
+// API.
+type Explanation struct {
+	EntityID   string
+	Score      float64
+	Predicates []PredicateExplanation
+}
+
+// PredicateExplanation explains one predicate's contribution.
+type PredicateExplanation struct {
+	Predicate      string
+	Method         Method
+	Interpretation string
+	Degree         float64
+	// Evidence holds up to maxEvidence supporting phrases per interpreted
+	// term, strongest markers first.
+	Evidence []EvidenceItem
+}
+
+// EvidenceItem is one supporting extraction.
+type EvidenceItem struct {
+	Attribute string
+	Marker    string
+	ReviewID  string
+	Phrase    string
+}
+
+const maxEvidence = 5
+
+// Explain justifies one result row of a query. The result must come from
+// the same DB; unknown entities yield an empty explanation.
+func (db *DB) Explain(res *QueryResult, entityID string) Explanation {
+	out := Explanation{EntityID: entityID}
+	var row *ResultRow
+	for i := range res.Rows {
+		if res.Rows[i].EntityID == entityID {
+			row = &res.Rows[i]
+			break
+		}
+	}
+	if row == nil {
+		return out
+	}
+	out.Score = row.Score
+	preds := make([]string, 0, len(res.Interpretations))
+	for p := range res.Interpretations {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		in := res.Interpretations[p]
+		pe := PredicateExplanation{
+			Predicate:      p,
+			Method:         in.Method,
+			Interpretation: in.String(),
+			Degree:         row.PredicateScores[p],
+		}
+		for _, term := range in.Terms {
+			attr := db.Attr(term.Attr)
+			if attr == nil {
+				continue
+			}
+			for _, ext := range db.ProvenanceOf(term.Attr, entityID, term.Marker) {
+				if len(pe.Evidence) >= maxEvidence {
+					break
+				}
+				pe.Evidence = append(pe.Evidence, EvidenceItem{
+					Attribute: term.Attr,
+					Marker:    attr.Markers[term.Marker].Name,
+					ReviewID:  ext.ReviewID,
+					Phrase:    ext.Phrase,
+				})
+			}
+		}
+		out.Predicates = append(out.Predicates, pe)
+	}
+	return out
+}
+
+// String renders the explanation for terminals.
+func (e Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (score %.3f)\n", e.EntityID, e.Score)
+	for _, pe := range e.Predicates {
+		fmt.Fprintf(&b, "  %q → [%s] %s, degree %.3f\n",
+			pe.Predicate, pe.Method, pe.Interpretation, pe.Degree)
+		for _, ev := range pe.Evidence {
+			fmt.Fprintf(&b, "    %s≈%q: review %s says %q\n",
+				ev.Attribute, ev.Marker, ev.ReviewID, ev.Phrase)
+		}
+		if len(pe.Evidence) == 0 && pe.Method == MethodFallback {
+			fmt.Fprintf(&b, "    (matched by raw-text retrieval; see the entity's reviews)\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/embedding"
+	"repro/internal/sentiment"
+	"repro/internal/textproc"
+)
+
+// Method identifies which interpreter stage produced an interpretation.
+type Method string
+
+// Interpreter stages (Figure 5).
+const (
+	MethodW2V      Method = "w2v"
+	MethodCooccur  Method = "cooccur"
+	MethodFallback Method = "fallback"
+)
+
+// Interpretation is the output of the subjective query interpreter for one
+// predicate: an expression over A.m terms, or a fallback marker.
+type Interpretation struct {
+	Predicate string
+	Method    Method
+	// Terms are the A.m targets; empty for fallback.
+	Terms []AttrMarker
+	// Disjunction is true when terms combine with ⊕ (the common case for
+	// co-occurrence output); false combines with ⊗ (§3.2's "sometimes
+	// outputs a conjunction").
+	Disjunction bool
+	// MatchedPhrase is the domain phrase the w2v method matched.
+	MatchedPhrase string
+	// Similarity is the w2v confidence (stage 1) or co-occurrence
+	// confidence (stage 2).
+	Similarity float64
+}
+
+// String renders the interpretation like the paper's examples, e.g.
+// "service.exceptional ⊕ style.luxurious".
+func (in Interpretation) String() string {
+	if in.Method == MethodFallback {
+		return fmt.Sprintf("fallback(%q)", in.Predicate)
+	}
+	parts := make([]string, len(in.Terms))
+	for i, t := range in.Terms {
+		parts[i] = t.Attr + "." + fmt.Sprint(t.Marker)
+	}
+	sep := " ⊕ "
+	if !in.Disjunction {
+		sep = " ⊗ "
+	}
+	return strings.Join(parts, sep)
+}
+
+// Interpret runs the three-stage predicate interpretation algorithm of
+// §3.2 (Figure 5): word2vec matching against the linguistic domains, then
+// co-occurrence mining over positive reviews, then text-retrieval
+// fallback.
+func (db *DB) Interpret(predicate string) Interpretation {
+	if in, ok := db.interpCache[predicate]; ok {
+		return in
+	}
+	in, ok := db.interpretW2V(predicate)
+	if !ok {
+		in, ok = db.interpretCooccur(predicate)
+	}
+	if !ok {
+		in = Interpretation{Predicate: predicate, Method: MethodFallback}
+	}
+	if db.interpCache == nil {
+		db.interpCache = map[string]Interpretation{}
+	}
+	db.interpCache[predicate] = in
+	return in
+}
+
+// InterpretW2VOnly runs only the word2vec stage with the threshold
+// disabled, always returning its best guess (empty Terms only for fully
+// out-of-vocabulary predicates). Used by the Table 8 component study.
+func (db *DB) InterpretW2VOnly(predicate string) Interpretation {
+	saved := db.cfg.W2VThreshold
+	db.cfg.W2VThreshold = -1
+	in, ok := db.interpretW2V(predicate)
+	db.cfg.W2VThreshold = saved
+	if !ok {
+		return Interpretation{Predicate: predicate, Method: MethodW2V}
+	}
+	return in
+}
+
+// InterpretCooccurOnly runs only the co-occurrence stage with the
+// confidence threshold disabled. Used by the Table 8 component study.
+func (db *DB) InterpretCooccurOnly(predicate string) Interpretation {
+	saved := db.cfg.CooccurThreshold
+	db.cfg.CooccurThreshold = -1
+	in, ok := db.interpretCooccur(predicate)
+	db.cfg.CooccurThreshold = saved
+	if !ok {
+		return Interpretation{Predicate: predicate, Method: MethodCooccur}
+	}
+	return in
+}
+
+// interpretW2V finds the linguistic variation across all subjective
+// attributes with the highest Eq. 2 similarity to the predicate; the
+// interpretation is that variation's attribute and marker. Fails when the
+// best similarity is under θ1.
+func (db *DB) interpretW2V(predicate string) (Interpretation, bool) {
+	// Vocabulary gate (skipped in the threshold-disabled "only" mode):
+	// Eq. 1's IDF-weighted sum is meaningless when most content words are
+	// out of vocabulary — "good for motorcyclists" must not collapse to
+	// rep("good") and match the service domain.
+	if db.cfg.W2VThreshold >= 0 && db.queryKnownFraction(predicate) <= 0.5 {
+		return Interpretation{}, false
+	}
+	// Appendix B fast path when the substitution index is enabled.
+	if db.SubIndex != nil {
+		if match, fast := db.SubIndex.Lookup(predicate); fast && match != "" {
+			if am, sim, ok := db.phraseToAttrMarker(match, predicate); ok && sim >= db.cfg.W2VThreshold {
+				return Interpretation{
+					Predicate:     predicate,
+					Method:        MethodW2V,
+					Terms:         []AttrMarker{am},
+					MatchedPhrase: match,
+					Similarity:    sim,
+				}, true
+			}
+		}
+	}
+	var best struct {
+		attr   *SubjectiveAttribute
+		phrase string
+		marker int
+		sim    float64
+	}
+	best.sim = -1
+	for _, attr := range db.Attrs {
+		phrase, marker, sim := db.bestDomainMatch(attr, predicate)
+		if sim > best.sim {
+			best.attr, best.phrase, best.marker, best.sim = attr, phrase, marker, sim
+		}
+	}
+	if best.attr == nil || best.sim < db.cfg.W2VThreshold {
+		return Interpretation{}, false
+	}
+	return Interpretation{
+		Predicate:     predicate,
+		Method:        MethodW2V,
+		Terms:         []AttrMarker{{Attr: best.attr.Name, Marker: best.marker}},
+		MatchedPhrase: best.phrase,
+		Similarity:    best.sim,
+	}, true
+}
+
+// bestDomainMatch returns the linguistic variation of attr most similar to
+// the query phrase (Eq. 2), with its marker.
+//
+// Similarity is sentiment-consistent: a variation whose sentiment opposes
+// the query's is halved. Large-corpus word2vec separates "really clean"
+// from "not clean at all" on its own; a small-corpus SGNS sees nearly the
+// same context for both (they share "clean" and "room"), so polarity must
+// be enforced explicitly or positive queries would resolve to negated
+// variations and rank dirty hotels first.
+func (db *DB) bestDomainMatch(attr *SubjectiveAttribute, query string) (phrase string, marker int, sim float64) {
+	qRep := db.Embed.Rep(query)
+	if qRep.Norm() == 0 {
+		return "", -1, 0
+	}
+	qSent := sentiment.ScorePhrase(query)
+	// Track the best similarity per marker; on a small corpus many
+	// variations of one attribute tie near the top ("room clean",
+	// "room very clean", "room clean and tidy" all share the query's
+	// words), so the marker is resolved among close candidates by
+	// sentiment proximity to the query.
+	bestPerMarker := make([]float64, len(attr.Markers))
+	bestPhrase := make([]string, len(attr.Markers))
+	for i := range bestPerMarker {
+		bestPerMarker[i] = -1
+	}
+	sim = -1
+	for _, p := range db.domainPhraseList(attr) {
+		s := embedding.Cosine(qRep, db.phraseRep(p))
+		if qSent*db.phraseSentiment(p) < -0.01 {
+			s *= 0.5
+		}
+		m, ok := attr.MarkerOf(p)
+		if !ok {
+			continue
+		}
+		if s > bestPerMarker[m] {
+			bestPerMarker[m] = s
+			bestPhrase[m] = p
+		}
+		if s > sim {
+			sim = s
+		}
+	}
+	if sim < 0 {
+		return "", -1, sim
+	}
+	marker = -1
+	bestAdj := math.Inf(-1)
+	for m := range attr.Markers {
+		if bestPerMarker[m] < 0 {
+			continue
+		}
+		adj := bestPerMarker[m]
+		if !attr.Categorical {
+			adj -= 0.5 * math.Abs(qSent-attr.Markers[m].Sentiment)
+		}
+		if adj > bestAdj {
+			bestAdj = adj
+			marker = m
+		}
+	}
+	if marker < 0 {
+		return "", -1, -1
+	}
+	return bestPhrase[marker], marker, sim
+}
+
+// phraseSentiment returns the cached sentiment of a domain phrase.
+func (db *DB) phraseSentiment(phrase string) float64 {
+	if v, ok := db.phraseSentis[phrase]; ok {
+		return v
+	}
+	v := sentiment.ScorePhrase(phrase)
+	if db.phraseSentis == nil {
+		db.phraseSentis = map[string]float64{}
+	}
+	db.phraseSentis[phrase] = v
+	return v
+}
+
+// phraseToAttrMarker resolves a known domain phrase to its attribute and
+// marker, returning the similarity to the original predicate.
+func (db *DB) phraseToAttrMarker(phrase, predicate string) (AttrMarker, float64, bool) {
+	for _, attr := range db.Attrs {
+		if m, ok := attr.MarkerOf(phrase); ok {
+			sim := embedding.Cosine(db.Embed.Rep(predicate), db.phraseRep(phrase))
+			return AttrMarker{Attr: attr.Name, Marker: m}, sim, true
+		}
+	}
+	return AttrMarker{}, 0, false
+}
+
+// interpretCooccur implements the co-occurrence method: search the top-k
+// positive reviews matching the predicate (rank_score = BM25 · senti,
+// Eq. 3), tally which attributes' extractions occur in them, score by
+// freq_k(A)·idf(A), and emit the top-n attributes with their most
+// frequent markers.
+func (db *DB) interpretCooccur(predicate string) (Interpretation, bool) {
+	toks := textproc.Tokenize(predicate)
+	// "Reviews where q occurs" means reviews containing q's distinctive
+	// terms: common words like "good" match everything and would swamp
+	// the tally, so the search query keeps only informative terms when
+	// any exist.
+	var informative []string
+	for _, t := range toks {
+		if textproc.IsStopword(t) || db.ReviewIndex.DF(t) == 0 {
+			continue
+		}
+		if db.ReviewIndex.IDF(t) >= db.cfg.CooccurMinIDF {
+			informative = append(informative, t)
+		}
+	}
+	if len(informative) > 0 {
+		toks = informative
+	} else if db.cfg.CooccurThreshold >= 0 {
+		// Informativeness gate (skipped in the threshold-disabled "only"
+		// mode): with no distinctive indexed term the mined set is noise.
+		return Interpretation{}, false
+	}
+	boost := func(reviewID string) float64 {
+		s := db.ReviewSentiments[reviewID]
+		if s <= 0 {
+			return 0 // only positive reviews participate (§3.2)
+		}
+		return s
+	}
+	top := db.ReviewIndex.SearchBoosted(toks, db.cfg.CooccurTopK, boost)
+	if len(top) == 0 {
+		return Interpretation{}, false
+	}
+	// Tally attribute frequencies and per-attribute marker frequencies in
+	// the top reviews.
+	freq := map[string]float64{}
+	markerFreq := map[string]map[int]float64{}
+	reviewsWithAttr := map[string]map[string]bool{}
+	for _, r := range top {
+		for _, extID := range db.extByReview[r.ID] {
+			ext := &db.Extractions[extID]
+			freq[ext.Attribute]++
+			if markerFreq[ext.Attribute] == nil {
+				markerFreq[ext.Attribute] = map[int]float64{}
+			}
+			// Weight markers by sentiment-positivity: the co-occurrence
+			// method mines positive reviews, so the positive markers of the
+			// correlated attributes are the interpretation targets.
+			markerFreq[ext.Attribute][ext.Marker]++
+			if reviewsWithAttr[r.ID] == nil {
+				reviewsWithAttr[r.ID] = map[string]bool{}
+			}
+			reviewsWithAttr[r.ID][ext.Attribute] = true
+		}
+	}
+	if len(freq) == 0 {
+		return Interpretation{}, false
+	}
+	type scored struct {
+		attr  string
+		score float64
+	}
+	var ranked []scored
+	for a, f := range freq {
+		idf := math.Log(float64(db.positiveReviews+1) / float64(db.reviewsWithAttrCount[a]+1))
+		if idf < 0.05 {
+			idf = 0.05 // ubiquitous attributes still carry some signal
+		}
+		ranked = append(ranked, scored{attr: a, score: f * idf})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].attr < ranked[j].attr
+	})
+	n := db.cfg.CooccurTopN
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	// Confidence: over-representation of the chosen attributes relative to
+	// the *other* attributes in the same mined set. Reviews matched by a
+	// genuine composite concept over-mention its proxy aspects (§3.2) —
+	// "romantic getaway" reviews talk about service and bathrooms far
+	// above base rate — whereas reviews matched by an out-of-schema
+	// amenity mention every aspect at its usual rate. Normalizing by the
+	// median attribute's over-representation cancels the uniform lift the
+	// sentiment-boosted retrieval gives every attribute; +1 smoothing
+	// deflates thin evidence.
+	ratioOf := func(a string) float64 {
+		var obs float64
+		for _, attrs := range reviewsWithAttr {
+			if attrs[a] {
+				obs++
+			}
+		}
+		exp := float64(len(top)) * float64(db.reviewsWithAttrCount[a]) / float64(db.positiveReviews+1)
+		return obs / (exp + 1)
+	}
+	allRatios := make([]float64, 0, len(db.Attrs))
+	for _, attr := range db.Attrs {
+		allRatios = append(allRatios, ratioOf(attr.Name))
+	}
+	sort.Float64s(allRatios)
+	median := allRatios[len(allRatios)/2]
+	conf := 0.0
+	for i := 0; i < n; i++ {
+		if r := ratioOf(ranked[i].attr); median > 0 && r/median-1 > conf {
+			conf = r/median - 1
+		}
+	}
+	if conf < db.cfg.CooccurThreshold {
+		return Interpretation{}, false
+	}
+	terms := make([]AttrMarker, 0, n)
+	for i := 0; i < n; i++ {
+		a := ranked[i].attr
+		attr := db.Attr(a)
+		best, bestF := 0, -1.0
+		for m, f := range markerFreq[a] {
+			// Prefer frequent positive markers: positive reviews mention the
+			// good end of each correlated scale.
+			w := f * (1 + math.Max(0, attr.Markers[m].Sentiment))
+			if w > bestF || (w == bestF && m < best) {
+				best, bestF = m, w
+			}
+		}
+		terms = append(terms, AttrMarker{Attr: a, Marker: best})
+	}
+	// ⊕ vs ⊗ (§3.2): if the chosen attributes are usually mentioned
+	// together in the mined reviews, emit a conjunction.
+	disjunction := true
+	if len(terms) == 2 {
+		joint, either := 0, 0
+		for _, attrs := range reviewsWithAttr {
+			a0, a1 := attrs[terms[0].Attr], attrs[terms[1].Attr]
+			if a0 || a1 {
+				either++
+			}
+			if a0 && a1 {
+				joint++
+			}
+		}
+		if either > 0 && float64(joint)/float64(either) > 0.5 {
+			disjunction = false
+		}
+	}
+	return Interpretation{
+		Predicate:   predicate,
+		Method:      MethodCooccur,
+		Terms:       terms,
+		Disjunction: disjunction,
+		Similarity:  conf,
+	}, true
+}
+
+// queryKnownFraction returns the fraction of the predicate's content words
+// with embedding vectors, with light morphological leniency ("rooms"
+// counts when "room" is in vocabulary).
+func (db *DB) queryKnownFraction(predicate string) float64 {
+	var known, total float64
+	for _, t := range textproc.Tokenize(predicate) {
+		if textproc.IsStopword(t) {
+			continue
+		}
+		total++
+		if db.Embed.Has(t) {
+			known++
+			continue
+		}
+		if strings.HasSuffix(t, "s") && db.Embed.Has(strings.TrimSuffix(t, "s")) {
+			known++
+			continue
+		}
+		if db.Embed.Has(t + "s") {
+			known++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return known / total
+}
+
+// domainPhraseList returns the (cached, sorted) linguistic domain of attr.
+func (db *DB) domainPhraseList(attr *SubjectiveAttribute) []string {
+	if cached, ok := db.domainLists[attr.Name]; ok {
+		return cached
+	}
+	out := make([]string, 0, len(attr.DomainPhrases))
+	for p := range attr.DomainPhrases {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	if db.domainLists == nil {
+		db.domainLists = map[string][]string{}
+	}
+	db.domainLists[attr.Name] = out
+	return out
+}
+
+// phraseRep returns the cached Eq. 1 representation of a domain phrase.
+func (db *DB) phraseRep(phrase string) embedding.Vector {
+	if v, ok := db.phraseReps[phrase]; ok {
+		return v
+	}
+	v := db.Embed.Rep(phrase)
+	if db.phraseReps == nil {
+		db.phraseReps = map[string]embedding.Vector{}
+	}
+	db.phraseReps[phrase] = v
+	return v
+}
+
+// extractionsFor returns extraction ids for (attribute, entity).
+func (db *DB) extractionsFor(attr, entityID string) []int {
+	byEntity, ok := db.extIndex[attr]
+	if !ok {
+		return nil
+	}
+	return byEntity[entityID]
+}

@@ -1,0 +1,68 @@
+package core
+
+// Internal-package debug helpers for interpreter diagnostics; used by the
+// external debug test via exported wrappers below (test-only file).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// DebugCooccurTally returns a human-readable dump of the co-occurrence
+// tally for a predicate: per-attribute freq, obs, exp and ratio.
+func (db *DB) DebugCooccurTally(predicate string) string {
+	toks := textproc.Tokenize(predicate)
+	var informative []string
+	for _, t := range toks {
+		if textproc.IsStopword(t) || db.ReviewIndex.DF(t) == 0 {
+			continue
+		}
+		if db.ReviewIndex.IDF(t) >= db.cfg.CooccurMinIDF {
+			informative = append(informative, t)
+		}
+	}
+	if len(informative) > 0 {
+		toks = informative
+	}
+	boost := func(reviewID string) float64 {
+		s := db.ReviewSentiments[reviewID]
+		if s <= 0 {
+			return 0
+		}
+		return s
+	}
+	top := db.ReviewIndex.SearchBoosted(toks, db.cfg.CooccurTopK, boost)
+	freq := map[string]float64{}
+	reviewsWithAttr := map[string]map[string]bool{}
+	for _, r := range top {
+		for _, extID := range db.extByReview[r.ID] {
+			ext := &db.Extractions[extID]
+			freq[ext.Attribute]++
+			if reviewsWithAttr[r.ID] == nil {
+				reviewsWithAttr[r.ID] = map[string]bool{}
+			}
+			reviewsWithAttr[r.ID][ext.Attribute] = true
+		}
+	}
+	out := fmt.Sprintf("query=%v top=%d positiveReviews=%d\n", toks, len(top), db.positiveReviews)
+	var names []string
+	for _, a := range db.Attrs {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		var obs float64
+		for _, attrs := range reviewsWithAttr {
+			if attrs[a] {
+				obs++
+			}
+		}
+		exp := float64(len(top)) * float64(db.reviewsWithAttrCount[a]) / float64(db.positiveReviews+1)
+		out += fmt.Sprintf("  %-18s freq=%4.0f obs=%4.0f exp=%6.2f ratio=%.2f (rate=%.3f)\n",
+			a, freq[a], obs, exp, obs/(exp+1),
+			float64(db.reviewsWithAttrCount[a])/float64(db.positiveReviews+1))
+	}
+	return out
+}

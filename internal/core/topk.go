@@ -1,0 +1,234 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/textproc"
+)
+
+// This file implements top-k evaluation of conjunctive subjective queries
+// with Fagin's Threshold Algorithm (TA), which the paper names as the
+// standard technique for efficient fuzzy selection ("the Threshold
+// Algorithm and its descendants as the most widely used techniques", §6).
+//
+// The enabling structure is §3.3's observation that degrees of truth for
+// in-domain predicates "can be pre-computed so that they can simply be
+// looked up at query time": Build-time state lets us materialize, per
+// (attribute, marker), the entity list sorted by precomputed degree.
+// TA then consumes the lists with sorted + random access and stops as
+// soon as the k-th best aggregate meets the threshold, touching only a
+// prefix of each list instead of scoring every entity.
+
+// entityDegree is one entry of a sorted degree list.
+type entityDegree struct {
+	entity string
+	degree float64
+}
+
+// degreeList returns the (cached) entity list for an interpreted A.m,
+// sorted by descending precomputed degree. The precomputation uses the
+// marker's own centroid as the query representation — exactly the
+// "degree of truth for variations in the linguistic domain".
+func (db *DB) degreeList(am AttrMarker) []entityDegree {
+	if db.degreeLists == nil {
+		db.degreeLists = map[AttrMarker][]entityDegree{}
+	}
+	if l, ok := db.degreeLists[am]; ok {
+		return l
+	}
+	attr := db.Attr(am.Attr)
+	list := make([]entityDegree, 0, len(db.entityIDs))
+	if attr != nil && am.Marker >= 0 && am.Marker < len(attr.Markers) {
+		rep := attr.Markers[am.Marker].Centroid
+		for _, id := range db.entityIDs {
+			list = append(list, entityDegree{
+				entity: id,
+				degree: db.Membership.DegreeMarker(db, id, attr, am.Marker, rep),
+			})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].degree != list[j].degree {
+			return list[i].degree > list[j].degree
+		}
+		return list[i].entity < list[j].entity
+	})
+	db.degreeLists[am] = list
+	return list
+}
+
+// taSource is one predicate's access structure for TA: a sorted list plus
+// a random-access degree lookup.
+type taSource struct {
+	list   []entityDegree
+	degree map[string]float64
+}
+
+// TopKStats reports how much work TA did.
+type TopKStats struct {
+	// SortedAccesses counts list positions consumed across sources.
+	SortedAccesses int
+	// Depth is the deepest list prefix consumed.
+	Depth int
+	// Candidates is the number of distinct entities aggregated.
+	Candidates int
+}
+
+// TopKThreshold answers a conjunction of subjective predicates with
+// Fagin's TA over precomputed degree lists, returning the top-k entities
+// by product-combined degree and the access statistics.
+//
+// For in-domain predicates the degrees come from the per-marker
+// precomputation, so the ranking can deviate slightly from the exact
+// RankPredicates scores (which embed the query phrasing); the top sets
+// agree closely, and the bench harness quantifies both the agreement and
+// the saved work.
+func (db *DB) TopKThreshold(predicates []string, k int) ([]ResultRow, TopKStats, error) {
+	var stats TopKStats
+	if k <= 0 {
+		k = 10
+	}
+	sources := make([]*taSource, 0, len(predicates))
+	for _, text := range predicates {
+		in := db.Interpret(text)
+		src, err := db.taSourceFor(text, in)
+		if err != nil {
+			return nil, stats, err
+		}
+		sources = append(sources, src)
+	}
+	if len(sources) == 0 {
+		return nil, stats, nil
+	}
+
+	v := db.fuzzyVariant()
+	aggregate := func(entity string) float64 {
+		score := 1.0
+		for _, s := range sources {
+			score = v.And(score, s.degree[entity])
+		}
+		return score
+	}
+
+	seen := map[string]bool{}
+	var top []ResultRow
+	worstTop := func() float64 {
+		if len(top) < k {
+			return -1
+		}
+		return top[len(top)-1].Score
+	}
+	insert := func(entity string, score float64) {
+		row := ResultRow{EntityID: entity, Score: score}
+		pos := sort.Search(len(top), func(i int) bool {
+			if top[i].Score != score {
+				return top[i].Score < score
+			}
+			return top[i].EntityID > entity
+		})
+		top = append(top, ResultRow{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = row
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+
+	maxLen := 0
+	for _, s := range sources {
+		if len(s.list) > maxLen {
+			maxLen = len(s.list)
+		}
+	}
+	for depth := 0; depth < maxLen; depth++ {
+		threshold := 1.0
+		progressed := false
+		for _, s := range sources {
+			if depth >= len(s.list) {
+				threshold = v.And(threshold, 0)
+				continue
+			}
+			progressed = true
+			stats.SortedAccesses++
+			entry := s.list[depth]
+			threshold = v.And(threshold, entry.degree)
+			if !seen[entry.entity] {
+				seen[entry.entity] = true
+				stats.Candidates++
+				if score := aggregate(entry.entity); score > 0 {
+					insert(entry.entity, score)
+				}
+			}
+		}
+		stats.Depth = depth + 1
+		// TA stop condition: the k-th best aggregate is at least the
+		// threshold, so no unseen entity can enter the top-k.
+		if !progressed || (len(top) >= k && worstTop() >= threshold) {
+			break
+		}
+	}
+	return top, stats, nil
+}
+
+// taSourceFor materializes the TA access structure for one interpreted
+// predicate.
+func (db *DB) taSourceFor(text string, in Interpretation) (*taSource, error) {
+	v := db.fuzzyVariant()
+	switch {
+	case in.Method == MethodFallback:
+		// Fallback predicates have no precomputed lists; score all
+		// entities once (they rarely dominate the conjunction anyway).
+		toks := textproc.Tokenize(text)
+		list := make([]entityDegree, 0, len(db.entityIDs))
+		for _, id := range db.entityIDs {
+			list = append(list, entityDegree{
+				entity: id,
+				degree: ir.Sigmoid(db.EntityIndex.Score(id, toks), db.cfg.FallbackCenter),
+			})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].degree != list[j].degree {
+				return list[i].degree > list[j].degree
+			}
+			return list[i].entity < list[j].entity
+		})
+		return sourceFromList(list), nil
+	case len(in.Terms) == 1:
+		return sourceFromList(db.degreeList(in.Terms[0])), nil
+	default:
+		// Multi-term interpretation: merge the per-term lists under the
+		// interpretation's connective.
+		merged := map[string]float64{}
+		for ti, term := range in.Terms {
+			for _, e := range db.degreeList(term) {
+				if ti == 0 {
+					merged[e.entity] = e.degree
+				} else if in.Disjunction {
+					merged[e.entity] = v.Or(merged[e.entity], e.degree)
+				} else {
+					merged[e.entity] = v.And(merged[e.entity], e.degree)
+				}
+			}
+		}
+		list := make([]entityDegree, 0, len(merged))
+		for id, d := range merged {
+			list = append(list, entityDegree{entity: id, degree: d})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].degree != list[j].degree {
+				return list[i].degree > list[j].degree
+			}
+			return list[i].entity < list[j].entity
+		})
+		return sourceFromList(list), nil
+	}
+}
+
+func sourceFromList(list []entityDegree) *taSource {
+	m := make(map[string]float64, len(list))
+	for _, e := range list {
+		m[e.entity] = e.degree
+	}
+	return &taSource{list: list, degree: m}
+}

@@ -1,0 +1,400 @@
+package corpus
+
+// HotelAspects returns the subjective-attribute specs of the hotel domain.
+// The schema mirrors Figure 2 of the paper (room_cleanliness, bathroom
+// style, service, bed comfort) extended with the further aspects the
+// paper's hotel schema carries (15 attributes; we model 12). Levels are
+// ordered worst → best. Low levels deliberately include negated positive
+// words ("not clean at all") — the trap that defeats the IR baseline.
+func HotelAspects() []AspectSpec {
+	return []AspectSpec{
+		{
+			Name:        "room_cleanliness",
+			AspectTerms: []string{"room", "carpet", "sheets", "floor", "bedroom"},
+			MentionProb: 0.75,
+			Levels: []LevelSpec{
+				{Name: "very_dirty", Phrases: []string{
+					"filthy", "absolutely filthy", "disgusting", "filthy dirty",
+					"not clean at all", "anything but clean", "grimy and disgusting",
+				}},
+				{Name: "dirty", Phrases: []string{
+					"dirty", "quite dirty", "stained", "dusty", "far from clean",
+					"grubby", "stained carpet", "not very clean",
+				}},
+				{Name: "average", Phrases: []string{
+					"average", "ok", "acceptable", "clean enough", "fairly tidy",
+					"passable", "adequate",
+				}},
+				{Name: "very_clean", Phrases: []string{
+					"very clean", "spotless", "spotlessly clean", "immaculate",
+					"really clean", "extremely clean", "pristine", "meticulously clean",
+					"clean and tidy", "gleaming",
+				}},
+			},
+		},
+		{
+			Name:        "style",
+			AspectTerms: []string{"bathroom", "shower", "faucets", "bathtub"},
+			Categorical: true,
+			MentionProb: 0.4,
+			Levels: []LevelSpec{
+				{Name: "old", Phrases: []string{
+					"old", "old-fashioned", "dated", "outdated", "old-styled",
+					"worn and dated", "from another era",
+				}},
+				{Name: "standard", Phrases: []string{
+					"standard", "basic", "ordinary", "plain", "functional",
+					"typical", "no-frills",
+				}},
+				{Name: "modern", Phrases: []string{
+					"modern", "newly renovated", "sleek", "contemporary",
+					"stylish", "modern faucets", "freshly updated",
+				}},
+				{Name: "luxurious", Phrases: []string{
+					"luxurious", "five-star", "marble", "extravagant",
+					"luxurious bath towels", "plush", "lavish", "spa-like",
+				}},
+			},
+		},
+		{
+			Name:        "service",
+			AspectTerms: []string{"service", "reception", "front desk", "concierge"},
+			MentionProb: 0.65,
+			Levels: []LevelSpec{
+				{Name: "very_bad", Phrases: []string{
+					"appalling", "dreadful", "the worst", "horrible",
+					"not helpful at all", "anything but professional",
+				}},
+				{Name: "bad", Phrases: []string{
+					"bad", "slow", "rude", "dismissive", "unhelpful",
+					"far from friendly", "careless",
+				}},
+				{Name: "average", Phrases: []string{
+					"average", "ok", "fine", "acceptable", "adequate", "standard",
+				}},
+				{Name: "good", Phrases: []string{
+					"good", "friendly", "helpful", "professional", "attentive",
+					"courteous", "welcoming", "prompt",
+				}},
+				{Name: "exceptional", Phrases: []string{
+					"exceptional", "outstanding", "excellent", "impeccable",
+					"went above and beyond", "truly exceptional", "five-star",
+					"excellent service",
+				}},
+			},
+		},
+		{
+			Name:        "comfort",
+			AspectTerms: []string{"bed", "mattress", "pillows", "duvet"},
+			MentionProb: 0.55,
+			Levels: []LevelSpec{
+				{Name: "worn_out", Phrases: []string{
+					"worn out", "saggy", "lumpy", "broken springs",
+					"not comfortable at all", "anything but comfortable",
+				}},
+				{Name: "uncomfortable", Phrases: []string{
+					"uncomfortable", "too hard", "too soft", "creaky",
+					"far from comfortable", "rock hard",
+				}},
+				{Name: "ok", Phrases: []string{
+					"ok", "fine", "decent", "acceptable", "average",
+				}},
+				{Name: "comfortable", Phrases: []string{
+					"comfortable", "comfy", "firm", "supportive", "cozy",
+				}},
+				{Name: "very_comfortable", Phrases: []string{
+					"very comfortable", "heavenly", "like sleeping on a cloud",
+					"extremely comfortable", "wonderfully soft", "plush",
+				}},
+			},
+		},
+		{
+			Name:        "quietness",
+			AspectTerms: []string{"room", "street", "walls", "neighborhood"},
+			MentionProb: 0.45,
+			Levels: []LevelSpec{
+				{Name: "very_noisy", Phrases: []string{
+					"very noisy", "extremely loud", "constant noise",
+					"traffic noise all night", "not quiet at all",
+					"anything but quiet", "unbearably loud",
+				}},
+				{Name: "noisy", Phrases: []string{
+					"noisy", "loud", "annoying", "quite loud", "thin walls",
+					"far from quiet", "street noise",
+				}},
+				{Name: "average", Phrases: []string{
+					"average", "some noise", "mostly fine", "ok",
+				}},
+				{Name: "quiet", Phrases: []string{
+					"quiet", "calm", "peaceful", "quiet room",
+				}},
+				{Name: "very_quiet", Phrases: []string{
+					"very quiet", "extremely quiet", "utterly peaceful",
+					"silent at night", "tranquil", "wonderfully peaceful",
+				}},
+			},
+		},
+		{
+			Name:        "breakfast",
+			AspectTerms: []string{"breakfast", "buffet", "coffee", "croissants"},
+			MentionProb: 0.5,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{
+					"stale", "cold", "disappointing", "awful", "not fresh at all",
+					"bland", "far from tasty",
+				}},
+				{Name: "average", Phrases: []string{
+					"average", "basic", "ok", "standard", "adequate", "limited",
+				}},
+				{Name: "good", Phrases: []string{
+					"good", "tasty", "fresh", "nice", "decent", "good options",
+				}},
+				{Name: "excellent", Phrases: []string{
+					"excellent", "delicious", "generous", "outstanding",
+					"fantastic spread", "superb", "amazing variety",
+				}},
+			},
+		},
+		{
+			Name:        "staff",
+			AspectTerms: []string{"staff", "receptionist", "housekeeping", "porter"},
+			MentionProb: 0.6,
+			Levels: []LevelSpec{
+				{Name: "rude", Phrases: []string{
+					"rude", "unfriendly", "arrogant", "dismissive",
+					"not friendly at all", "anything but helpful",
+				}},
+				{Name: "indifferent", Phrases: []string{
+					"indifferent", "cold", "inattentive", "slow",
+					"not so friendly", "far from welcoming",
+				}},
+				{Name: "friendly", Phrases: []string{
+					"friendly", "kind", "polite", "helpful", "warm",
+					"very kind staff", "helpful concierge",
+				}},
+				{Name: "wonderful", Phrases: []string{
+					"wonderful", "amazing", "went out of their way",
+					"incredibly welcoming", "exceptionally kind", "delightful",
+				}},
+			},
+		},
+		{
+			Name:        "location",
+			AspectTerms: []string{"location", "area", "spot", "position"},
+			MentionProb: 0.55,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{
+					"inconvenient", "sketchy", "far from everything", "unsafe",
+					"not central at all", "in the middle of nowhere",
+				}},
+				{Name: "average", Phrases: []string{
+					"ok", "average", "decent", "fine", "acceptable",
+				}},
+				{Name: "good", Phrases: []string{
+					"good", "convenient", "central", "handy", "well placed",
+					"close to public transportation",
+				}},
+				{Name: "great", Phrases: []string{
+					"great", "perfect", "unbeatable", "fantastic",
+					"great place", "ideal", "right in the heart of the city",
+				}},
+			},
+		},
+		{
+			Name:        "wifi",
+			AspectTerms: []string{"wifi", "internet", "connection", "signal"},
+			MentionProb: 0.3,
+			Levels: []LevelSpec{
+				{Name: "unreliable", Phrases: []string{
+					"unreliable", "spotty", "kept dropping", "barely worked",
+					"not fast at all", "painfully slow",
+				}},
+				{Name: "slow", Phrases: []string{
+					"slow", "weak", "patchy", "sluggish", "far from fast",
+				}},
+				{Name: "ok", Phrases: []string{
+					"ok", "fine", "decent", "acceptable", "average",
+				}},
+				{Name: "fast", Phrases: []string{
+					"fast", "reliable", "speedy", "excellent", "blazing fast",
+				}},
+			},
+		},
+		{
+			Name:        "bar",
+			AspectTerms: []string{"bar", "lounge", "rooftop bar", "cocktails"},
+			MentionProb: 0.3,
+			Levels: []LevelSpec{
+				{Name: "dead", Phrases: []string{
+					"dead", "empty", "closed early", "dull", "not lively at all",
+					"boring", "lifeless",
+				}},
+				{Name: "average", Phrases: []string{
+					"average", "ok", "fine", "quiet", "decent",
+				}},
+				{Name: "nice", Phrases: []string{
+					"nice", "pleasant", "cozy", "charming", "inviting",
+				}},
+				{Name: "lively", Phrases: []string{
+					"lively", "buzzing", "vibrant", "energetic", "happening",
+					"lively bar scene", "great atmosphere",
+				}},
+			},
+		},
+		{
+			Name:        "view",
+			AspectTerms: []string{"view", "window", "balcony", "outlook"},
+			MentionProb: 0.25,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{
+					"of a brick wall", "dreary", "depressing", "of the parking lot",
+					"not scenic at all",
+				}},
+				{Name: "ok", Phrases: []string{
+					"ok", "fine", "decent", "average", "unremarkable",
+				}},
+				{Name: "nice", Phrases: []string{
+					"nice", "pleasant", "lovely", "pretty",
+				}},
+				{Name: "stunning", Phrases: []string{
+					"stunning", "breathtaking", "gorgeous", "magnificent",
+					"spectacular", "panoramic",
+				}},
+			},
+		},
+		{
+			Name:        "value",
+			AspectTerms: []string{"price", "value", "rate", "cost"},
+			MentionProb: 0.35,
+			Levels: []LevelSpec{
+				{Name: "overpriced", Phrases: []string{
+					"overpriced", "a rip off", "not worth it", "far too expensive",
+					"not worth the money",
+				}},
+				{Name: "pricey", Phrases: []string{
+					"pricey", "expensive", "steep", "on the high side",
+				}},
+				{Name: "fair", Phrases: []string{
+					"fair", "reasonable", "ok", "decent", "moderate",
+				}},
+				{Name: "great_value", Phrases: []string{
+					"great value", "a bargain", "worth every penny", "affordable",
+					"excellent value for money",
+				}},
+			},
+		},
+	}
+}
+
+// HotelComposites returns the combination concepts of the hotel domain.
+// "romantic getaway" is the paper's running example: it never names a
+// schema attribute, but co-occurs with exceptional service and luxurious
+// bathrooms (§3.2).
+func HotelComposites() []CompositeSpec {
+	return []CompositeSpec{
+		{
+			Name:       "romantic getaway",
+			Proxies:    map[string]float64{"service": 0.75},
+			CatProxies: map[string]string{"style": "luxurious"},
+			Phrases: []string{
+				"a perfect romantic getaway", "so romantic",
+				"ideal for a romantic escape", "a dream anniversary stay",
+				"wonderfully romantic",
+			},
+			MentionProb: 0.3,
+		},
+		{
+			Name:    "business trip",
+			Proxies: map[string]float64{"location": 0.7, "wifi": 0.7},
+			Phrases: []string{
+				"great for business trips", "perfect for business travellers",
+				"ideal for a work trip", "very business friendly",
+			},
+			MentionProb: 0.25,
+		},
+		{
+			Name:    "family friendly",
+			Proxies: map[string]float64{"staff": 0.7, "breakfast": 0.65},
+			Phrases: []string{
+				"very family friendly", "great for kids", "kid friendly",
+				"perfect for families", "our children loved it",
+			},
+			MentionProb: 0.25,
+		},
+		{
+			Name:    "night out",
+			Proxies: map[string]float64{"bar": 0.75},
+			Phrases: []string{
+				"perfect for a night out", "great party vibe",
+				"the place to be in the evening",
+			},
+			MentionProb: 0.25,
+		},
+	}
+}
+
+// HotelFlags returns the out-of-schema amenities of the hotel domain,
+// including the paper's "good for motorcyclists" and "great towel art"
+// examples.
+func HotelFlags() []FlagSpec {
+	return []FlagSpec{
+		{
+			Name: "motorcycle",
+			Phrases: []string{
+				"plenty of parking for motorcycles", "bikers welcome",
+				"secure motorcycle parking", "great stop on a motorcycle tour",
+				"perfect for motorcyclists", "motorcyclists will love the garage",
+			},
+			Prevalence:  0.08,
+			MentionProb: 0.2,
+		},
+		{
+			Name: "towel_art",
+			Phrases: []string{
+				"lovely towel art on the bed", "adorable towel animals",
+				"the housekeeper folds amazing towel art",
+			},
+			Prevalence:  0.1,
+			MentionProb: 0.15,
+		},
+		{
+			Name: "pet_friendly",
+			Phrases: []string{
+				"they welcomed our dog", "very pet friendly",
+				"water bowls for pets in the lobby", "dogs are welcome here",
+				"travelling with a dog was no problem",
+			},
+			Prevalence:  0.12,
+			MentionProb: 0.2,
+		},
+	}
+}
+
+// hotelFillers are objective sentences with no opinion content, mixed into
+// reviews so extraction is non-trivial.
+var hotelFillers = []string{
+	"We arrived late in the evening after a long flight",
+	"Check in took about ten minutes",
+	"We stayed for three nights in June",
+	"The hotel is a short walk from the station",
+	"We booked through the website a month in advance",
+	"Our room was on the fourth floor",
+	"We travelled with two suitcases and a stroller",
+	"The lobby has a small gift shop",
+	"Breakfast is served from seven until ten",
+	"Parking is available around the corner",
+}
+
+// hotelRatingAttrs are the 8 aggregate scores scraped from booking.com
+// that the attribute-based baseline ranks by (§5.3), with the latent
+// aspect each is derived from.
+var hotelRatingAttrs = map[string]string{
+	"Location":      "location",
+	"Cleanliness":   "room_cleanliness",
+	"Staff":         "staff",
+	"Comfort":       "comfort",
+	"Facilities":    "style",
+	"ValueForMoney": "value",
+	"Breakfast":     "breakfast",
+	"FreeWifi":      "wifi",
+}

@@ -1,0 +1,152 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"repro/internal/extract"
+	"repro/internal/textproc"
+)
+
+// LaptopAspects returns a compact laptop-domain spec used only to generate
+// the SemEval-2014 Laptop stand-in tagging dataset of Table 6 (the paper
+// evaluates its extractor on laptop reviews; no laptop database is built).
+func LaptopAspects() []AspectSpec {
+	return []AspectSpec{
+		{
+			Name:        "battery",
+			AspectTerms: []string{"battery", "battery life", "charge"},
+			MentionProb: 0.6,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{"dreadful", "dies in an hour", "not lasting at all", "weak"}},
+				{Name: "ok", Phrases: []string{"ok", "acceptable", "average", "decent"}},
+				{Name: "great", Phrases: []string{"fantastic", "lasts all day", "excellent", "reliable"}},
+			},
+		},
+		{
+			Name:        "screen",
+			AspectTerms: []string{"screen", "display", "panel"},
+			MentionProb: 0.6,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{"dim", "washed out", "grainy", "far from sharp"}},
+				{Name: "ok", Phrases: []string{"fine", "average", "adequate", "passable"}},
+				{Name: "great", Phrases: []string{"gorgeous", "bright", "crisp", "stunning"}},
+			},
+		},
+		{
+			Name:        "keyboard",
+			AspectTerms: []string{"keyboard", "keys", "trackpad"},
+			MentionProb: 0.5,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{"mushy", "cramped", "not responsive at all", "sticky"}},
+				{Name: "ok", Phrases: []string{"ok", "usable", "fine", "standard"}},
+				{Name: "great", Phrases: []string{"comfortable", "satisfying", "excellent", "responsive"}},
+			},
+		},
+		{
+			Name:        "performance",
+			AspectTerms: []string{"performance", "speed", "processor"},
+			MentionProb: 0.6,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{"sluggish", "painfully slow", "anything but fast", "laggy"}},
+				{Name: "ok", Phrases: []string{"adequate", "fine", "acceptable", "average"}},
+				{Name: "great", Phrases: []string{"blazing fast", "snappy", "excellent", "smooth"}},
+			},
+		},
+		{
+			Name:        "build",
+			AspectTerms: []string{"build", "chassis", "hinge", "case"},
+			MentionProb: 0.45,
+			Levels: []LevelSpec{
+				{Name: "bad", Phrases: []string{"flimsy", "creaky", "cheap feeling", "fragile"}},
+				{Name: "ok", Phrases: []string{"solid enough", "fine", "acceptable", "standard"}},
+				{Name: "great", Phrases: []string{"rock solid", "premium", "beautifully made", "sturdy"}},
+			},
+		},
+	}
+}
+
+// laptopFillers are objective filler sentences for laptop reviews.
+var laptopFillers = []string{
+	"I bought this laptop for university work",
+	"It shipped within two days",
+	"The box included a charger and a manual",
+	"I mainly use it for documents and browsing",
+	"It replaced my five year old machine",
+}
+
+// TaggedFromAspects generates n gold-labeled tagging sentences from
+// arbitrary aspect specs — the dataset factory for the Table 6 extractor
+// comparison across domains.
+func TaggedFromAspects(aspects []AspectSpec, fillers []string, n int, rng *rand.Rand) []extract.Sentence {
+	if len(fillers) == 0 {
+		fillers = hotelFillers
+	}
+	var out []extract.Sentence
+	for len(out) < n {
+		a := &aspects[rng.Intn(len(aspects))]
+		level := rng.Intn(len(a.Levels))
+		phrase := pick(rng, a.Levels[level].Phrases)
+		term := pick(rng, a.AspectTerms)
+		sent := opinionSentence(rng, term, phrase)
+		if rng.Intn(3) == 0 {
+			sent += " and " + pick(rng, fillers)
+		}
+		toks := textproc.Tokenize(sent)
+		tags := make([]extract.Tag, len(toks))
+		markSpan(toks, textproc.Tokenize(term), tags, extract.AS)
+		markSpan(toks, textproc.Tokenize(phrase), tags, extract.OP)
+		out = append(out, extract.Sentence{Tokens: toks, Tags: tags})
+	}
+	return out
+}
+
+// TaggedSplit generates a train/test pair for the Table 6 extractor
+// comparison. Training sentences draw only from a ~60% prefix of each
+// level's phrase bank and each aspect's term list, and ~5% of training
+// tags carry annotation noise; test sentences use the full banks. The
+// tagger therefore meets unseen opinion phrasings and aspect nouns at test
+// time and must generalize through its lexicon and shape features — as
+// the paper's extractor must on real reviews annotated by humans.
+func TaggedSplit(aspects []AspectSpec, fillers []string, trainN, testN int, rng *rand.Rand) (train, test []extract.Sentence) {
+	trainAspects := make([]AspectSpec, len(aspects))
+	for i, a := range aspects {
+		ta := a
+		ta.AspectTerms = prefix(a.AspectTerms, 0.6)
+		ta.Levels = make([]LevelSpec, len(a.Levels))
+		for j, l := range a.Levels {
+			ta.Levels[j] = LevelSpec{Name: l.Name, Phrases: prefix(l.Phrases, 0.6)}
+		}
+		trainAspects[i] = ta
+	}
+	train = TaggedFromAspects(trainAspects, fillers, trainN, rng)
+	for _, s := range train {
+		for i := range s.Tags {
+			if rng.Float64() < 0.05 {
+				s.Tags[i] = extract.Tag(rng.Intn(extract.NumTags))
+			}
+		}
+	}
+	test = TaggedFromAspects(aspects, fillers, testN, rng)
+	return train, test
+}
+
+// prefix keeps at least one and at most ceil(frac·len) leading items.
+func prefix(items []string, frac float64) []string {
+	n := int(float64(len(items))*frac + 0.999)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(items) {
+		n = len(items)
+	}
+	return items[:n]
+}
+
+// LaptopFillers exposes the laptop filler bank for harness use.
+func LaptopFillers() []string { return laptopFillers }
+
+// HotelFillers exposes the hotel filler bank.
+func HotelFillers() []string { return hotelFillers }
+
+// RestaurantFillers exposes the restaurant filler bank.
+func RestaurantFillers() []string { return restaurantFillers }

@@ -1,0 +1,284 @@
+package corpus
+
+import "fmt"
+
+// predSpec drives deterministic expansion of a predicate bank for one
+// subjective attribute: every (pattern, phrase) combination yields one
+// query predicate text, up to the per-attribute quota.
+type predSpec struct {
+	attr     string
+	wantCat  string   // for categorical attributes
+	minQ     float64  // ground-truth latent threshold
+	phrases  []string // opinion phrasings, most marker-like first
+	patterns []string // %s is replaced with the phrase
+}
+
+// expand generates quota predicates from the spec. The first generated
+// predicate (exact head phrase) is KindMarker; the rest are paraphrases.
+func (ps predSpec) expand(quota int) []Predicate {
+	var out []Predicate
+	seen := map[string]bool{}
+	for _, pat := range ps.patterns {
+		for _, ph := range ps.phrases {
+			if len(out) >= quota {
+				return out
+			}
+			text := fmt.Sprintf(pat, ph)
+			if seen[text] {
+				continue
+			}
+			seen[text] = true
+			kind := KindParaphrase
+			if len(out) == 0 {
+				kind = KindMarker
+			}
+			out = append(out, Predicate{
+				Text:          text,
+				Kind:          kind,
+				GoldAttribute: ps.attr,
+				WantCategory:  ps.wantCat,
+				MinQuality:    ps.minQ,
+			})
+		}
+	}
+	return out
+}
+
+// compositePredicates builds the predicates that require the
+// co-occurrence interpreter; gold attribute is the primary proxy, matching
+// the paper's "closest subjective attribute" labeling rule.
+func compositePredicates(specs []struct {
+	texts   []string
+	gold    string
+	proxies map[string]float64
+	cats    map[string]string
+}) []Predicate {
+	var out []Predicate
+	for _, s := range specs {
+		for _, t := range s.texts {
+			out = append(out, Predicate{
+				Text:          t,
+				Kind:          KindComposite,
+				GoldAttribute: s.gold,
+				CompositeOf:   s.proxies,
+				CompositeCat:  s.cats,
+			})
+		}
+	}
+	return out
+}
+
+// flagPredicates builds the out-of-schema predicates (IR fallback).
+func flagPredicates(pairs [][2]string) []Predicate {
+	var out []Predicate
+	for _, p := range pairs {
+		out = append(out, Predicate{Text: p[0], Kind: KindOutOfSchema, Flag: p[1]})
+	}
+	return out
+}
+
+// HotelPredicates returns the 190-predicate hotel query bank of §5.2.2.
+func HotelPredicates() []Predicate {
+	const quota = 15
+	specs := []predSpec{
+		{
+			attr: "room_cleanliness", minQ: 0.7,
+			phrases:  []string{"very clean", "really clean", "spotless", "immaculate", "meticulously clean", "clean and tidy"},
+			patterns: []string{"has %s rooms", "rooms that are %s", "%s rooms", "a room that is %s"},
+		},
+		{
+			attr: "service", minQ: 0.7,
+			phrases:  []string{"exceptional", "excellent", "outstanding", "impeccable", "top notch", "first class"},
+			patterns: []string{"has %s service", "%s service", "service that is %s", "staff providing %s service"},
+		},
+		{
+			attr: "style", wantCat: "luxurious",
+			phrases:  []string{"luxurious", "five-star", "marble", "lavish", "plush", "spa-like"},
+			patterns: []string{"has %s bathrooms", "%s bathrooms", "a bathroom that is %s", "bathrooms that feel %s"},
+		},
+		{
+			attr: "comfort", minQ: 0.65,
+			phrases:  []string{"very comfortable", "comfortable", "comfy", "firm", "heavenly", "supportive"},
+			patterns: []string{"has %s beds", "%s beds", "beds that are %s", "a bed that is %s"},
+		},
+		{
+			attr: "quietness", minQ: 0.7,
+			phrases:  []string{"very quiet", "quiet", "peaceful", "tranquil", "calm", "silent at night"},
+			patterns: []string{"has %s rooms", "a %s room", "rooms that are %s", "%s at night"},
+		},
+		{
+			attr: "breakfast", minQ: 0.7,
+			phrases:  []string{"excellent", "delicious", "generous", "tasty", "fresh", "outstanding"},
+			patterns: []string{"serves %s breakfast", "%s breakfast", "a breakfast that is %s", "breakfast that tastes %s"},
+		},
+		{
+			attr: "staff", minQ: 0.7,
+			phrases:  []string{"friendly", "wonderful", "helpful", "kind", "welcoming", "polite"},
+			patterns: []string{"has %s staff", "%s staff", "staff who are %s", "a team that is %s"},
+		},
+		{
+			attr: "location", minQ: 0.7,
+			phrases:  []string{"great", "convenient", "central", "perfect", "ideal", "unbeatable"},
+			patterns: []string{"has a %s location", "%s location", "a location that is %s", "situated in a %s spot"},
+		},
+		{
+			attr: "wifi", minQ: 0.7,
+			phrases:  []string{"fast", "reliable", "speedy", "excellent", "blazing fast", "strong"},
+			patterns: []string{"has %s wifi", "%s wifi", "wifi that is %s", "%s internet"},
+		},
+		{
+			attr: "bar", minQ: 0.7,
+			phrases:  []string{"lively", "buzzing", "vibrant", "energetic", "happening", "great"},
+			patterns: []string{"has a %s bar scene", "a %s bar", "a bar that is %s", "%s lounge"},
+		},
+		{
+			attr: "view", minQ: 0.7,
+			phrases:  []string{"stunning", "breathtaking", "gorgeous", "nice", "spectacular", "panoramic"},
+			patterns: []string{"has a %s view", "%s views", "a view that is %s", "rooms with %s views"},
+		},
+	}
+	var out []Predicate
+	for _, s := range specs {
+		out = append(out, s.expand(quota)...)
+	}
+	out = append(out, compositePredicates([]struct {
+		texts   []string
+		gold    string
+		proxies map[string]float64
+		cats    map[string]string
+	}{
+		{
+			texts:   []string{"is a romantic getaway", "good for a romantic weekend", "perfect for our anniversary", "a romantic escape for two"},
+			gold:    "service",
+			proxies: map[string]float64{"service": 0.75},
+			cats:    map[string]string{"style": "luxurious"},
+		},
+		{
+			texts:   []string{"good for business trips", "ideal for a work trip", "suits business travellers", "convenient for conferences"},
+			gold:    "location",
+			proxies: map[string]float64{"location": 0.7, "wifi": 0.7},
+		},
+		{
+			texts:   []string{"kid friendly hotel", "great for families with children", "perfect for a family vacation", "good for kids"},
+			gold:    "staff",
+			proxies: map[string]float64{"staff": 0.7, "breakfast": 0.65},
+		},
+		{
+			texts:   []string{"good for a night out", "a place with party vibes", "fun place to stay for nightlife", "lively evening atmosphere"},
+			gold:    "bar",
+			proxies: map[string]float64{"bar": 0.75},
+		},
+	})...)
+	out = append(out, flagPredicates([][2]string{
+		{"good for motorcyclists", "motorcycle"},
+		{"has secure motorcycle parking", "motorcycle"},
+		{"bikers are welcome", "motorcycle"},
+		{"has great towel art", "towel_art"},
+		{"towel animals on the bed", "towel_art"},
+		{"housekeeping folds towel art", "towel_art"},
+		{"welcomes dogs", "pet_friendly"},
+		{"pet friendly rooms", "pet_friendly"},
+		{"good for travelling with a dog", "pet_friendly"},
+	})...)
+	return out
+}
+
+// RestaurantPredicates returns the 185-predicate restaurant query bank.
+func RestaurantPredicates() []Predicate {
+	const quota = 16
+	specs := []predSpec{
+		{
+			attr: "food", minQ: 0.7,
+			phrases:  []string{"delicious", "tasty", "amazing", "fresh", "authentic", "exquisite"},
+			patterns: []string{"serves %s food", "%s food", "dishes that are %s", "food that tastes %s"},
+		},
+		{
+			attr: "service", minQ: 0.7,
+			phrases:  []string{"friendly", "attentive", "impeccable", "helpful", "warm", "outstanding"},
+			patterns: []string{"has %s service", "%s service", "servers who are %s", "waiters that are %s"},
+		},
+		{
+			attr: "ambience", minQ: 0.7,
+			phrases:  []string{"charming", "cozy", "elegant", "beautiful", "stylish", "pleasant"},
+			patterns: []string{"has a %s ambience", "%s atmosphere", "a dining room that is %s", "%s decor"},
+		},
+		{
+			attr: "vibe", minQ: 0.7,
+			phrases:  []string{"quiet", "relaxing", "peaceful", "calm", "intimate", "serene"},
+			patterns: []string{"a %s place", "%s dining", "a spot that is %s", "an evening that is %s"},
+		},
+		{
+			attr: "value", minQ: 0.7,
+			phrases:  []string{"great value", "a bargain", "affordable", "reasonable", "worth every penny", "fair"},
+			patterns: []string{"is %s", "%s for the money", "prices that are %s", "meals that are %s"},
+		},
+		{
+			attr: "cleanliness", minQ: 0.7,
+			phrases:  []string{"spotless", "very clean", "immaculate", "pristine", "gleaming", "tidy"},
+			patterns: []string{"has %s tables", "a %s dining area", "restrooms that are %s", "%s throughout"},
+		},
+		{
+			attr: "portions", minQ: 0.7,
+			phrases:  []string{"generous", "huge", "hearty", "enormous", "filling", "big"},
+			patterns: []string{"serves %s portions", "%s portions", "plates that are %s", "servings that are %s"},
+		},
+		{
+			attr: "speed", minQ: 0.7,
+			phrases:  []string{"fast", "quick", "prompt", "speedy", "efficient", "swift"},
+			patterns: []string{"has %s service at the table", "%s kitchen", "orders arriving %s", "a wait that is %s"},
+		},
+		{
+			attr: "drinks", minQ: 0.7,
+			phrases:  []string{"excellent", "inventive", "superb", "good", "outstanding", "well chosen"},
+			patterns: []string{"has %s cocktails", "%s drinks", "a wine list that is %s", "%s sake selection"},
+		},
+		{
+			attr: "table", minQ: 0.65,
+			phrases:  []string{"spacious", "comfortable", "roomy", "generous", "pleasant", "ample"},
+			patterns: []string{"has %s seating", "%s tables", "booths that are %s", "seating that feels %s"},
+		},
+	}
+	var out []Predicate
+	for _, s := range specs {
+		out = append(out, s.expand(quota)...)
+	}
+	out = append(out, compositePredicates([]struct {
+		texts   []string
+		gold    string
+		proxies map[string]float64
+		cats    map[string]string
+	}{
+		{
+			texts:   []string{"perfect for a romantic dinner", "good date night spot", "ideal for an anniversary dinner", "a romantic evening out"},
+			gold:    "ambience",
+			proxies: map[string]float64{"ambience": 0.75, "vibe": 0.7},
+		},
+		{
+			texts:   []string{"good for groups", "fits a big party", "works for ten people", "group friendly dining"},
+			gold:    "table",
+			proxies: map[string]float64{"table": 0.7, "portions": 0.65},
+		},
+		{
+			texts:   []string{"good for a business lunch", "private dinner with clients", "suits a quick work meeting", "quiet business meetings"},
+			gold:    "speed",
+			proxies: map[string]float64{"speed": 0.7, "vibe": 0.65},
+		},
+		{
+			texts:   []string{"dinner with kids", "family friendly restaurant", "great with children", "good for a family outing"},
+			gold:    "service",
+			proxies: map[string]float64{"service": 0.7, "table": 0.65},
+		},
+	})...)
+	out = append(out, flagPredicates([][2]string{
+		{"a sunset view from the terrace", "sunset_view"},
+		{"watch the sunset while dining", "sunset_view"},
+		{"terrace with a view of the sunset", "sunset_view"},
+		{"live jazz music", "live_jazz"},
+		{"a jazz band playing", "live_jazz"},
+		{"music on the weekends", "live_jazz"},
+		{"open late at night", "late_night"},
+		{"kitchen serving after midnight", "late_night"},
+		{"dinner after a late show", "late_night"},
+	})...)
+	return out
+}

@@ -1,0 +1,336 @@
+package corpus
+
+// RestaurantAspects returns the subjective-attribute specs of the
+// restaurant domain (the paper models 11 attributes; we model 10).
+func RestaurantAspects() []AspectSpec {
+	return []AspectSpec{
+		{
+			Name:        "food",
+			AspectTerms: []string{"food", "dishes", "sushi", "ramen", "menu"},
+			MentionProb: 0.9,
+			Levels: []LevelSpec{
+				{Name: "awful", Phrases: []string{
+					"awful", "inedible", "disgusting", "not tasty at all",
+					"anything but fresh", "terrible",
+				}},
+				{Name: "bland", Phrases: []string{
+					"bland", "tasteless", "stale", "greasy", "far from delicious",
+					"underwhelming", "flavorless",
+				}},
+				{Name: "decent", Phrases: []string{
+					"decent", "ok", "fine", "average", "acceptable", "passable",
+				}},
+				{Name: "tasty", Phrases: []string{
+					"tasty", "good", "fresh", "flavorful", "well prepared",
+					"nicely seasoned", "authentic",
+				}},
+				{Name: "delicious", Phrases: []string{
+					"delicious", "amazing", "exquisite", "divine", "outstanding",
+					"melt in your mouth", "the best we ever had", "superb",
+				}},
+			},
+		},
+		{
+			Name:        "service",
+			AspectTerms: []string{"service", "waiter", "waitress", "server"},
+			MentionProb: 0.7,
+			Levels: []LevelSpec{
+				{Name: "terrible", Phrases: []string{
+					"terrible", "appalling", "the worst", "not attentive at all",
+					"anything but friendly",
+				}},
+				{Name: "slow", Phrases: []string{
+					"slow", "rude", "inattentive", "forgetful", "dismissive",
+					"far from attentive",
+				}},
+				{Name: "fine", Phrases: []string{
+					"fine", "ok", "average", "acceptable", "standard",
+				}},
+				{Name: "friendly", Phrases: []string{
+					"friendly", "attentive", "helpful", "warm", "courteous",
+					"welcoming",
+				}},
+				{Name: "impeccable", Phrases: []string{
+					"impeccable", "outstanding", "exceptional", "flawless",
+					"anticipated our every need",
+				}},
+			},
+		},
+		{
+			Name:        "ambience",
+			AspectTerms: []string{"ambience", "atmosphere", "decor", "interior"},
+			MentionProb: 0.55,
+			Levels: []LevelSpec{
+				{Name: "dreary", Phrases: []string{
+					"dreary", "drab", "depressing", "dingy", "not inviting at all",
+				}},
+				{Name: "plain", Phrases: []string{
+					"plain", "dull", "dated", "ordinary", "far from charming",
+				}},
+				{Name: "pleasant", Phrases: []string{
+					"pleasant", "nice", "cozy", "comfortable", "warm",
+				}},
+				{Name: "charming", Phrases: []string{
+					"charming", "beautiful", "elegant", "stylish", "enchanting",
+					"gorgeous", "romantic",
+				}},
+			},
+		},
+		{
+			Name:        "vibe",
+			AspectTerms: []string{"place", "room", "dining room", "crowd"},
+			MentionProb: 0.45,
+			Levels: []LevelSpec{
+				{Name: "chaotic", Phrases: []string{
+					"chaotic", "deafening", "unbearably loud", "not quiet at all",
+					"anything but relaxing",
+				}},
+				{Name: "loud", Phrases: []string{
+					"loud", "noisy", "crowded", "hectic", "far from peaceful",
+				}},
+				{Name: "lively", Phrases: []string{
+					"lively", "buzzing", "energetic", "vibrant", "fun",
+				}},
+				{Name: "quiet", Phrases: []string{
+					"quiet", "calm", "peaceful", "relaxing", "quiet place",
+					"serene", "intimate",
+				}},
+			},
+		},
+		{
+			Name:        "value",
+			AspectTerms: []string{"prices", "bill", "portions for the price", "cost"},
+			MentionProb: 0.5,
+			Levels: []LevelSpec{
+				{Name: "rip_off", Phrases: []string{
+					"a rip off", "outrageous", "not worth it", "far too expensive",
+					"not worth the money",
+				}},
+				{Name: "overpriced", Phrases: []string{
+					"overpriced", "steep", "pricey", "on the high side",
+				}},
+				{Name: "fair", Phrases: []string{
+					"fair", "reasonable", "ok", "decent", "moderate",
+				}},
+				{Name: "great_value", Phrases: []string{
+					"great value", "a bargain", "cheap and generous",
+					"worth every penny", "unbeatable prices",
+				}},
+			},
+		},
+		{
+			Name:        "cleanliness",
+			AspectTerms: []string{"tables", "restroom", "kitchen", "cutlery"},
+			MentionProb: 0.35,
+			Levels: []LevelSpec{
+				{Name: "dirty", Phrases: []string{
+					"dirty", "sticky", "grimy", "not clean at all", "filthy",
+					"far from spotless",
+				}},
+				{Name: "average", Phrases: []string{
+					"ok", "acceptable", "average", "fine",
+				}},
+				{Name: "spotless", Phrases: []string{
+					"spotless", "very clean", "immaculate", "gleaming",
+					"pristine",
+				}},
+			},
+		},
+		{
+			Name:        "portions",
+			AspectTerms: []string{"portions", "servings", "plates", "helpings"},
+			MentionProb: 0.4,
+			Levels: []LevelSpec{
+				{Name: "tiny", Phrases: []string{
+					"tiny", "minuscule", "laughably small", "not filling at all",
+				}},
+				{Name: "small", Phrases: []string{
+					"small", "modest", "on the small side", "far from generous",
+				}},
+				{Name: "decent", Phrases: []string{
+					"decent", "fair", "reasonable", "average",
+				}},
+				{Name: "generous", Phrases: []string{
+					"generous", "huge", "enormous", "more than enough",
+					"hearty",
+				}},
+			},
+		},
+		{
+			Name:        "speed",
+			AspectTerms: []string{"wait", "kitchen", "orders", "turnaround"},
+			MentionProb: 0.4,
+			Levels: []LevelSpec{
+				{Name: "glacial", Phrases: []string{
+					"glacial", "endless", "over an hour", "not quick at all",
+					"anything but fast",
+				}},
+				{Name: "slow", Phrases: []string{
+					"slow", "sluggish", "long", "far from prompt",
+				}},
+				{Name: "reasonable", Phrases: []string{
+					"reasonable", "ok", "average", "acceptable",
+				}},
+				{Name: "fast", Phrases: []string{
+					"fast", "quick", "prompt", "speedy", "efficient",
+				}},
+			},
+		},
+		{
+			Name:        "drinks",
+			AspectTerms: []string{"drinks", "cocktails", "sake", "wine list"},
+			MentionProb: 0.35,
+			Levels: []LevelSpec{
+				{Name: "poor", Phrases: []string{
+					"poor", "watered down", "limited", "not impressive at all",
+				}},
+				{Name: "basic", Phrases: []string{
+					"basic", "ordinary", "short", "unremarkable",
+				}},
+				{Name: "good", Phrases: []string{
+					"good", "solid", "nice", "well chosen",
+				}},
+				{Name: "excellent", Phrases: []string{
+					"excellent", "superb", "inventive", "outstanding",
+					"an amazing selection",
+				}},
+			},
+		},
+		{
+			Name:        "table",
+			AspectTerms: []string{"seating", "tables", "booths", "chairs"},
+			MentionProb: 0.3,
+			Levels: []LevelSpec{
+				{Name: "cramped", Phrases: []string{
+					"cramped", "packed in", "squeezed together",
+					"not comfortable at all",
+				}},
+				{Name: "tight", Phrases: []string{
+					"tight", "close together", "a bit cramped", "far from spacious",
+				}},
+				{Name: "fine", Phrases: []string{
+					"fine", "ok", "adequate", "average",
+				}},
+				{Name: "spacious", Phrases: []string{
+					"spacious", "comfortable", "roomy", "generous",
+					"high chair available for kids", "high chair",
+				}},
+			},
+		},
+	}
+}
+
+// RestaurantComposites returns the combination concepts of the restaurant
+// domain.
+func RestaurantComposites() []CompositeSpec {
+	return []CompositeSpec{
+		{
+			Name:    "romantic dinner",
+			Proxies: map[string]float64{"ambience": 0.75, "vibe": 0.7},
+			Phrases: []string{
+				"perfect for a romantic dinner", "ideal date night spot",
+				"so romantic", "took my partner for our anniversary",
+			},
+			MentionProb: 0.3,
+		},
+		{
+			Name:    "good for groups",
+			Proxies: map[string]float64{"table": 0.7, "portions": 0.65},
+			Phrases: []string{
+				"great for groups", "perfect for a big party",
+				"came with ten friends and fit easily",
+			},
+			MentionProb: 0.25,
+		},
+		{
+			Name:    "business lunch",
+			Proxies: map[string]float64{"speed": 0.7, "vibe": 0.65},
+			Phrases: []string{
+				"great for a business lunch", "perfect for a quick work meeting",
+				"ideal for a private dinner with clients",
+			},
+			MentionProb: 0.25,
+		},
+		{
+			Name:    "family outing",
+			Proxies: map[string]float64{"service": 0.7, "table": 0.65},
+			Phrases: []string{
+				"great with kids", "very family friendly",
+				"they were wonderful with our children",
+			},
+			MentionProb: 0.25,
+		},
+	}
+}
+
+// RestaurantFlags returns the out-of-schema amenities of the restaurant
+// domain, including the paper's "sunset view of Tokyo Tower"-style
+// example.
+func RestaurantFlags() []FlagSpec {
+	return []FlagSpec{
+		{
+			Name: "sunset_view",
+			Phrases: []string{
+				"beautiful sunset view from the terrace",
+				"watched the sunset over the skyline",
+				"the terrace has a stunning sunset view",
+			},
+			Prevalence:  0.08,
+			MentionProb: 0.2,
+		},
+		{
+			Name: "live_jazz",
+			Phrases: []string{
+				"live jazz on weekends", "a jazz trio plays on fridays",
+				"loved the live jazz band",
+			},
+			Prevalence:  0.1,
+			MentionProb: 0.2,
+		},
+		{
+			Name: "late_night",
+			Phrases: []string{
+				"open until two in the morning", "perfect after a late show",
+				"the kitchen serves until midnight", "open late into the night",
+			},
+			Prevalence:  0.12,
+			MentionProb: 0.2,
+		},
+	}
+}
+
+// restaurantFillers are objective sentences mixed into restaurant reviews.
+var restaurantFillers = []string{
+	"We came on a Friday evening around eight",
+	"The restaurant is on a side street near the market",
+	"We made a reservation two days before",
+	"They brought the menu right away",
+	"We ordered the tasting course and two appetizers",
+	"The place seats maybe forty people",
+	"We paid by card and split the bill",
+	"Street parking was easy to find",
+	"They have an english menu as well",
+	"We waited about five minutes for a table",
+	"The chef trained in osaka according to the menu",
+	"Our group ordered several dishes to share",
+}
+
+// restaurantRatingAttrs simulates yelp's filterable categorical attributes
+// used by the attribute-based baseline; each derives from a latent aspect
+// with the category cut at the given threshold.
+var restaurantCategoricalAttrs = []struct {
+	Name   string
+	Aspect string
+	Low    string // category when latent < threshold
+	High   string // category when latent >= threshold
+	Cut    float64
+}{
+	{"NoiseLevel", "vibe", "loud", "quiet", 0.6},
+	{"GoodForGroups", "table", "no", "yes", 0.6},
+	{"Ambience", "ambience", "casual", "classy", 0.65},
+	{"Attire", "ambience", "casual", "dressy", 0.75},
+	{"GoodForKids", "service", "no", "yes", 0.55},
+	{"OutdoorSeating", "table", "no", "yes", 0.7},
+	{"TakesReservations", "speed", "no", "yes", 0.5},
+	{"HasTV", "drinks", "no", "yes", 0.5},
+}

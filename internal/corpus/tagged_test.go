@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/extract"
+)
+
+func TestTaggedSplitHeldOutPhrases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, test := TaggedSplit(HotelAspects(), HotelFillers(), 400, 200, rng)
+	if len(train) != 400 || len(test) != 200 {
+		t.Fatalf("sizes = %d/%d", len(train), len(test))
+	}
+	// Collect opinion-span texts from both sides; the test side must use
+	// phrasings absent from training (the held-out 40%).
+	spanTexts := func(sents []extract.Sentence) map[string]bool {
+		out := map[string]bool{}
+		for _, s := range sents {
+			for _, sp := range extract.Spans(s.Tags) {
+				if sp.Tag == extract.OP {
+					out[sp.Text(s.Tokens)] = true
+				}
+			}
+		}
+		return out
+	}
+	trainOps := spanTexts(train)
+	testOps := spanTexts(test)
+	unseen := 0
+	for p := range testOps {
+		if !trainOps[p] {
+			unseen++
+		}
+	}
+	if unseen == 0 {
+		t.Error("no held-out phrasings in the test set; the split is not forcing generalization")
+	}
+}
+
+func TestTaggedSplitLabelNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trainA, _ := TaggedSplit(HotelAspects(), HotelFillers(), 400, 10, rng)
+	// Regenerate the same sentences without noise for comparison.
+	cleanRng := rand.New(rand.NewSource(2))
+	aspects := HotelAspects()
+	trainClean := func() []extract.Sentence {
+		trainAspects := make([]AspectSpec, len(aspects))
+		for i, a := range aspects {
+			ta := a
+			ta.AspectTerms = prefix(a.AspectTerms, 0.6)
+			ta.Levels = make([]LevelSpec, len(a.Levels))
+			for j, l := range a.Levels {
+				ta.Levels[j] = LevelSpec{Name: l.Name, Phrases: prefix(l.Phrases, 0.6)}
+			}
+			trainAspects[i] = ta
+		}
+		return TaggedFromAspects(trainAspects, HotelFillers(), 400, cleanRng)
+	}()
+	diff := 0
+	total := 0
+	for i := range trainA {
+		for j := range trainA[i].Tags {
+			total++
+			if trainA[i].Tags[j] != trainClean[i].Tags[j] {
+				diff++
+			}
+		}
+	}
+	frac := float64(diff) / float64(total)
+	// ~5% positions get a random (possibly unchanged) tag → observed
+	// change rate ~3.3%; accept a broad band.
+	if frac < 0.01 || frac > 0.08 {
+		t.Errorf("label-noise rate %.3f outside expected band", frac)
+	}
+}
+
+func TestPrefixHelper(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	if got := prefix(items, 0.5); len(got) != 2 {
+		t.Errorf("prefix(4, 0.5) = %v", got)
+	}
+	if got := prefix(items, 0.01); len(got) != 1 {
+		t.Errorf("prefix should keep at least one item: %v", got)
+	}
+	if got := prefix(items, 2.0); len(got) != 4 {
+		t.Errorf("prefix should clamp: %v", got)
+	}
+}
+
+func TestTaggedFromAspectsDefaultFillers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sents := TaggedFromAspects(LaptopAspects(), nil, 50, rng)
+	if len(sents) != 50 {
+		t.Fatalf("got %d", len(sents))
+	}
+	for _, s := range sents {
+		if len(s.Tokens) == 0 || len(s.Tokens) != len(s.Tags) {
+			t.Fatal("malformed sentence")
+		}
+	}
+}
+
+func TestLaptopAspectsShape(t *testing.T) {
+	aspects := LaptopAspects()
+	if len(aspects) < 4 {
+		t.Fatalf("only %d laptop aspects", len(aspects))
+	}
+	for _, a := range aspects {
+		if len(a.AspectTerms) == 0 || len(a.Levels) < 2 {
+			t.Errorf("aspect %s underspecified", a.Name)
+		}
+		for _, l := range a.Levels {
+			if len(l.Phrases) == 0 {
+				t.Errorf("aspect %s level %s has no phrases", a.Name, l.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package embedding implements word2vec (skip-gram with negative sampling)
+// and the IDF-weighted phrase representation of the paper (Eq. 1):
+//
+//	rep(p) = Σ_{w∈p} w2v(w) · idf(w)
+//
+// with phrase closeness measured by cosine similarity (Eq. 2). The paper
+// trains word2vec on the review corpus itself so that domain-specific
+// synonyms ("suite" ≈ "room") are captured; we do the same.
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Vector is a dense word embedding.
+type Vector []float64
+
+// Dot returns the inner product of v and o. The two vectors must have the
+// same dimensionality.
+func (v Vector) Dot(o Vector) float64 {
+	var s float64
+	for i := range v {
+		s += v[i] * o[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Cosine returns the cosine similarity of a and b, or 0 if either is a zero
+// vector.
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}
+
+// Add accumulates o into v in place.
+func (v Vector) Add(o Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Scale multiplies v by f in place.
+func (v Vector) Scale(f float64) {
+	for i := range v {
+		v[i] *= f
+	}
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// TrainConfig controls SGNS training.
+type TrainConfig struct {
+	Dim       int     // embedding dimensionality
+	Window    int     // context window radius
+	Negatives int     // negative samples per positive pair
+	Epochs    int     // passes over the corpus
+	LR        float64 // initial learning rate, linearly decayed
+	MinCount  int     // discard words rarer than this
+}
+
+// DefaultTrainConfig returns the configuration used in the experiments:
+// small dimensionality keeps training fast while preserving the synonym
+// structure the interpreter needs.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Dim: 48, Window: 4, Negatives: 5, Epochs: 3, LR: 0.05, MinCount: 2}
+}
+
+// Model holds trained word vectors plus the corpus IDF statistics needed
+// for phrase representations.
+type Model struct {
+	dim   int
+	vecs  map[string]Vector
+	stats *textproc.CorpusStats
+}
+
+// Dim returns the dimensionality of the model's vectors.
+func (m *Model) Dim() int { return m.dim }
+
+// Has reports whether word has a vector.
+func (m *Model) Has(word string) bool {
+	_, ok := m.vecs[word]
+	return ok
+}
+
+// Vec returns the vector for word, or nil if the word is out of vocabulary.
+func (m *Model) Vec(word string) Vector { return m.vecs[word] }
+
+// Vocab returns all in-vocabulary words in unspecified order.
+func (m *Model) Vocab() []string {
+	out := make([]string, 0, len(m.vecs))
+	for w := range m.vecs {
+		out = append(out, w)
+	}
+	return out
+}
+
+// IDF exposes the corpus IDF used in phrase representations.
+func (m *Model) IDF(word string) float64 { return m.stats.IDF(word) }
+
+// Rep computes the IDF-weighted phrase representation of Eq. 1 for an
+// arbitrary phrase. Stopwords and out-of-vocabulary words contribute
+// nothing. The zero vector is returned for fully unknown phrases.
+func (m *Model) Rep(phrase string) Vector {
+	return m.RepTokens(textproc.Tokenize(phrase))
+}
+
+// repIDFCap bounds a single word's weight in a phrase representation, and
+// repTrainedCount is the occurrence count at which a word's vector is
+// considered fully trained. Ultra-rare words have the least-trained,
+// noisiest vectors yet the highest IDF; an uncapped Eq. 1 lets one such
+// word contribute most of the phrase mass and destroy the similarity to
+// otherwise-identical variations ("serves delicious food" must still
+// match "food delicious" when "serves" was seen a dozen times).
+const (
+	repIDFCap       = 4.0
+	repTrainedCount = 50
+)
+
+// RepTokens is Rep over pre-tokenized input.
+func (m *Model) RepTokens(tokens []string) Vector {
+	rep := make(Vector, m.dim)
+	for _, w := range tokens {
+		if textproc.IsStopword(w) {
+			continue
+		}
+		v, ok := m.vecs[w]
+		if !ok {
+			continue
+		}
+		idf := m.stats.IDF(w)
+		if idf > repIDFCap {
+			idf = repIDFCap
+		}
+		if cnt := m.stats.TermCount(w); cnt < repTrainedCount {
+			idf *= float64(cnt) / repTrainedCount
+		}
+		for i := range rep {
+			rep[i] += v[i] * idf
+		}
+	}
+	return rep
+}
+
+// Similarity returns the Eq. 2 cosine similarity of two phrases.
+func (m *Model) Similarity(a, b string) float64 {
+	return Cosine(m.Rep(a), m.Rep(b))
+}
+
+// Neighbor is a word with its cosine similarity to a query.
+type Neighbor struct {
+	Word string
+	Sim  float64
+}
+
+// MostSimilar returns the k in-vocabulary words most similar to phrase,
+// excluding the phrase's own tokens. Used for seed expansion (§4.2).
+func (m *Model) MostSimilar(phrase string, k int) []Neighbor {
+	rep := m.Rep(phrase)
+	if rep.Norm() == 0 || k <= 0 {
+		return nil
+	}
+	exclude := make(map[string]bool)
+	for _, t := range textproc.Tokenize(phrase) {
+		exclude[t] = true
+	}
+	out := make([]Neighbor, 0, len(m.vecs))
+	for w, v := range m.vecs {
+		if exclude[w] {
+			continue
+		}
+		out = append(out, Neighbor{Word: w, Sim: Cosine(rep, v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Word < out[j].Word
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Train learns SGNS vectors over the token streams in docs. The rng makes
+// training deterministic for a fixed seed. Stats must be the corpus
+// statistics computed over the same documents (it supplies IDF weights and
+// the vocabulary cut).
+func Train(docs [][]string, stats *textproc.CorpusStats, cfg TrainConfig, rng *rand.Rand) (*Model, error) {
+	if cfg.Dim <= 0 || cfg.Window <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("embedding: invalid config %+v", cfg)
+	}
+	vocabList := stats.Vocabulary(cfg.MinCount)
+	sort.Strings(vocabList) // determinism
+	if len(vocabList) == 0 {
+		return nil, fmt.Errorf("embedding: empty vocabulary")
+	}
+	index := make(map[string]int, len(vocabList))
+	for i, w := range vocabList {
+		index[w] = i
+	}
+	V := len(vocabList)
+
+	// Input and output embedding matrices, flat for locality.
+	in := make([]float64, V*cfg.Dim)
+	out := make([]float64, V*cfg.Dim)
+	for i := range in {
+		in[i] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	// Unigram^0.75 negative sampling table.
+	table := buildUnigramTable(vocabList, stats, rng)
+
+	// Pre-index documents; drop OOV and stopwords (standard practice:
+	// stopwords dilute context windows).
+	encoded := make([][]int, 0, len(docs))
+	var totalTokens int
+	for _, doc := range docs {
+		enc := make([]int, 0, len(doc))
+		for _, w := range doc {
+			if textproc.IsStopword(w) {
+				continue
+			}
+			if id, ok := index[w]; ok {
+				enc = append(enc, id)
+			}
+		}
+		if len(enc) > 1 {
+			encoded = append(encoded, enc)
+			totalTokens += len(enc)
+		}
+	}
+	if totalTokens == 0 {
+		return nil, fmt.Errorf("embedding: no trainable tokens")
+	}
+
+	totalSteps := float64(cfg.Epochs * totalTokens)
+	step := 0.0
+	grad := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Shuffle document order each epoch.
+		perm := rng.Perm(len(encoded))
+		for _, di := range perm {
+			doc := encoded[di]
+			for pos, center := range doc {
+				step++
+				lr := cfg.LR * (1 - step/totalSteps)
+				if lr < cfg.LR*0.0001 {
+					lr = cfg.LR * 0.0001
+				}
+				w := 1 + rng.Intn(cfg.Window)
+				lo, hi := pos-w, pos+w
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(doc) {
+					hi = len(doc) - 1
+				}
+				cBase := center * cfg.Dim
+				for cpos := lo; cpos <= hi; cpos++ {
+					if cpos == pos {
+						continue
+					}
+					ctx := doc[cpos]
+					// Positive pair + negatives.
+					for i := range grad {
+						grad[i] = 0
+					}
+					trainPair(in[cBase:cBase+cfg.Dim], out, ctx*cfg.Dim, cfg.Dim, 1, lr, grad)
+					for n := 0; n < cfg.Negatives; n++ {
+						neg := table[rng.Intn(len(table))]
+						if neg == ctx {
+							continue
+						}
+						trainPair(in[cBase:cBase+cfg.Dim], out, neg*cfg.Dim, cfg.Dim, 0, lr, grad)
+					}
+					for i := 0; i < cfg.Dim; i++ {
+						in[cBase+i] += grad[i]
+					}
+				}
+			}
+		}
+	}
+
+	vecs := make(map[string]Vector, V)
+	for w, id := range index {
+		v := make(Vector, cfg.Dim)
+		copy(v, in[id*cfg.Dim:(id+1)*cfg.Dim])
+		vecs[w] = v
+	}
+	centerVectors(vecs, cfg.Dim)
+	return &Model{dim: cfg.Dim, vecs: vecs, stats: stats}, nil
+}
+
+// centerVectors removes the common component from every vector
+// ("all-but-the-top" post-processing) and L2-normalizes the result.
+// Raw SGNS vectors share a large common direction that drives all pairwise
+// cosines toward 1, and rare words receive few updates and end up with
+// tiny norms that vanish inside IDF-weighted phrase sums.
+//
+// The common component is removed as a projection onto the mean direction
+// rather than by subtracting the mean itself: under-trained vectors are
+// nearly orthogonal to the mean, so projection removal leaves them
+// untouched, whereas full subtraction would replace every small vector
+// with −mean and make all rare words spuriously parallel.
+func centerVectors(vecs map[string]Vector, dim int) {
+	words := make([]string, 0, len(vecs))
+	for w := range vecs {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic float summation order
+	mean := make(Vector, dim)
+	for _, w := range words {
+		mean.Add(vecs[w])
+	}
+	if n := mean.Norm(); n > 0 {
+		mean.Scale(1 / n) // unit common direction
+	}
+	for _, w := range words {
+		v := vecs[w]
+		proj := v.Dot(mean)
+		for i := range v {
+			v[i] -= proj * mean[i]
+		}
+		if n := v.Norm(); n > 0 {
+			v.Scale(1 / n)
+		}
+	}
+}
+
+// trainPair applies one SGD step for (center, target) with the given label
+// (1 = positive, 0 = negative). The center gradient is accumulated into
+// grad; the output vector is updated in place.
+func trainPair(center []float64, out []float64, tBase, dim int, label float64, lr float64, grad []float64) {
+	var dot float64
+	for i := 0; i < dim; i++ {
+		dot += center[i] * out[tBase+i]
+	}
+	g := (label - sigmoid(dot)) * lr
+	for i := 0; i < dim; i++ {
+		grad[i] += g * out[tBase+i]
+		out[tBase+i] += g * center[i]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// buildUnigramTable constructs the standard unigram^0.75 sampling table.
+func buildUnigramTable(vocab []string, stats *textproc.CorpusStats, rng *rand.Rand) []int {
+	const tableSize = 1 << 16
+	pow := make([]float64, len(vocab))
+	var total float64
+	for i, w := range vocab {
+		pow[i] = math.Pow(float64(stats.TermCount(w)), 0.75)
+		total += pow[i]
+	}
+	table := make([]int, 0, tableSize)
+	for i := range vocab {
+		n := int(pow[i] / total * tableSize)
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			table = append(table, i)
+		}
+	}
+	// Shuffle for cheap uniform sampling by index.
+	rng.Shuffle(len(table), func(i, j int) { table[i], table[j] = table[j], table[i] })
+	return table
+}
+
+// NewModelFromVectors builds a Model directly from precomputed vectors;
+// used by tests and by the substitution index which needs small synthetic
+// models.
+func NewModelFromVectors(vecs map[string]Vector, stats *textproc.CorpusStats) (*Model, error) {
+	dim := -1
+	for _, v := range vecs {
+		if dim == -1 {
+			dim = len(v)
+		} else if len(v) != dim {
+			return nil, fmt.Errorf("embedding: inconsistent vector dims")
+		}
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("embedding: no vectors")
+	}
+	return &Model{dim: dim, vecs: vecs, stats: stats}, nil
+}

@@ -1,0 +1,305 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/textproc"
+)
+
+// synonymCorpus builds a tiny corpus in which "clean"/"spotless" and
+// "dirty"/"filthy" appear in interchangeable contexts, so SGNS must place
+// synonyms near each other and antonym pairs in different contexts apart.
+func synonymCorpus() ([][]string, *textproc.CorpusStats) {
+	sentences := []string{
+		"room clean fresh towels smelled lovely",
+		"room spotless fresh towels smelled lovely",
+		"room clean bed made towels folded",
+		"room spotless bed made towels folded",
+		"room dirty stains carpet smelled bad",
+		"room filthy stains carpet smelled bad",
+		"room dirty dust floor never vacuumed",
+		"room filthy dust floor never vacuumed",
+		"breakfast tasty eggs coffee croissant",
+		"breakfast delicious eggs coffee croissant",
+		"breakfast tasty pastries juice buffet",
+		"breakfast delicious pastries juice buffet",
+	}
+	var docs [][]string
+	stats := textproc.NewCorpusStats()
+	for i := 0; i < 25; i++ { // replicate for enough training signal
+		for _, s := range sentences {
+			toks := textproc.Tokenize(s)
+			docs = append(docs, toks)
+			stats.AddDocument(toks)
+		}
+	}
+	return docs, stats
+}
+
+func trainTest(t *testing.T) *Model {
+	t.Helper()
+	docs, stats := synonymCorpus()
+	cfg := DefaultTrainConfig()
+	cfg.Dim = 24
+	cfg.Epochs = 8
+	m, err := Train(docs, stats, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m
+}
+
+func TestTrainCapturesSynonyms(t *testing.T) {
+	m := trainTest(t)
+	synA := Cosine(m.Vec("clean"), m.Vec("spotless"))
+	synB := Cosine(m.Vec("dirty"), m.Vec("filthy"))
+	cross := Cosine(m.Vec("clean"), m.Vec("breakfast"))
+	if synA < 0.4 {
+		t.Errorf("clean~spotless similarity %v too low", synA)
+	}
+	if synB < 0.4 {
+		t.Errorf("dirty~filthy similarity %v too low", synB)
+	}
+	if synA <= cross {
+		t.Errorf("synonym sim %v should exceed cross-topic sim %v", synA, cross)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	docs, stats := synonymCorpus()
+	cfg := DefaultTrainConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 2
+	m1, err := Train(docs, stats, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(docs, stats, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"clean", "dirty", "breakfast"} {
+		v1, v2 := m1.Vec(w), m2.Vec(w)
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("nondeterministic training for %q at dim %d", w, i)
+			}
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	stats := textproc.NewCorpusStats()
+	if _, err := Train(nil, stats, DefaultTrainConfig(), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty corpus should error")
+	}
+	docs := [][]string{{"a", "b"}}
+	stats.AddDocument(docs[0])
+	bad := DefaultTrainConfig()
+	bad.Dim = 0
+	if _, err := Train(docs, stats, bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero dim should error")
+	}
+}
+
+func TestRepIDFWeighting(t *testing.T) {
+	// "spotless" rarer than "clean" → higher IDF → more weight (§3.2).
+	// Both words appear often enough (>= repTrainedCount) for their
+	// vectors to count as trained.
+	stats := textproc.NewCorpusStats()
+	for i := 0; i < 300; i++ {
+		doc := []string{"clean"}
+		if i < 60 {
+			doc = append(doc, "spotless")
+		}
+		stats.AddDocument(doc)
+	}
+	vecs := map[string]Vector{
+		"clean":    {1, 0},
+		"spotless": {0, 1},
+	}
+	m, err := NewModelFromVectors(vecs, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Rep("clean spotless")
+	if rep[1] <= rep[0] {
+		t.Errorf("rarer word should get more weight: rep=%v", rep)
+	}
+}
+
+func TestRepDownWeightsUndertrainedWords(t *testing.T) {
+	// A word seen a handful of times must not dominate the phrase rep no
+	// matter how high its IDF is.
+	stats := textproc.NewCorpusStats()
+	for i := 0; i < 500; i++ {
+		doc := []string{"delicious", "food"}
+		if i < 5 {
+			doc = append(doc, "serves")
+		}
+		stats.AddDocument(doc)
+	}
+	vecs := map[string]Vector{
+		"delicious": {1, 0},
+		"food":      {0.9, 0.1},
+		"serves":    {0, 1}, // noise direction
+	}
+	m, err := NewModelFromVectors(vecs, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := m.Rep("serves delicious food")
+	without := m.Rep("delicious food")
+	if sim := Cosine(with, without); sim < 0.9 {
+		t.Errorf("under-trained word dominated the rep: cos=%v", sim)
+	}
+}
+
+func TestRepSkipsStopwordsAndOOV(t *testing.T) {
+	m := trainTest(t)
+	a := m.Rep("the clean room")
+	b := m.Rep("clean room")
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("stopword changed rep at dim %d", i)
+		}
+	}
+	zero := m.Rep("zzzunknown qqqword")
+	if zero.Norm() != 0 {
+		t.Errorf("fully-OOV phrase should have zero rep, norm=%v", zero.Norm())
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	m := trainTest(t)
+	phrases := []string{"clean room", "dirty carpet", "tasty breakfast", "spotless"}
+	for _, a := range phrases {
+		for _, b := range phrases {
+			if d := math.Abs(m.Similarity(a, b) - m.Similarity(b, a)); d > 1e-12 {
+				t.Errorf("similarity not symmetric for (%q,%q): diff %v", a, b, d)
+			}
+		}
+	}
+	if s := m.Similarity("clean room", "clean room"); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self-similarity = %v, want 1", s)
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	m := trainTest(t)
+	nbrs := m.MostSimilar("clean", 3)
+	if len(nbrs) != 3 {
+		t.Fatalf("got %d neighbors", len(nbrs))
+	}
+	if nbrs[0].Word == "clean" {
+		t.Error("query word must be excluded")
+	}
+	found := false
+	for _, n := range nbrs {
+		if n.Word == "spotless" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("'spotless' should be a top-3 neighbor of 'clean': %v", nbrs)
+	}
+	// Sorted descending.
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i].Sim > nbrs[i-1].Sim {
+			t.Error("neighbors not sorted by similarity")
+		}
+	}
+	if got := m.MostSimilar("zzzunknown", 3); got != nil {
+		t.Errorf("OOV query should return nil, got %v", got)
+	}
+	if got := m.MostSimilar("clean", 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{3, 4}
+	if a.Norm() != 5 {
+		t.Errorf("Norm = %v", a.Norm())
+	}
+	b := Vector{1, 0}
+	if a.Dot(b) != 3 {
+		t.Errorf("Dot = %v", a.Dot(b))
+	}
+	c := a.Clone()
+	c.Scale(2)
+	if a[0] != 3 || c[0] != 6 {
+		t.Error("Clone/Scale aliasing bug")
+	}
+	c.Add(b)
+	if c[0] != 7 {
+		t.Errorf("Add: %v", c)
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		// Map arbitrary floats into a bounded range to avoid overflow to
+		// Inf in the dot product, which is outside Cosine's domain.
+		vals := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0.5
+			}
+			vals[i] = math.Mod(x, 100)
+		}
+		n := len(vals) / 2
+		a, b := Vector(vals[:n]), Vector(vals[n:2*n])
+		c := Cosine(a, b)
+		if math.IsNaN(c) || c < -1.0000001 || c > 1.0000001 {
+			return false
+		}
+		// scale invariance
+		a2 := a.Clone()
+		a2.Scale(3)
+		c2 := Cosine(a2, b)
+		return math.Abs(c-c2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	if c := Cosine(Vector{0, 0}, Vector{1, 2}); c != 0 {
+		t.Errorf("zero-vector cosine = %v, want 0", c)
+	}
+}
+
+func TestNewModelFromVectorsValidation(t *testing.T) {
+	stats := textproc.NewCorpusStats()
+	if _, err := NewModelFromVectors(map[string]Vector{}, stats); err == nil {
+		t.Error("empty vectors should error")
+	}
+	bad := map[string]Vector{"a": {1, 2}, "b": {1}}
+	if _, err := NewModelFromVectors(bad, stats); err == nil {
+		t.Error("inconsistent dims should error")
+	}
+}
+
+func TestVocabAndAccessors(t *testing.T) {
+	m := trainTest(t)
+	if m.Dim() != 24 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+	if !m.Has("clean") || m.Has("zzz") {
+		t.Error("Has misbehaves")
+	}
+	if len(m.Vocab()) == 0 {
+		t.Error("empty vocab")
+	}
+	if m.IDF("clean") <= 0 {
+		t.Error("IDF should be positive")
+	}
+}

@@ -1,0 +1,69 @@
+package extract
+
+// F1Scores holds the extraction-quality metrics of Table 6: per-tag span
+// F1 for aspect terms and opinion terms, and their average (the paper's
+// "combined F1 score").
+type F1Scores struct {
+	Aspect   float64
+	Opinion  float64
+	Combined float64
+}
+
+// spanKey identifies a span within a sentence for exact matching; the
+// paper counts a term correct "only when the extracted term matches
+// exactly with the ground truth term".
+type spanKey struct {
+	sent, start, end int
+	tag              Tag
+}
+
+// EvaluateTagger computes span-exact F1 of a tagger against gold sentences.
+func EvaluateTagger(tagger Tagger, gold []Sentence) F1Scores {
+	var tpAS, fpAS, fnAS int
+	var tpOP, fpOP, fnOP int
+	for si, s := range gold {
+		pred := tagger.Tag(s.Tokens)
+		goldSet := make(map[spanKey]bool)
+		for _, sp := range Spans(s.Tags) {
+			goldSet[spanKey{si, sp.Start, sp.End, sp.Tag}] = true
+		}
+		predSet := make(map[spanKey]bool)
+		for _, sp := range Spans(pred) {
+			predSet[spanKey{si, sp.Start, sp.End, sp.Tag}] = true
+		}
+		for k := range predSet {
+			if goldSet[k] {
+				if k.tag == AS {
+					tpAS++
+				} else {
+					tpOP++
+				}
+			} else {
+				if k.tag == AS {
+					fpAS++
+				} else {
+					fpOP++
+				}
+			}
+		}
+		for k := range goldSet {
+			if !predSet[k] {
+				if k.tag == AS {
+					fnAS++
+				} else {
+					fnOP++
+				}
+			}
+		}
+	}
+	f1 := func(tp, fp, fn int) float64 {
+		if tp == 0 {
+			return 0
+		}
+		p := float64(tp) / float64(tp+fp)
+		r := float64(tp) / float64(tp+fn)
+		return 2 * p * r / (p + r)
+	}
+	a, o := f1(tpAS, fpAS, fnAS), f1(tpOP, fpOP, fnOP)
+	return F1Scores{Aspect: a, Opinion: o, Combined: (a + o) / 2}
+}

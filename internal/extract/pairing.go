@@ -1,0 +1,221 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/classify"
+)
+
+// Pairer links tagged aspect spans to opinion spans, producing the
+// extracted opinions of a sentence.
+type Pairer interface {
+	// Pair returns the (aspect, opinion) pairs for a tagged sentence.
+	Pair(tokens []string, tags []Tag) []Opinion
+}
+
+// RulePairer is the unsupervised pairing model of Appendix C: linked
+// aspect and opinion terms are usually close to each other, so it greedily
+// links each opinion span to the nearest unconsumed aspect span by token
+// distance (our stand-in for parse-tree distance).
+type RulePairer struct{}
+
+// Pair implements Pairer.
+func (RulePairer) Pair(tokens []string, tags []Tag) []Opinion {
+	spans := Spans(tags)
+	var aspects, opinions []Span
+	for _, s := range spans {
+		switch s.Tag {
+		case AS:
+			aspects = append(aspects, s)
+		case OP:
+			opinions = append(opinions, s)
+		}
+	}
+	if len(opinions) == 0 {
+		return nil
+	}
+	// Greedy: process candidate links in increasing distance order; each
+	// aspect may serve multiple opinions but each opinion links once.
+	// Aspects that FOLLOW their opinion are penalized: "bed was too soft,
+	// bathroom ..." must link "too soft" to the preceding "bed", not the
+	// adjacent-but-following "bathroom". This positional preference is the
+	// surface-order analogue of the parse-tree distance in Appendix C.
+	const followPenalty = 2
+	type link struct {
+		op, as int
+		dist   int
+	}
+	var links []link
+	for oi, o := range opinions {
+		for ai, a := range aspects {
+			d := spanDist(o, a)
+			if a.Start > o.Start {
+				d += followPenalty
+			}
+			links = append(links, link{op: oi, as: ai, dist: d})
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].dist != links[j].dist {
+			return links[i].dist < links[j].dist
+		}
+		if links[i].op != links[j].op {
+			return links[i].op < links[j].op
+		}
+		return links[i].as < links[j].as
+	})
+	chosen := make(map[int]int) // opinion index → aspect index
+	for _, l := range links {
+		if _, done := chosen[l.op]; !done {
+			chosen[l.op] = l.as
+		}
+	}
+	out := make([]Opinion, 0, len(opinions))
+	for oi, o := range opinions {
+		op := Opinion{Phrase: o.Text(tokens), PhraseSpan: o}
+		if ai, ok := chosen[oi]; ok {
+			op.Aspect = aspects[ai].Text(tokens)
+			op.AspectSpan = aspects[ai]
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// spanDist is the token gap between two spans (0 if adjacent/overlapping).
+func spanDist(a, b Span) int {
+	switch {
+	case a.End <= b.Start:
+		return b.Start - a.End
+	case b.End <= a.Start:
+		return a.Start - b.End
+	default:
+		return 0
+	}
+}
+
+// LearnedPairer is the supervised pairing model of Appendix C: a binary
+// classifier over candidate (aspect span, opinion span) pairs. The paper
+// fine-tunes BERT on 1,000 sentence-phrase pairs reaching 83.87% accuracy;
+// we train logistic regression over positional features of the candidate
+// pair, which captures the same "distance on the sentence" signal.
+type LearnedPairer struct {
+	model *classify.LogReg
+}
+
+// PairExample is a labeled candidate pair for training the LearnedPairer.
+type PairExample struct {
+	Tokens  []string
+	Aspect  Span
+	Opinion Span
+	Linked  bool
+}
+
+// pairFeatures builds the feature vector for a candidate pair.
+func pairFeatures(tokens []string, aspect, opinion Span) []float64 {
+	dist := float64(spanDist(aspect, opinion))
+	order := 0.0 // aspect precedes opinion ("bed was soft")
+	if aspect.Start <= opinion.Start {
+		order = 1.0
+	}
+	commaBetween := 0.0
+	lo, hi := aspect.End, opinion.Start
+	if opinion.End <= aspect.Start {
+		lo, hi = opinion.End, aspect.Start
+	}
+	for i := lo; i < hi && i < len(tokens); i++ {
+		if tokens[i] == "," || tokens[i] == "and" || tokens[i] == "but" {
+			commaBetween = 1.0
+		}
+	}
+	adjacent := 0.0
+	if dist <= 1 {
+		adjacent = 1.0
+	}
+	return []float64{dist, dist * dist / 10, order, commaBetween, adjacent}
+}
+
+// TrainLearnedPairer fits the supervised pairer on labeled candidates.
+func TrainLearnedPairer(examples []PairExample, rng *rand.Rand) (*LearnedPairer, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("extract: no pairing examples")
+	}
+	train := make([]classify.Example, len(examples))
+	for i, ex := range examples {
+		label := 0
+		if ex.Linked {
+			label = 1
+		}
+		train[i] = classify.Example{
+			Features: pairFeatures(ex.Tokens, ex.Aspect, ex.Opinion),
+			Label:    label,
+		}
+	}
+	m, err := classify.TrainLogReg(train, classify.DefaultLogRegConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return &LearnedPairer{model: m}, nil
+}
+
+// Accuracy evaluates the pairer's link/no-link decisions on examples.
+func (lp *LearnedPairer) Accuracy(examples []PairExample) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		want := 0
+		if ex.Linked {
+			want = 1
+		}
+		if lp.model.Predict(pairFeatures(ex.Tokens, ex.Aspect, ex.Opinion)) == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// Pair implements Pairer: each opinion span links to the aspect span with
+// the highest link probability, provided it clears 0.5.
+func (lp *LearnedPairer) Pair(tokens []string, tags []Tag) []Opinion {
+	spans := Spans(tags)
+	var aspects, opinions []Span
+	for _, s := range spans {
+		switch s.Tag {
+		case AS:
+			aspects = append(aspects, s)
+		case OP:
+			opinions = append(opinions, s)
+		}
+	}
+	out := make([]Opinion, 0, len(opinions))
+	for _, o := range opinions {
+		op := Opinion{Phrase: o.Text(tokens), PhraseSpan: o}
+		bestP := 0.5
+		for _, a := range aspects {
+			if p := lp.model.Prob(pairFeatures(tokens, a, o)); p > bestP {
+				bestP = p
+				op.Aspect = a.Text(tokens)
+				op.AspectSpan = a
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Extractor bundles a tagger and pairer into the full two-stage pipeline
+// of Figure 6.
+type Extractor struct {
+	Tagger Tagger
+	Pairer Pairer
+}
+
+// Extract runs tagging then pairing on one tokenized sentence.
+func (e *Extractor) Extract(tokens []string) []Opinion {
+	tags := e.Tagger.Tag(tokens)
+	return e.Pairer.Pair(tokens, tags)
+}

@@ -1,0 +1,232 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/sentiment"
+	"repro/internal/textproc"
+)
+
+// PerceptronTagger is an averaged structured perceptron sequence tagger
+// with first-order (tag bigram) transitions and Viterbi decoding. It fills
+// the architectural role of the paper's BERT+BiLSTM+CRF extractor: a
+// supervised tagger trained on a small labeled set, with the CRF's global
+// decoding replaced by Viterbi over perceptron scores.
+type PerceptronTagger struct {
+	// weights maps feature → per-tag score contributions.
+	weights map[string][NumTags]float64
+	// trans[i][j] scores the transition from tag i to tag j.
+	trans [NumTags][NumTags]float64
+}
+
+// TrainPerceptron trains on labeled sentences for the given number of
+// epochs, shuffling with rng, and returns the averaged model. Averaging
+// (Collins 2002) is what makes the small-training-set behaviour in Table 6
+// stable.
+func TrainPerceptron(train []Sentence, epochs int, rng *rand.Rand) (*PerceptronTagger, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("extract: no training sentences")
+	}
+	for i, s := range train {
+		if len(s.Tokens) != len(s.Tags) {
+			return nil, fmt.Errorf("extract: sentence %d has %d tokens but %d tags",
+				i, len(s.Tokens), len(s.Tags))
+		}
+	}
+	if epochs <= 0 {
+		epochs = 5
+	}
+
+	cur := &PerceptronTagger{weights: make(map[string][NumTags]float64)}
+	// Accumulators for weight averaging: total[f] holds the running sum of
+	// weights over all updates, tracked lazily via timestamps.
+	totals := make(map[string][NumTags]float64)
+	stamps := make(map[string]int)
+	var transTotals [NumTags][NumTags]float64
+	var transStamps [NumTags][NumTags]int
+	step := 0
+
+	touchFeat := func(f string) {
+		if last, ok := stamps[f]; ok && last < step {
+			w := cur.weights[f]
+			tot := totals[f]
+			for t := 0; t < NumTags; t++ {
+				tot[t] += float64(step-last) * w[t]
+			}
+			totals[f] = tot
+		}
+		stamps[f] = step
+	}
+	touchTrans := func(i, j int) {
+		if last := transStamps[i][j]; last < step {
+			transTotals[i][j] += float64(step-last) * cur.trans[i][j]
+		}
+		transStamps[i][j] = step
+	}
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		perm := rng.Perm(len(train))
+		for _, si := range perm {
+			s := train[si]
+			if len(s.Tokens) == 0 {
+				continue
+			}
+			step++
+			pred := cur.Tag(s.Tokens)
+			// Update on every mistagged position (token features) and every
+			// wrong transition.
+			prevGold, prevPred := -1, -1
+			for i := range s.Tokens {
+				g, p := int(s.Tags[i]), int(pred[i])
+				if g != p {
+					for _, f := range features(s.Tokens, i) {
+						touchFeat(f)
+						w := cur.weights[f]
+						w[g]++
+						w[p]--
+						cur.weights[f] = w
+					}
+				}
+				if prevGold >= 0 && (prevGold != prevPred || g != p) {
+					touchTrans(prevGold, g)
+					cur.trans[prevGold][g]++
+					touchTrans(prevPred, p)
+					cur.trans[prevPred][p]--
+				}
+				prevGold, prevPred = g, p
+			}
+		}
+	}
+
+	// Finalize averaging.
+	step++
+	avg := &PerceptronTagger{weights: make(map[string][NumTags]float64, len(cur.weights))}
+	for f, w := range cur.weights {
+		tot := totals[f]
+		last := stamps[f]
+		for t := 0; t < NumTags; t++ {
+			tot[t] += float64(step-last) * w[t]
+			tot[t] /= float64(step)
+		}
+		avg.weights[f] = tot
+	}
+	for i := 0; i < NumTags; i++ {
+		for j := 0; j < NumTags; j++ {
+			tot := transTotals[i][j] + float64(step-transStamps[i][j])*cur.trans[i][j]
+			avg.trans[i][j] = tot / float64(step)
+		}
+	}
+	return avg, nil
+}
+
+// Tag implements Tagger via Viterbi decoding over the learned scores.
+func (p *PerceptronTagger) Tag(tokens []string) []Tag {
+	n := len(tokens)
+	if n == 0 {
+		return nil
+	}
+	// Emission scores.
+	emit := make([][NumTags]float64, n)
+	for i := range tokens {
+		for _, f := range features(tokens, i) {
+			if w, ok := p.weights[f]; ok {
+				for t := 0; t < NumTags; t++ {
+					emit[i][t] += w[t]
+				}
+			}
+		}
+	}
+	// Viterbi.
+	var prev [NumTags]float64
+	back := make([][NumTags]int, n)
+	for t := 0; t < NumTags; t++ {
+		prev[t] = emit[0][t]
+	}
+	for i := 1; i < n; i++ {
+		var next [NumTags]float64
+		for t := 0; t < NumTags; t++ {
+			bestS, bestFrom := prev[0]+p.trans[0][t], 0
+			for from := 1; from < NumTags; from++ {
+				if s := prev[from] + p.trans[from][t]; s > bestS {
+					bestS, bestFrom = s, from
+				}
+			}
+			next[t] = bestS + emit[i][t]
+			back[i][t] = bestFrom
+		}
+		prev = next
+	}
+	best := 0
+	for t := 1; t < NumTags; t++ {
+		if prev[t] > prev[best] {
+			best = t
+		}
+	}
+	tags := make([]Tag, n)
+	tags[n-1] = Tag(best)
+	for i := n - 1; i > 0; i-- {
+		best = back[i][best]
+		tags[i-1] = Tag(best)
+	}
+	return tags
+}
+
+// features returns the feature strings for position i. The templates mirror
+// classic CRF tagging features: identity and shape of the token and its
+// neighbours, affixes, and lexicon indicators.
+func features(tokens []string, i int) []string {
+	w := tokens[i]
+	out := make([]string, 0, 16)
+	out = append(out, "w="+w)
+	if len(w) >= 3 {
+		out = append(out, "pre3="+w[:3], "suf3="+w[len(w)-3:])
+	}
+	if _, isOp := sentiment.Valence(w); isOp {
+		out = append(out, "lex=op")
+	}
+	if sentiment.IsIntensifier(w) {
+		out = append(out, "lex=int")
+	}
+	if sentiment.IsNegator(w) {
+		out = append(out, "lex=neg")
+	}
+	if textproc.IsStopword(w) {
+		out = append(out, "lex=stop")
+	}
+	out = append(out, "len="+strconv.Itoa(min(len(w), 8)))
+	if i > 0 {
+		out = append(out, "w-1="+tokens[i-1])
+		if _, isOp := sentiment.Valence(tokens[i-1]); isOp {
+			out = append(out, "lex-1=op")
+		}
+		if sentiment.IsIntensifier(tokens[i-1]) {
+			out = append(out, "lex-1=int")
+		}
+	} else {
+		out = append(out, "w-1=<s>")
+	}
+	if i+1 < len(tokens) {
+		out = append(out, "w+1="+tokens[i+1])
+		if _, isOp := sentiment.Valence(tokens[i+1]); isOp {
+			out = append(out, "lex+1=op")
+		}
+	} else {
+		out = append(out, "w+1=</s>")
+	}
+	if i > 1 {
+		out = append(out, "w-2="+tokens[i-2])
+	}
+	if i+2 < len(tokens) {
+		out = append(out, "w+2="+tokens[i+2])
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

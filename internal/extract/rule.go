@@ -1,0 +1,87 @@
+package extract
+
+import (
+	"repro/internal/sentiment"
+	"repro/internal/textproc"
+)
+
+// RuleTagger is the lexicon/window baseline tagger. It marks sentiment-
+// lexicon words (with their attached intensifiers and negators) as opinion
+// terms and content words adjacent to opinion spans as aspect terms. It
+// requires no training, which is exactly why it trails the learned tagger
+// in the Table 6 comparison: it cannot pick up corpus-specific aspect
+// vocabulary or multi-word opinion expressions outside the lexicon.
+type RuleTagger struct {
+	// AspectWindow is how many tokens around an opinion span are searched
+	// for an aspect term.
+	AspectWindow int
+}
+
+// NewRuleTagger returns a baseline tagger with the default window of 3.
+func NewRuleTagger() *RuleTagger { return &RuleTagger{AspectWindow: 3} }
+
+// Tag implements Tagger.
+func (rt *RuleTagger) Tag(tokens []string) []Tag {
+	n := len(tokens)
+	if n == 0 {
+		return nil
+	}
+	tags := make([]Tag, n)
+	// Pass 1: opinion-lexicon words become OP.
+	for i, w := range tokens {
+		if _, ok := sentiment.Valence(w); ok {
+			tags[i] = OP
+		}
+	}
+	// Pass 2: attach preceding intensifiers/negators to opinion spans
+	// ("too soft" → both tokens OP).
+	for i := n - 2; i >= 0; i-- {
+		if tags[i+1] == OP && tags[i] == O &&
+			(sentiment.IsIntensifier(tokens[i]) || sentiment.IsNegator(tokens[i])) {
+			tags[i] = OP
+		}
+	}
+	// Pass 3: the nearest non-stopword, non-opinion content word within the
+	// window before (preferred) or after each opinion span becomes AS.
+	window := rt.AspectWindow
+	if window <= 0 {
+		window = 3
+	}
+	for _, sp := range Spans(tags) {
+		if sp.Tag != OP {
+			continue
+		}
+		found := false
+		for d := 1; d <= window && !found; d++ {
+			if j := sp.Start - d; j >= 0 && isContentWord(tokens[j], tags[j]) {
+				tags[j] = AS
+				found = true
+			}
+		}
+		for d := 1; d <= window && !found; d++ {
+			if j := sp.End - 1 + d; j < n && isContentWord(tokens[j], tags[j]) {
+				tags[j] = AS
+				found = true
+			}
+		}
+	}
+	return tags
+}
+
+// isContentWord reports whether a token is a plausible aspect term:
+// untagged, not a stopword, not an opinion/intensity word.
+func isContentWord(w string, current Tag) bool {
+	if current != O {
+		return false
+	}
+	if textproc.IsStopword(w) {
+		return false
+	}
+	if _, ok := sentiment.Valence(w); ok {
+		return false
+	}
+	if sentiment.IsIntensifier(w) || sentiment.IsNegator(w) {
+		return false
+	}
+	return true
+}

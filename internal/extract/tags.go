@@ -1,0 +1,101 @@
+// Package extract implements OpineDB's opinion extractor (§4.1): a
+// two-stage tagging + pairing pipeline. Tokens of a review sentence are
+// tagged as aspect terms (AS), opinion terms (OP) or irrelevant (O), then
+// tagged spans are paired into (aspect term, opinion term) opinions, e.g.
+//
+//	"Bed was too soft, bathroom a wee bit small"
+//	→ {("bed", "too soft"), ("bathroom", "a wee bit small")}
+//
+// Two taggers are provided. PerceptronTagger is a trained sequence model
+// (averaged structured perceptron with Viterbi decoding) standing in for
+// the paper's BERT+BiLSTM+CRF: a supervised tagger fine-tuned on a few
+// hundred labeled sentences. RuleTagger is the weaker lexicon/window
+// baseline standing in for the prior state of the art in the Table 6
+// comparison. Pairing offers the rule-based and learned variants of
+// Appendix C.
+package extract
+
+import "fmt"
+
+// Tag is a per-token label.
+type Tag uint8
+
+// Token tags, following Figure 6 of the paper.
+const (
+	O  Tag = iota // irrelevant
+	AS            // part of an aspect term
+	OP            // part of an opinion term
+)
+
+// NumTags is the size of the tag alphabet.
+const NumTags = 3
+
+// String returns the tag mnemonic.
+func (t Tag) String() string {
+	switch t {
+	case O:
+		return "O"
+	case AS:
+		return "AS"
+	case OP:
+		return "OP"
+	default:
+		return fmt.Sprintf("Tag(%d)", uint8(t))
+	}
+}
+
+// Sentence is a tokenized sentence with (gold or predicted) tags.
+type Sentence struct {
+	Tokens []string
+	Tags   []Tag
+}
+
+// Span is a maximal run of equally-tagged tokens.
+type Span struct {
+	Start, End int // token range [Start, End)
+	Tag        Tag
+}
+
+// Text returns the space-joined tokens of the span within tokens.
+func (s Span) Text(tokens []string) string {
+	out := ""
+	for i := s.Start; i < s.End; i++ {
+		if i > s.Start {
+			out += " "
+		}
+		out += tokens[i]
+	}
+	return out
+}
+
+// Spans extracts the maximal non-O spans from a tag sequence.
+func Spans(tags []Tag) []Span {
+	var out []Span
+	i := 0
+	for i < len(tags) {
+		if tags[i] == O {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(tags) && tags[j] == tags[i] {
+			j++
+		}
+		out = append(out, Span{Start: i, End: j, Tag: tags[i]})
+		i = j
+	}
+	return out
+}
+
+// Opinion is one extracted (aspect term, opinion term) pair.
+type Opinion struct {
+	Aspect                 string
+	Phrase                 string // the opinion term
+	AspectSpan, PhraseSpan Span
+}
+
+// Tagger assigns a tag to every token of a sentence.
+type Tagger interface {
+	// Tag returns one tag per token.
+	Tag(tokens []string) []Tag
+}

@@ -1,0 +1,228 @@
+// Package fuzzy implements the fuzzy-logic layer of OpineDB (§3.1).
+//
+// Degrees of truth are real numbers in [0, 1]. Query conditions form an
+// expression tree whose connectives are interpreted under a t-norm variant:
+//
+//   - Product (the paper's choice, after Klement et al.):
+//     x ⊗ y = x·y, ¬x = 1−x, x ⊕ y = 1−(1−x)(1−y)
+//   - Gödel (the "most classic variant", after Fagin):
+//     x ⊗ y = min(x,y), ¬x = 1−x, x ⊕ y = max(x,y)
+//
+// Objective predicates evaluate to exactly 0 or 1 and thus act as hard
+// filters under either variant.
+package fuzzy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variant selects the t-norm family used to combine degrees of truth.
+type Variant int
+
+const (
+	// Product is the multiplication variant used by OpineDB.
+	Product Variant = iota
+	// Goedel is the min/max variant.
+	Goedel
+)
+
+// String returns the variant name.
+func (v Variant) String() string {
+	switch v {
+	case Product:
+		return "product"
+	case Goedel:
+		return "goedel"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// And combines two degrees of truth under the variant's t-norm.
+func (v Variant) And(x, y float64) float64 {
+	if v == Goedel {
+		if x < y {
+			return x
+		}
+		return y
+	}
+	return x * y
+}
+
+// Or combines two degrees of truth under the variant's t-conorm.
+func (v Variant) Or(x, y float64) float64 {
+	if v == Goedel {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	return 1 - (1-x)*(1-y)
+}
+
+// Not negates a degree of truth (same in both variants).
+func (v Variant) Not(x float64) float64 { return 1 - x }
+
+// Expr is a fuzzy logic expression evaluated against an environment that
+// supplies the degree of truth of each leaf predicate.
+type Expr interface {
+	// Eval returns the degree of truth in [0,1] under the variant, looking
+	// up leaf predicates through env.
+	Eval(v Variant, env func(id string) float64) float64
+	// String renders the expression with ⊗/⊕/¬ connectives.
+	String() string
+}
+
+// Pred is a leaf predicate identified by an opaque id; its degree of truth
+// comes from the evaluation environment (OpineDB's membership functions).
+type Pred struct{ ID string }
+
+// Eval implements Expr.
+func (p Pred) Eval(_ Variant, env func(string) float64) float64 {
+	return clamp(env(p.ID))
+}
+
+// String implements Expr.
+func (p Pred) String() string { return p.ID }
+
+// Const is a constant degree of truth; objective predicates compile to
+// Const 0 or 1 per entity.
+type Const struct{ Value float64 }
+
+// Eval implements Expr.
+func (c Const) Eval(Variant, func(string) float64) float64 { return clamp(c.Value) }
+
+// String implements Expr.
+func (c Const) String() string { return fmt.Sprintf("%.3g", c.Value) }
+
+// And is the fuzzy conjunction ⊗ of its children.
+type And struct{ Children []Expr }
+
+// Eval implements Expr.
+func (a And) Eval(v Variant, env func(string) float64) float64 {
+	if len(a.Children) == 0 {
+		return 1 // empty conjunction is true
+	}
+	acc := a.Children[0].Eval(v, env)
+	for _, c := range a.Children[1:] {
+		acc = v.And(acc, c.Eval(v, env))
+	}
+	return acc
+}
+
+// String implements Expr.
+func (a And) String() string { return joinExpr(a.Children, " ⊗ ") }
+
+// Or is the fuzzy disjunction ⊕ of its children.
+type Or struct{ Children []Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(v Variant, env func(string) float64) float64 {
+	if len(o.Children) == 0 {
+		return 0 // empty disjunction is false
+	}
+	acc := o.Children[0].Eval(v, env)
+	for _, c := range o.Children[1:] {
+		acc = v.Or(acc, c.Eval(v, env))
+	}
+	return acc
+}
+
+// String implements Expr.
+func (o Or) String() string { return joinExpr(o.Children, " ⊕ ") }
+
+// Not is fuzzy negation.
+type Not struct{ Child Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(v Variant, env func(string) float64) float64 {
+	return v.Not(n.Child.Eval(v, env))
+}
+
+// String implements Expr.
+func (n Not) String() string { return "¬(" + n.Child.String() + ")" }
+
+// NewAnd builds a conjunction, flattening nested Ands.
+func NewAnd(children ...Expr) Expr {
+	flat := make([]Expr, 0, len(children))
+	for _, c := range children {
+		if a, ok := c.(And); ok {
+			flat = append(flat, a.Children...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return And{Children: flat}
+}
+
+// NewOr builds a disjunction, flattening nested Ors.
+func NewOr(children ...Expr) Expr {
+	flat := make([]Expr, 0, len(children))
+	for _, c := range children {
+		if o, ok := c.(Or); ok {
+			flat = append(flat, o.Children...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Or{Children: flat}
+}
+
+// Preds returns the ids of all leaf predicates in e, in depth-first order
+// with duplicates removed.
+func Preds(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch t := x.(type) {
+		case Pred:
+			if !seen[t.ID] {
+				seen[t.ID] = true
+				out = append(out, t.ID)
+			}
+		case And:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case Or:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case Not:
+			walk(t.Child)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func joinExpr(children []Expr, sep string) string {
+	parts := make([]string, len(children))
+	for i, c := range children {
+		s := c.String()
+		switch c.(type) {
+		case And, Or:
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, sep)
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

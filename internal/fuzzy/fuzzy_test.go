@@ -1,0 +1,247 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// unit maps an arbitrary float into [0,1] for property tests.
+func unit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(x) - math.Floor(math.Abs(x))
+}
+
+func TestProductSemantics(t *testing.T) {
+	v := Product
+	if got := v.And(0.5, 0.4); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("0.5 ⊗ 0.4 = %v, want 0.2", got)
+	}
+	if got := v.Or(0.5, 0.4); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("0.5 ⊕ 0.4 = %v, want 0.7", got)
+	}
+	if got := v.Not(0.3); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("¬0.3 = %v, want 0.7", got)
+	}
+}
+
+func TestGoedelSemantics(t *testing.T) {
+	v := Goedel
+	if got := v.And(0.5, 0.4); got != 0.4 {
+		t.Errorf("min(0.5,0.4) = %v", got)
+	}
+	if got := v.Or(0.5, 0.4); got != 0.5 {
+		t.Errorf("max(0.5,0.4) = %v", got)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Product.String() != "product" || Goedel.String() != "goedel" {
+		t.Error("variant names wrong")
+	}
+}
+
+// De Morgan's law: ¬(x ⊗ y) = ¬x ⊕ ¬y, which the paper cites as the basis
+// for the multiplication variant's ⊕ definition.
+func TestDeMorgan(t *testing.T) {
+	for _, v := range []Variant{Product, Goedel} {
+		f := func(a, b float64) bool {
+			x, y := unit(a), unit(b)
+			lhs := v.Not(v.And(x, y))
+			rhs := v.Or(v.Not(x), v.Not(y))
+			return math.Abs(lhs-rhs) < 1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: De Morgan violated: %v", v, err)
+		}
+	}
+}
+
+func TestTNormLaws(t *testing.T) {
+	for _, v := range []Variant{Product, Goedel} {
+		// commutativity, associativity, identity, monotonicity, boundedness
+		f := func(a, b, c float64) bool {
+			x, y, z := unit(a), unit(b), unit(c)
+			if math.Abs(v.And(x, y)-v.And(y, x)) > 1e-9 {
+				return false
+			}
+			if math.Abs(v.And(v.And(x, y), z)-v.And(x, v.And(y, z))) > 1e-9 {
+				return false
+			}
+			if math.Abs(v.And(x, 1)-x) > 1e-9 {
+				return false
+			}
+			if v.And(x, 0) != 0 {
+				return false
+			}
+			// monotone: y<=z → x⊗y <= x⊗z
+			lo, hi := y, z
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if v.And(x, lo) > v.And(x, hi)+1e-12 {
+				return false
+			}
+			// bounded by min
+			r := v.And(x, y)
+			return r <= math.Min(x, y)+1e-12 && r >= 0
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v t-norm law violated: %v", v, err)
+		}
+	}
+}
+
+func TestTCoNormLaws(t *testing.T) {
+	for _, v := range []Variant{Product, Goedel} {
+		f := func(a, b float64) bool {
+			x, y := unit(a), unit(b)
+			if math.Abs(v.Or(x, 0)-x) > 1e-9 { // identity
+				return false
+			}
+			if math.Abs(v.Or(x, y)-v.Or(y, x)) > 1e-9 { // commutative
+				return false
+			}
+			r := v.Or(x, y)
+			return r >= math.Max(x, y)-1e-12 && r <= 1 // bounded below by max
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v t-conorm law violated: %v", v, err)
+		}
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	env := func(id string) float64 {
+		return map[string]float64{"p": 0.8, "q": 0.5, "r": 0.3}[id]
+	}
+	e := NewAnd(Pred{"p"}, NewOr(Pred{"q"}, Pred{"r"}))
+	// product: 0.8 * (1 - 0.5*0.7) = 0.8 * 0.65 = 0.52
+	if got := e.Eval(Product, env); math.Abs(got-0.52) > 1e-12 {
+		t.Errorf("product eval = %v, want 0.52", got)
+	}
+	// goedel: min(0.8, max(0.5, 0.3)) = 0.5
+	if got := e.Eval(Goedel, env); got != 0.5 {
+		t.Errorf("goedel eval = %v, want 0.5", got)
+	}
+}
+
+func TestExprWithNotAndConst(t *testing.T) {
+	env := func(string) float64 { return 0.4 }
+	e := NewAnd(Not{Pred{"x"}}, Const{1})
+	if got := e.Eval(Product, env); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("¬0.4 ⊗ 1 = %v, want 0.6", got)
+	}
+	// Objective predicate as Const 0 zeroes the conjunction (hard filter).
+	e2 := NewAnd(Pred{"x"}, Const{0})
+	if got := e2.Eval(Product, env); got != 0 {
+		t.Errorf("anything ⊗ 0 = %v, want 0", got)
+	}
+}
+
+func TestEmptyConnectives(t *testing.T) {
+	env := func(string) float64 { return 0.5 }
+	if got := (And{}).Eval(Product, env); got != 1 {
+		t.Errorf("empty And = %v, want 1", got)
+	}
+	if got := (Or{}).Eval(Product, env); got != 0 {
+		t.Errorf("empty Or = %v, want 0", got)
+	}
+}
+
+func TestEvalClampsEnv(t *testing.T) {
+	// Membership functions could return slightly out-of-range values;
+	// Eval must clamp.
+	e := Pred{"wild"}
+	if got := e.Eval(Product, func(string) float64 { return 1.7 }); got != 1 {
+		t.Errorf("clamp high = %v", got)
+	}
+	if got := e.Eval(Product, func(string) float64 { return -0.3 }); got != 0 {
+		t.Errorf("clamp low = %v", got)
+	}
+}
+
+func TestEvalInUnitInterval(t *testing.T) {
+	e := NewOr(
+		NewAnd(Pred{"a"}, Not{Pred{"b"}}),
+		NewAnd(Pred{"c"}, Const{0.9}, Pred{"a"}),
+	)
+	f := func(a, b, c float64) bool {
+		env := func(id string) float64 {
+			return map[string]float64{"a": unit(a), "b": unit(b), "c": unit(c)}[id]
+		}
+		for _, v := range []Variant{Product, Goedel} {
+			r := e.Eval(v, env)
+			if r < 0 || r > 1 || math.IsNaN(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlattening(t *testing.T) {
+	e := NewAnd(NewAnd(Pred{"a"}, Pred{"b"}), Pred{"c"})
+	a, ok := e.(And)
+	if !ok || len(a.Children) != 3 {
+		t.Errorf("NewAnd did not flatten: %v", e)
+	}
+	o := NewOr(NewOr(Pred{"a"}, Pred{"b"}), Pred{"c"})
+	oo, ok := o.(Or)
+	if !ok || len(oo.Children) != 3 {
+		t.Errorf("NewOr did not flatten: %v", o)
+	}
+	// Single child collapses.
+	if _, ok := NewAnd(Pred{"only"}).(Pred); !ok {
+		t.Error("single-child And should collapse to the child")
+	}
+}
+
+func TestPreds(t *testing.T) {
+	e := NewAnd(Pred{"a"}, NewOr(Pred{"b"}, Not{Pred{"a"}}), Const{1})
+	got := Preds(e)
+	want := []string{"a", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Preds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Preds[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	e := NewAnd(Pred{"price"}, NewOr(Pred{"svc.exceptional"}, Pred{"style.luxurious"}))
+	s := e.String()
+	want := "price ⊗ (svc.exceptional ⊕ style.luxurious)"
+	if s != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+	if got := (Not{Pred{"x"}}).String(); got != "¬(x)" {
+		t.Errorf("Not string = %q", got)
+	}
+	if got := (Const{0.25}).String(); got != "0.25" {
+		t.Errorf("Const string = %q", got)
+	}
+}
+
+// The paper's fuzzy-vs-hard argument (Appendix A): the fuzzy region
+// {(x,y) : xy >= θ} strictly contains points failing a hard constraint
+// slightly while passing overall.
+func TestFuzzyMoreForgivingThanHard(t *testing.T) {
+	x, y := 0.19, 0.9 // fails hard x>0.2 but xy = 0.171 > 0.06 threshold
+	hard := x > 0.2 && y > 0.3
+	fz := Product.And(x, y) >= 0.06
+	if hard {
+		t.Fatal("test point should fail the hard constraint")
+	}
+	if !fz {
+		t.Error("fuzzy semantics should admit the near-boundary point")
+	}
+}

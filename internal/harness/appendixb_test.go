@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// TestRunAppendixB builds a small substitution-indexed database and
+// verifies the Appendix B experiment's invariants: a meaningful fraction
+// of predicate lookups avoid the similarity scan, and the indexed pass is
+// not slower than the full pass by more than noise.
+func TestRunAppendixB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("appendix B needs a DB build")
+	}
+	cfg := corpus.SmallConfig()
+	cfg.HotelsLondon, cfg.HotelsAmsterdam = 50, 20
+	cfg.ReviewsPerHotel = 16
+	d := corpus.GenerateHotels(cfg)
+	c := core.DefaultConfig()
+	c.UseSubstitutionIndex = true
+	db, err := BuildDB(d, c, 500, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SubIndex == nil {
+		t.Fatal("substitution index not built")
+	}
+	res := RunAppendixB(d, db)
+	if res.Predicates != len(d.Predicates) {
+		t.Errorf("predicates = %d", res.Predicates)
+	}
+	if res.FastFraction <= 0.1 {
+		t.Errorf("fast-path fraction %.2f too low; index ineffective", res.FastFraction)
+	}
+	if res.TimeIndexed <= 0 || res.TimeFull <= 0 {
+		t.Error("timings not collected")
+	}
+	out := FormatAppendixB(res)
+	if !strings.Contains(out, "substitution index") {
+		t.Error("FormatAppendixB malformed")
+	}
+	// A DB without the index reports zeros gracefully.
+	plain, err := BuildDB(d, core.DefaultConfig(), 300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := RunAppendixB(d, plain)
+	if empty.FastFraction != 0 || empty.TimeFull != 0 {
+		t.Errorf("index-less run should be zeroed: %+v", empty)
+	}
+}
+
+// TestTable5ConfigDefaults pins the experiment configuration shape.
+func TestTable5ConfigDefaults(t *testing.T) {
+	cfg := DefaultTable5Config()
+	if cfg.QueriesPerSet <= 0 || cfg.Trials <= 0 || cfg.TopK != 10 {
+		t.Errorf("suspicious defaults: %+v", cfg)
+	}
+	t7 := DefaultTable7Config()
+	if t7.QueriesPerSet != 100 {
+		t.Errorf("Table 7 runtime unit should be 100 queries, got %d", t7.QueriesPerSet)
+	}
+}
+
+// TestQuantile pins the helper's behaviour.
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := quantile(xs, 0.99); q != 5 {
+		t.Errorf("q99 = %v", q)
+	}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("quantile sorted the caller's slice")
+	}
+}

@@ -1,0 +1,351 @@
+package harness
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// Shared small fixture: generating corpora and building DBs dominates
+// test time, so both domains are built once.
+var (
+	hOnce          sync.Once
+	hHotels, hRest *corpus.Dataset
+	hHotelDB       *core.DB
+	hRestDB        *core.DB
+	hErr           error
+)
+
+func fixtures(t *testing.T) (*corpus.Dataset, *corpus.Dataset, *core.DB, *core.DB) {
+	t.Helper()
+	hOnce.Do(func() {
+		cfg := corpus.SmallConfig()
+		cfg.HotelsLondon, cfg.HotelsAmsterdam = 50, 20
+		cfg.ReviewsPerHotel = 18
+		cfg.Restaurants = 60
+		cfg.ReviewsPerRestaurant = 10
+		hHotels = corpus.GenerateHotels(cfg)
+		hRest = corpus.GenerateRestaurants(cfg)
+		c := core.DefaultConfig()
+		c.MarkersPerAttr = 6
+		if hHotelDB, hErr = BuildDB(hHotels, c, 600, 500); hErr != nil {
+			return
+		}
+		hRestDB, hErr = BuildDB(hRest, c, 600, 500)
+	})
+	if hErr != nil {
+		t.Fatalf("fixture: %v", hErr)
+	}
+	return hHotels, hRest, hHotelDB, hRestDB
+}
+
+func TestBuildInputFromDataset(t *testing.T) {
+	d := corpus.GenerateHotels(corpus.SmallConfig())
+	rng := rand.New(rand.NewSource(1))
+	in := BuildInputFromDataset(d, 100, 50, rng)
+	if len(in.Entities) != len(d.Entities) {
+		t.Errorf("entities = %d", len(in.Entities))
+	}
+	if len(in.Reviews) != len(d.Reviews) {
+		t.Errorf("reviews = %d", len(in.Reviews))
+	}
+	if len(in.Attributes) != len(d.Aspects) {
+		t.Errorf("attributes = %d", len(in.Attributes))
+	}
+	if len(in.TaggedTraining) != 100 {
+		t.Errorf("tagged = %d", len(in.TaggedTraining))
+	}
+	if len(in.MembershipLabels) != 50 {
+		t.Errorf("labels = %d", len(in.MembershipLabels))
+	}
+	if _, ok := in.Entities[0].Objective["price_pn"]; !ok {
+		t.Error("hotel objective attributes missing price_pn")
+	}
+}
+
+func TestMembershipLabelsGroundTruth(t *testing.T) {
+	d := corpus.GenerateHotels(corpus.SmallConfig())
+	rng := rand.New(rand.NewSource(2))
+	labels := MembershipLabels(d, 200, rng)
+	pos := 0
+	for _, l := range labels {
+		if l.Attribute == "" || l.Phrase == "" {
+			t.Fatalf("malformed label %+v", l)
+		}
+		e := d.EntityByID(l.EntityID)
+		if e == nil {
+			t.Fatalf("unknown entity %s", l.EntityID)
+		}
+		if l.Y {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(labels) {
+		t.Errorf("labels all one class (%d/%d positive)", pos, len(labels))
+	}
+}
+
+func TestSettingsAndCandidates(t *testing.T) {
+	hotels, rest, _, _ := fixtures(t)
+	for _, s := range Settings() {
+		d := hotels
+		if s.Domain == "restaurant" {
+			d = rest
+		}
+		c := Candidates(d, s)
+		if len(c) == 0 {
+			t.Errorf("setting %s has no candidates", s.Name)
+		}
+		if len(c) == len(d.Entities) && s.Name != "Amsterdam" {
+			t.Errorf("setting %s filter selects everything", s.Name)
+		}
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	d := corpus.GenerateHotels(corpus.SmallConfig())
+	rng := rand.New(rand.NewSource(3))
+	qs := SampleQueries(d.Predicates, 20, 4, rng)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) != 4 {
+			t.Fatalf("conjuncts = %d", len(q))
+		}
+		seen := map[int]bool{}
+		for _, pi := range q {
+			if seen[pi] {
+				t.Error("duplicate predicate within a query")
+			}
+			seen[pi] = true
+			if d.Predicates[pi].Kind == corpus.KindOutOfSchema {
+				t.Error("out-of-schema predicate sampled into workload")
+			}
+		}
+	}
+}
+
+func TestQueryQualityBounds(t *testing.T) {
+	hotels, _, _, _ := fixtures(t)
+	rng := rand.New(rand.NewSource(4))
+	cands := Candidates(hotels, Settings()[0])
+	var candList []string
+	for id := range cands {
+		candList = append(candList, id)
+	}
+	qs := SampleQueries(hotels.Predicates, 10, 3, rng)
+	for _, q := range qs {
+		v := QueryQuality(hotels, q, candList[:min(10, len(candList))], cands, 10)
+		if v > 1 {
+			t.Errorf("quality %v > 1", v)
+		}
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	rows := RunTable3(7)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SubjectivePct < 50 || r.SubjectivePct > 90 {
+			t.Errorf("%s = %.1f%%, outside Table 3 band", r.Domain, r.SubjectivePct)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Hotel") || !strings.Contains(out, "%Subj") {
+		t.Error("FormatTable3 output malformed")
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	hotels, rest, _, _ := fixtures(t)
+	rows := RunTable4(hotels, rest)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Setting] = r
+		if r.Entities == 0 || r.Reviews == 0 {
+			t.Errorf("setting %s empty: %+v", r.Setting, r)
+		}
+	}
+	// Table 4 shape: restaurants have longer, more positive reviews.
+	if byName["Low Price"].AvgWords <= byName["London,<$300"].AvgWords {
+		t.Error("restaurant reviews should be longer than hotel reviews")
+	}
+	if byName["JP Cuisine"].AvgPolarity <= byName["Amsterdam"].AvgPolarity {
+		t.Error("restaurant reviews should be more positive")
+	}
+	if !strings.Contains(FormatTable4(rows), "avg polarity") {
+		t.Error("FormatTable4 malformed")
+	}
+}
+
+func TestRunTable5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 5 is slow")
+	}
+	hotels, rest, hdb, rdb := fixtures(t)
+	cfg := Table5Config{QueriesPerSet: 8, Trials: 2, TopK: 10, Seed: 5}
+	results := RunTable5(hotels, rest, hdb, rdb, cfg)
+	if len(results) != 4 {
+		t.Fatalf("settings = %d", len(results))
+	}
+	for _, res := range results {
+		for _, m := range Table5Methods {
+			for _, diff := range Difficulties {
+				c, ok := res.Cells[m][diff.Name]
+				if !ok {
+					t.Fatalf("%s missing %s/%s", res.Setting, m, diff.Name)
+				}
+				if c.Mean < 0 || c.Mean > 1 {
+					t.Errorf("%s %s/%s mean = %v", res.Setting, m, diff.Name, c.Mean)
+				}
+			}
+		}
+		// The headline claim: OpineDB beats the uninformed baselines.
+		op := res.Cells["OpineDB"]["medium"].Mean
+		if op <= res.Cells["ByPrice"]["medium"].Mean {
+			t.Errorf("%s: OpineDB (%.2f) should beat ByPrice (%.2f)",
+				res.Setting, op, res.Cells["ByPrice"]["medium"].Mean)
+		}
+	}
+	if !strings.Contains(FormatTable5(results), "OpineDB") {
+		t.Error("FormatTable5 malformed")
+	}
+}
+
+func TestRunTable6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 6 is slow")
+	}
+	rows := RunTable6(2, 17)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OurF1 <= r.SOTAF1 {
+			t.Errorf("%s: our model %.2f should beat baseline %.2f", r.Dataset, r.OurF1, r.SOTAF1)
+		}
+		if r.OurF1 < 50 || r.OurF1 > 100 {
+			t.Errorf("%s: F1 %.2f out of band", r.Dataset, r.OurF1)
+		}
+	}
+	if !strings.Contains(FormatTable6(rows), "Booking.com Hotel") {
+		t.Error("FormatTable6 malformed")
+	}
+}
+
+func TestRunTable7SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 7 is slow")
+	}
+	hotels, rest, hdb, rdb := fixtures(t)
+	cfg := Table7Config{QueriesPerSet: 10, Conjuncts: 3, TopK: 10, Seed: 7}
+	cols := RunTable7(hotels, rest, hdb, rdb, cfg)
+	if len(cols) != 4 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	for _, c := range cols {
+		if c.RuntimeMkrs <= 0 || c.RuntimeNoMkrs <= 0 {
+			t.Errorf("%s: zero runtimes", c.Setting)
+		}
+		// The headline: markers accelerate query processing.
+		if c.Speedup <= 1 {
+			t.Errorf("%s: speedup %.2fx, want > 1x", c.Setting, c.Speedup)
+		}
+	}
+	if !strings.Contains(FormatTable7(cols), "Speedup") {
+		t.Error("FormatTable7 malformed")
+	}
+}
+
+func TestRunTable8SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 8 is slow")
+	}
+	hotels, rest, hdb, rdb := fixtures(t)
+	rows := RunTable8(hotels, rest, hdb, rdb, 9)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Size == 0 {
+			t.Fatalf("%s: no predicates evaluated", r.QuerySet)
+		}
+		// Table 8 shape: w2v is the stronger single method; the combined
+		// method does not fall below it materially.
+		if r.W2V < 50 {
+			t.Errorf("%s: w2v accuracy %.1f%% too low", r.QuerySet, r.W2V)
+		}
+		if r.Combined < r.W2V-10 {
+			t.Errorf("%s: combined %.1f%% far below w2v %.1f%%", r.QuerySet, r.Combined, r.W2V)
+		}
+	}
+	if !strings.Contains(FormatTable8(rows), "w2v+co-occur") {
+		t.Error("FormatTable8 malformed")
+	}
+}
+
+func TestRunFigure7(t *testing.T) {
+	_, _, hdb, _ := fixtures(t)
+	res := RunFigure7(hdb)
+	if res.SelectedFuzzy == 0 {
+		t.Fatal("fuzzy selected nothing")
+	}
+	// Appendix A's claim: the fuzzy region strictly contains near-boundary
+	// entities the hard constraint rejects.
+	if res.FuzzyOnly == 0 {
+		t.Error("no entities in the shaded (fuzzy-only) region")
+	}
+	if !strings.Contains(FormatFigure7(res), "shaded region") {
+		t.Error("FormatFigure7 malformed")
+	}
+}
+
+func TestRunFigure8(t *testing.T) {
+	hotels, _, hdb, _ := fixtures(t)
+	res := RunFigure8(hotels, hdb)
+	if res.OpineTop == "" || res.IRTop == "" {
+		t.Fatal("missing top results")
+	}
+	// The Appendix D shape: OpineDB's top answer is at least as quiet as
+	// the IR baseline's.
+	if res.OpineQuietMass < res.IRQuietMass-0.05 {
+		t.Errorf("OpineDB top quiet-mass %.2f should be >= IR's %.2f",
+			res.OpineQuietMass, res.IRQuietMass)
+	}
+	if !strings.Contains(FormatFigure8(res), "quiet") {
+		t.Error("FormatFigure8 malformed")
+	}
+}
+
+func TestRunAppendixC(t *testing.T) {
+	res := RunAppendixC(21)
+	if res.Examples == 0 {
+		t.Fatal("no examples")
+	}
+	if res.LearnedAcc < 70 {
+		t.Errorf("learned pairer accuracy %.1f%% below band", res.LearnedAcc)
+	}
+	if res.RuleAccuracy < 70 {
+		t.Errorf("rule pairer accuracy %.1f%% below band", res.RuleAccuracy)
+	}
+	if !strings.Contains(FormatAppendixC(res), "Supervised pairer") {
+		t.Error("FormatAppendixC malformed")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

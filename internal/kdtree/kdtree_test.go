@@ -1,0 +1,209 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/textproc"
+)
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, dim = 200, 5
+	labels := make([]string, n)
+	points := make([]embedding.Vector, n)
+	for i := 0; i < n; i++ {
+		labels[i] = fmt.Sprintf("p%03d", i)
+		v := make(embedding.Vector, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		points[i] = v
+	}
+	tree := Build(labels, points)
+	if tree.Size() != n {
+		t.Fatalf("Size = %d, want %d", tree.Size(), n)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := make(embedding.Vector, dim)
+		for d := range q {
+			q[d] = rng.NormFloat64() * 2
+		}
+		gotLabel, gotD := tree.Nearest(q)
+		// brute force
+		bestD, bestLabel := math.Inf(1), ""
+		for i, p := range points {
+			if d := math.Sqrt(sqDist(q, p)); d < bestD {
+				bestD, bestLabel = d, labels[i]
+			}
+		}
+		if math.Abs(gotD-bestD) > 1e-9 {
+			t.Errorf("trial %d: kd dist %v != brute %v (labels %s vs %s)",
+				trial, gotD, bestD, gotLabel, bestLabel)
+		}
+	}
+}
+
+func TestBuildEdgeCases(t *testing.T) {
+	if Build(nil, nil) != nil {
+		t.Error("empty build should return nil")
+	}
+	if Build([]string{"a"}, nil) != nil {
+		t.Error("mismatched lengths should return nil")
+	}
+	var empty *Tree
+	if empty.Size() != 0 {
+		t.Error("nil tree size should be 0")
+	}
+	label, d := empty.Nearest(embedding.Vector{1})
+	if label != "" || !math.IsInf(d, 1) {
+		t.Error("nil tree Nearest should return empty/Inf")
+	}
+}
+
+func TestNearestSinglePoint(t *testing.T) {
+	tree := Build([]string{"only"}, []embedding.Vector{{1, 2, 3}})
+	label, d := tree.Nearest(embedding.Vector{1, 2, 3})
+	if label != "only" || d != 0 {
+		t.Errorf("Nearest = (%q, %v)", label, d)
+	}
+}
+
+func TestNearestDeterministicTies(t *testing.T) {
+	// Two identical points: tie must break toward the smaller label.
+	tree := Build([]string{"b", "a"}, []embedding.Vector{{0, 0}, {0, 0}})
+	label, _ := tree.Nearest(embedding.Vector{0, 0})
+	if label != "a" {
+		t.Errorf("tie broke to %q, want a", label)
+	}
+}
+
+// subModel builds a model for substitution-index tests where
+// "really"≈"very" and phrases are over a tiny vocabulary.
+func subModel(t *testing.T) *embedding.Model {
+	t.Helper()
+	stats := textproc.NewCorpusStats()
+	words := []string{"very", "really", "clean", "dirty", "room", "quiet"}
+	for _, w := range words {
+		stats.AddDocument([]string{w})
+	}
+	vecs := map[string]embedding.Vector{
+		"very":   {1, 0, 0, 0},
+		"really": {0.97, 0.03, 0, 0},
+		"clean":  {0, 1, 0, 0},
+		"dirty":  {0, -1, 0.1, 0},
+		"room":   {0, 0, 1, 0},
+		"quiet":  {0, 0, 0, 1},
+	}
+	m, err := embedding.NewModelFromVectors(vecs, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSubstitutionExactHit(t *testing.T) {
+	m := subModel(t)
+	ix := NewSubstitutionIndex([]string{"very clean", "dirty room"}, m)
+	match, fast := ix.Lookup("very clean")
+	if match != "very clean" || !fast {
+		t.Errorf("exact lookup = (%q, %v)", match, fast)
+	}
+	if ix.ExactHits != 1 {
+		t.Errorf("ExactHits = %d", ix.ExactHits)
+	}
+}
+
+func TestSubstitutionFastPath(t *testing.T) {
+	m := subModel(t)
+	ix := NewSubstitutionIndex([]string{"very clean", "dirty room"}, m)
+	// "really clean" → substitute really→very → "very clean" in dictionary.
+	match, fast := ix.Lookup("really clean")
+	if match != "very clean" {
+		t.Errorf("match = %q, want 'very clean'", match)
+	}
+	if !fast {
+		t.Error("substitution should avoid the tree search")
+	}
+	if ix.FastHits != 1 || ix.SlowHits != 0 {
+		t.Errorf("counter state: fast=%d slow=%d", ix.FastHits, ix.SlowHits)
+	}
+}
+
+func TestSubstitutionSlowPathFallback(t *testing.T) {
+	m := subModel(t)
+	ix := NewSubstitutionIndex([]string{"very clean", "dirty room"}, m)
+	// "quiet room": no single substitution produces a known phrase; the
+	// k-d tree must resolve it to the nearest phrase rep.
+	match, fast := ix.Lookup("quiet room")
+	if fast {
+		t.Error("expected slow path")
+	}
+	if match != "dirty room" { // shares the high-IDF "room" component
+		t.Errorf("slow-path match = %q, want 'dirty room'", match)
+	}
+	if ix.SlowHits != 1 {
+		t.Errorf("SlowHits = %d", ix.SlowHits)
+	}
+}
+
+func TestFastFraction(t *testing.T) {
+	m := subModel(t)
+	ix := NewSubstitutionIndex([]string{"very clean"}, m)
+	if ix.FastFraction() != 0 {
+		t.Error("initial FastFraction should be 0")
+	}
+	ix.Lookup("really clean") // fast
+	ix.Lookup("quiet room")   // slow
+	if f := ix.FastFraction(); f != 0.5 {
+		t.Errorf("FastFraction = %v, want 0.5", f)
+	}
+}
+
+func TestNormalizePhrase(t *testing.T) {
+	norm, toks := normalizePhrase("has really clean Rooms")
+	if norm != "clean really room" {
+		t.Errorf("normalized = %q", norm)
+	}
+	if len(toks) != 3 {
+		t.Errorf("tokens = %v", toks)
+	}
+	// Word order insensitive.
+	n2, _ := normalizePhrase("rooms really clean")
+	if n2 != norm {
+		t.Errorf("order sensitivity: %q vs %q", n2, norm)
+	}
+	if got, _ := normalizePhrase(""); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestSingular(t *testing.T) {
+	cases := map[string]string{
+		"rooms": "room", "beds": "bed", "class": "class", "is": "is",
+		"was": "was", "bus": "bus", "views": "view",
+	}
+	for in, want := range cases {
+		if got := singular(in); got != want {
+			t.Errorf("singular(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLookupWordOrderAndPlural(t *testing.T) {
+	m := subModel(t)
+	// Stored variation in extraction form: aspect + opinion.
+	ix := NewSubstitutionIndex([]string{"room very clean"}, m)
+	match, fast := ix.Lookup("very clean rooms")
+	if !fast || match != "room very clean" {
+		t.Errorf("Lookup = (%q, %v), want normalized exact hit", match, fast)
+	}
+	// One substitution away after normalization.
+	match, fast = ix.Lookup("really clean rooms")
+	if !fast || match != "room very clean" {
+		t.Errorf("substituted Lookup = (%q, %v)", match, fast)
+	}
+}

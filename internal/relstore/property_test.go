@@ -1,0 +1,125 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ByKey(k) returns exactly the rows Select(key == k) returns,
+// in insertion order.
+func TestByKeyMatchesSelect(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tbl, err := NewTable(Schema{
+			Name:    "P",
+			Columns: []Column{{Name: "k", Type: relTString()}, {Name: "seq", Type: TInt}},
+			Key:     "k",
+		})
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			key := fmt.Sprintf("k%d", k%5) // force collisions
+			if err := tbl.Insert(Row{key, int64(i)}); err != nil {
+				return false
+			}
+		}
+		for kv := 0; kv < 5; kv++ {
+			key := fmt.Sprintf("k%d", kv)
+			byKey := tbl.ByKey(key)
+			scanned := tbl.Select(func(r Row) bool { return r[0] == key })
+			if len(byKey) != len(scanned) {
+				return false
+			}
+			for i := range byKey {
+				if byKey[i][1] != scanned[i][1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func relTString() Type { return TString }
+
+// Property: Len equals inserted row count for arbitrary insert sequences.
+func TestLenMatchesInserts(t *testing.T) {
+	f := func(n uint8) bool {
+		tbl, err := NewTable(Schema{
+			Name:    "L",
+			Columns: []Column{{Name: "x", Type: TInt}},
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			if err := tbl.Insert(Row{int64(i)}); err != nil {
+				return false
+			}
+		}
+		return tbl.Len() == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gob save/load round-trips arbitrary typed rows exactly.
+func TestSaveLoadRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		db := NewDB()
+		tbl, err := db.Create(Schema{
+			Name: "T",
+			Columns: []Column{
+				{Name: "id", Type: TString},
+				{Name: "n", Type: TInt},
+				{Name: "f", Type: TFloat},
+				{Name: "b", Type: TBool},
+			},
+			Key: "id",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			row := Row{fmt.Sprintf("id%03d", i), int64(rng.Intn(1000)), rng.NormFloat64(), rng.Intn(2) == 0}
+			if rng.Intn(10) == 0 {
+				row[2] = nil // NULLs survive too
+			}
+			if err := tbl.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		path := t.TempDir() + "/t.gob"
+		if err := db.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := loaded.Table("T")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lt.Len() != n {
+			t.Fatalf("trial %d: %d rows, want %d", trial, lt.Len(), n)
+		}
+		orig := tbl.Select(nil)
+		got := lt.Select(nil)
+		for i := range orig {
+			for c := range orig[i] {
+				if orig[i][c] != got[i][c] {
+					t.Fatalf("trial %d row %d col %d: %v != %v", trial, i, c, got[i][c], orig[i][c])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package sqlparse parses OpineDB's subjective SQL dialect (§2): standard
+// single-block SELECT-FROM-WHERE queries whose WHERE clause may mix
+// objective comparisons with natural-language subjective predicates in
+// double quotes:
+//
+//	SELECT * FROM Hotels
+//	WHERE price_pn < 150 AND "has really clean rooms"
+//	  AND "is a romantic getaway"
+//	LIMIT 10
+//
+// The parser produces an AST; interpretation of the quoted predicates is
+// the query engine's job (§3), not the parser's.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString // double-quoted subjective predicate
+	tkOp     // < > <= >= = != <>
+	tkComma
+	tkLParen
+	tkRParen
+	tkStar
+	tkDot
+)
+
+// token is one lexical token with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "limit": true, "order": true, "by": true, "asc": true,
+	"desc": true, "as": true,
+}
+
+// lex tokenizes the input query string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '"':
+			j := i + 1
+			for j < n && input[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tkString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c == ',':
+			toks = append(toks, token{kind: tkComma, text: ",", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tkLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tkRParen, text: ")", pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tkStar, text: "*", pos: i})
+			i++
+		case c == '.':
+			// Distinguish member access (h.price) from a decimal point,
+			// which is handled in the number case below.
+			toks = append(toks, token{kind: tkDot, text: ".", pos: i})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < n && (input[j] == '=' || (input[i] == '<' && input[j] == '>')) {
+				j++
+			}
+			op := input[i:j]
+			if op == "!" {
+				return nil, fmt.Errorf("sqlparse: bare '!' at offset %d", i)
+			}
+			toks = append(toks, token{kind: tkOp, text: op, pos: i})
+			i = j
+		case unicode.IsDigit(c):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(input[j])) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					// A trailing dot ("5.") or "5.x" member access is not a
+					// decimal; only consume the dot if a digit follows.
+					if j+1 >= n || !unicode.IsDigit(rune(input[j+1])) {
+						break
+					}
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tkNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			kind := tkIdent
+			if keywords[strings.ToLower(word)] {
+				kind = tkKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, pos: i})
+			i = j
+		case c == '\'':
+			// Single-quoted string literal (objective values).
+			j := i + 1
+			for j < n && input[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated literal at offset %d", i)
+			}
+			toks = append(toks, token{kind: tkIdent, text: input[i+1 : j], pos: i})
+			i = j + 1
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,312 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is the AST of a subjective SQL statement.
+type Query struct {
+	// Select lists selected column names; a single "*" means all.
+	Select []string
+	// From is the source relation name.
+	From string
+	// Alias is the optional relation alias (FROM Hotels h).
+	Alias string
+	// Where is the root condition, or nil for no WHERE clause.
+	Where Cond
+	// OrderBy is the ordering column ("" = rank by fuzzy score, the
+	// default for subjective queries).
+	OrderBy string
+	// OrderDesc is true for DESC ordering.
+	OrderDesc bool
+	// Limit caps the result size; 0 means no limit.
+	Limit int
+}
+
+// Cond is a node of the WHERE-clause condition tree.
+type Cond interface{ condNode() }
+
+// AndCond is a conjunction of conditions.
+type AndCond struct{ Children []Cond }
+
+// OrCond is a disjunction of conditions.
+type OrCond struct{ Children []Cond }
+
+// NotCond negates a condition.
+type NotCond struct{ Child Cond }
+
+// CmpCond is an objective comparison: column op literal.
+type CmpCond struct {
+	Column string
+	Op     string // < <= > >= = !=
+	// Value holds a float64 or string literal.
+	Value interface{}
+}
+
+// SubjCond is a natural-language subjective predicate (double-quoted).
+type SubjCond struct{ Text string }
+
+func (AndCond) condNode()  {}
+func (OrCond) condNode()   {}
+func (NotCond) condNode()  {}
+func (CmpCond) condNode()  {}
+func (SubjCond) condNode() {}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one subjective SQL statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tkKeyword && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s at offset %d, got %q",
+			strings.ToUpper(kw), p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	// Select list.
+	for {
+		t := p.peek()
+		switch t.kind {
+		case tkStar:
+			p.next()
+			q.Select = append(q.Select, "*")
+		case tkIdent:
+			p.next()
+			col := t.text
+			// Optional alias-qualified column (h.price_pn).
+			if p.peek().kind == tkDot {
+				p.next()
+				f := p.next()
+				if f.kind != tkIdent {
+					return nil, fmt.Errorf("sqlparse: expected column after '.' at offset %d", f.pos)
+				}
+				col = f.text
+			}
+			q.Select = append(q.Select, col)
+		default:
+			return nil, fmt.Errorf("sqlparse: expected select item at offset %d, got %q", t.pos, t.text)
+		}
+		if p.peek().kind != tkComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	rel := p.next()
+	if rel.kind != tkIdent {
+		return nil, fmt.Errorf("sqlparse: expected relation name at offset %d", rel.pos)
+	}
+	q.From = rel.text
+	// Optional alias: FROM Hotels h  or  FROM Hotels AS h.
+	p.keyword("as")
+	if p.peek().kind == tkIdent {
+		q.Alias = p.next().text
+	}
+	if p.keyword("where") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = cond
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col := p.next()
+		if col.kind != tkIdent {
+			return nil, fmt.Errorf("sqlparse: expected order-by column at offset %d", col.pos)
+		}
+		q.OrderBy = col.text
+		if p.keyword("desc") {
+			q.OrderDesc = true
+		} else {
+			p.keyword("asc")
+		}
+	}
+	if p.keyword("limit") {
+		t := p.next()
+		if t.kind != tkNumber {
+			return nil, fmt.Errorf("sqlparse: expected limit count at offset %d", t.pos)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: bad limit %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseOr() (Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Cond{left}
+	for p.keyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return OrCond{Children: children}, nil
+}
+
+func (p *parser) parseAnd() (Cond, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Cond{left}
+	for p.keyword("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return AndCond{Children: children}, nil
+}
+
+func (p *parser) parseUnary() (Cond, error) {
+	if p.keyword("not") {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotCond{Child: child}, nil
+	}
+	t := p.peek()
+	switch t.kind {
+	case tkLParen:
+		p.next()
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tkRParen {
+			return nil, fmt.Errorf("sqlparse: expected ')' at offset %d", p.peek().pos)
+		}
+		p.next()
+		return cond, nil
+	case tkString:
+		p.next()
+		if strings.TrimSpace(t.text) == "" {
+			return nil, fmt.Errorf("sqlparse: empty subjective predicate at offset %d", t.pos)
+		}
+		return SubjCond{Text: t.text}, nil
+	case tkIdent:
+		return p.parseComparison()
+	default:
+		return nil, fmt.Errorf("sqlparse: expected condition at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parseComparison() (Cond, error) {
+	col := p.next()
+	name := col.text
+	if p.peek().kind == tkDot {
+		p.next()
+		f := p.next()
+		if f.kind != tkIdent {
+			return nil, fmt.Errorf("sqlparse: expected column after '.' at offset %d", f.pos)
+		}
+		name = f.text
+	}
+	op := p.next()
+	if op.kind != tkOp {
+		return nil, fmt.Errorf("sqlparse: expected comparison operator at offset %d, got %q", op.pos, op.text)
+	}
+	opText := op.text
+	if opText == "<>" {
+		opText = "!="
+	}
+	val := p.next()
+	switch val.kind {
+	case tkNumber:
+		f, err := strconv.ParseFloat(val.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad number %q", val.text)
+		}
+		return CmpCond{Column: name, Op: opText, Value: f}, nil
+	case tkIdent:
+		return CmpCond{Column: name, Op: opText, Value: val.text}, nil
+	default:
+		return nil, fmt.Errorf("sqlparse: expected literal at offset %d, got %q", val.pos, val.text)
+	}
+}
+
+// SubjectivePredicates returns the texts of all subjective predicates in
+// the condition tree, in left-to-right order.
+func SubjectivePredicates(c Cond) []string {
+	var out []string
+	var walk func(Cond)
+	walk = func(c Cond) {
+		switch t := c.(type) {
+		case SubjCond:
+			out = append(out, t.Text)
+		case AndCond:
+			for _, ch := range t.Children {
+				walk(ch)
+			}
+		case OrCond:
+			for _, ch := range t.Children {
+				walk(ch)
+			}
+		case NotCond:
+			walk(t.Child)
+		}
+	}
+	if c != nil {
+		walk(c)
+	}
+	return out
+}

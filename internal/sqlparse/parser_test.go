@@ -1,0 +1,201 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePaperQuery(t *testing.T) {
+	// The paper's running example (§2).
+	q, err := Parse(`select * from Hotels
+		where price_pn < 150 and
+		"has really clean rooms" and "is a romantic getaway"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"*"}) {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if q.From != "Hotels" {
+		t.Errorf("From = %q", q.From)
+	}
+	and, ok := q.Where.(AndCond)
+	if !ok || len(and.Children) != 3 {
+		t.Fatalf("Where = %#v", q.Where)
+	}
+	cmp, ok := and.Children[0].(CmpCond)
+	if !ok || cmp.Column != "price_pn" || cmp.Op != "<" || cmp.Value != 150.0 {
+		t.Errorf("first condition = %#v", and.Children[0])
+	}
+	preds := SubjectivePredicates(q.Where)
+	want := []string{"has really clean rooms", "is a romantic getaway"}
+	if !reflect.DeepEqual(preds, want) {
+		t.Errorf("predicates = %v", preds)
+	}
+}
+
+func TestParseAliasAndQualifiedColumns(t *testing.T) {
+	q, err := Parse(`select h.hotelname, h.price_pn from Hotels h where h.price_pn <= 300`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alias != "h" {
+		t.Errorf("Alias = %q", q.Alias)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"hotelname", "price_pn"}) {
+		t.Errorf("Select = %v", q.Select)
+	}
+	cmp := q.Where.(CmpCond)
+	if cmp.Column != "price_pn" || cmp.Op != "<=" {
+		t.Errorf("cmp = %#v", cmp)
+	}
+}
+
+func TestParseAsAlias(t *testing.T) {
+	q, err := Parse(`select * from Restaurants as r where r.cuisine = 'japanese'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alias != "r" {
+		t.Errorf("Alias = %q", q.Alias)
+	}
+	cmp := q.Where.(CmpCond)
+	if cmp.Column != "cuisine" || cmp.Value != "japanese" {
+		t.Errorf("cmp = %#v", cmp)
+	}
+}
+
+func TestParseOrNotParens(t *testing.T) {
+	q, err := Parse(`select * from Hotels where ("quiet room" or "peaceful") and not price_pn > 400`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(AndCond)
+	if !ok || len(and.Children) != 2 {
+		t.Fatalf("Where = %#v", q.Where)
+	}
+	or, ok := and.Children[0].(OrCond)
+	if !ok || len(or.Children) != 2 {
+		t.Fatalf("first child = %#v", and.Children[0])
+	}
+	not, ok := and.Children[1].(NotCond)
+	if !ok {
+		t.Fatalf("second child = %#v", and.Children[1])
+	}
+	if _, ok := not.Child.(CmpCond); !ok {
+		t.Errorf("Not child = %#v", not.Child)
+	}
+}
+
+func TestPrecedenceAndBindsTighter(t *testing.T) {
+	q, err := Parse(`select * from T where "a" or "b" and "c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := q.Where.(OrCond)
+	if !ok || len(or.Children) != 2 {
+		t.Fatalf("Where = %#v", q.Where)
+	}
+	if _, ok := or.Children[0].(SubjCond); !ok {
+		t.Errorf("left of OR = %#v", or.Children[0])
+	}
+	if and, ok := or.Children[1].(AndCond); !ok || len(and.Children) != 2 {
+		t.Errorf("right of OR = %#v", or.Children[1])
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	q, err := Parse(`select * from Hotels where "clean rooms" order by price_pn desc limit 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OrderBy != "price_pn" || !q.OrderDesc {
+		t.Errorf("order = %q desc=%v", q.OrderBy, q.OrderDesc)
+	}
+	if q.Limit != 10 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	q, err := Parse(`select * from Hotels limit 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where != nil {
+		t.Errorf("Where = %#v, want nil", q.Where)
+	}
+	if q.Limit != 5 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select * from",
+		"select * from Hotels where",
+		`select * from Hotels where "unterminated`,
+		"select * from Hotels where price <",
+		"select * from Hotels where price < and",
+		"select * from Hotels where (price < 5",
+		"select * from Hotels limit x",
+		"select * from Hotels where price ! 5",
+		`select * from Hotels where ""`,
+		"select * from Hotels extra garbage",
+		"delete from Hotels",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	q, err := Parse(`select * from T where x >= 3.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.(CmpCond).Value != 3.25 {
+		t.Errorf("value = %v", q.Where.(CmpCond).Value)
+	}
+	// != and <> both normalize to !=.
+	for _, op := range []string{"!=", "<>"} {
+		q, err := Parse(`select * from T where x ` + op + ` 1`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Where.(CmpCond).Op != "!=" {
+			t.Errorf("op %q parsed as %q", op, q.Where.(CmpCond).Op)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`SELECT * FROM Hotels WHERE "clean" LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "Hotels" || q.Limit != 3 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestSubjectivePredicatesNil(t *testing.T) {
+	if got := SubjectivePredicates(nil); got != nil {
+		t.Errorf("nil cond = %v", got)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	q, err := Parse(`select * from T where not (not ("a" and (("b") or "c")))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := SubjectivePredicates(q.Where)
+	if !reflect.DeepEqual(preds, []string{"a", "b", "c"}) {
+		t.Errorf("predicates = %v", preds)
+	}
+}

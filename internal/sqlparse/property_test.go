@@ -1,0 +1,115 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics on arbitrary input — it returns a query or
+// an error.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse never panics on SQL-ish mutations of a valid query.
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	base := `select * from Hotels where price_pn < 150 and "clean rooms" or not (x = 'y') order by price_pn desc limit 10`
+	tokens := strings.Fields(base)
+	f := func(drop, dup uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		mut := make([]string, 0, len(tokens)+1)
+		di := int(drop) % len(tokens)
+		for i, tok := range tokens {
+			if i == di {
+				continue // drop one token
+			}
+			mut = append(mut, tok)
+		}
+		ui := int(dup) % len(mut)
+		mut = append(mut[:ui+1], mut[ui:]...) // duplicate one token
+		_, _ = Parse(strings.Join(mut, " "))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of subjective predicates equals the number of
+// double-quoted strings for well-formed conjunctive queries.
+func TestPredicateCountMatchesQuotes(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%6) + 1
+		var conds []string
+		for i := 0; i < k; i++ {
+			conds = append(conds, `"pred `+strings.Repeat("x", i+1)+`"`)
+		}
+		q, err := Parse(`select * from T where ` + strings.Join(conds, " and "))
+		if err != nil {
+			return false
+		}
+		return len(SubjectivePredicates(q.Where)) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AND/OR grouping is preserved under parenthesization — an
+// explicitly parenthesized clause parses to the same tree as the
+// precedence rules imply.
+func TestPrecedenceEquivalence(t *testing.T) {
+	a, err := Parse(`select * from T where "a" or "b" and "c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`select * from T where "a" or ("b" and "c")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toString(a.Where) != toString(b.Where) {
+		t.Errorf("precedence mismatch: %s vs %s", toString(a.Where), toString(b.Where))
+	}
+}
+
+// toString canonically renders a condition tree for comparison.
+func toString(c Cond) string {
+	switch t := c.(type) {
+	case SubjCond:
+		return "«" + t.Text + "»"
+	case CmpCond:
+		return t.Column + t.Op + "?"
+	case AndCond:
+		parts := make([]string, len(t.Children))
+		for i, ch := range t.Children {
+			parts[i] = toString(ch)
+		}
+		return "AND(" + strings.Join(parts, ",") + ")"
+	case OrCond:
+		parts := make([]string, len(t.Children))
+		for i, ch := range t.Children {
+			parts[i] = toString(ch)
+		}
+		return "OR(" + strings.Join(parts, ",") + ")"
+	case NotCond:
+		return "NOT(" + toString(t.Child) + ")"
+	default:
+		return "?"
+	}
+}

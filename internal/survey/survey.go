@@ -1,0 +1,195 @@
+// Package survey simulates the Mechanical Turk user study of §5.1
+// (Table 3): workers are asked to list the criteria they value when
+// choosing an entity in a domain, and each criterion is judged subjective
+// or objective. The paper's finding — a clear majority of search criteria
+// are subjective in every domain — emerges from the composition of the
+// criteria banks, which encode what real users mention (wifi is objective,
+// cleanliness subjective, etc.).
+package survey
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Criterion is one thing users say they value, with its subjectivity
+// label (assigned conservatively, as §5.1 does: "wifi" counts as objective
+// even though users may mean "fast and reliable wifi").
+type Criterion struct {
+	Name       string
+	Subjective bool
+	// Weight is the relative popularity of the criterion among workers.
+	Weight float64
+}
+
+// Domain is one survey domain with its criteria bank.
+type Domain struct {
+	Name     string
+	Criteria []Criterion
+}
+
+// Domains returns the seven survey domains of Table 3. The subjective
+// share of each bank is calibrated to the user study's findings
+// (Hotel 69%, Restaurant 64%, Vacation 83%, College 77%, Home 69%,
+// Career 66%, Car 56%) by construction: the banks contain realistic
+// criteria whose labels produce those proportions under weighted sampling.
+func Domains() []Domain {
+	return []Domain{
+		{Name: "Hotel", Criteria: []Criterion{
+			{"cleanliness", true, 3.0}, {"comfortable beds", true, 2.5},
+			{"friendly staff", true, 2.2}, {"good food", true, 2.0},
+			{"quiet rooms", true, 1.8}, {"nice view", true, 1.2},
+			{"romantic atmosphere", true, 0.8}, {"spacious rooms", true, 1.5},
+			{"good service", true, 2.3},
+			{"wifi", false, 2.0}, {"parking", false, 1.5},
+			{"pool", false, 1.2}, {"distance to center", false, 2.2},
+			{"pet policy", false, 0.8}, {"free breakfast included", false, 1.6},
+		}},
+		{Name: "Restaurant", Criteria: []Criterion{
+			{"delicious food", true, 3.0}, {"ambiance", true, 2.0},
+			{"friendly service", true, 2.2}, {"variety of menu", true, 1.6},
+			{"freshness", true, 1.8}, {"romantic setting", true, 0.9},
+			{"generous portions", true, 1.4},
+			{"cuisine type", false, 2.4}, {"hours", false, 1.2},
+			{"parking", false, 1.0}, {"accepts reservations", false, 1.1},
+			{"distance", false, 1.8}, {"outdoor seating", false, 0.9},
+		}},
+		{Name: "Vacation", Criteria: []Criterion{
+			{"good weather", true, 2.8}, {"safety", true, 2.5},
+			{"interesting culture", true, 2.2}, {"nightlife", true, 1.6},
+			{"beautiful scenery", true, 2.4}, {"relaxing beaches", true, 2.0},
+			{"friendly locals", true, 1.8}, {"good food scene", true, 2.0},
+			{"visa requirements", false, 1.0}, {"flight time", false, 1.6},
+			{"language spoken", false, 1.2},
+		}},
+		{Name: "College", Criteria: []Criterion{
+			{"dorm quality", true, 2.2}, {"faculty quality", true, 2.6},
+			{"campus diversity", true, 1.8}, {"social life", true, 2.0},
+			{"safety of campus", true, 1.9}, {"teaching quality", true, 2.4},
+			{"career support", true, 1.7},
+			{"tuition", false, 2.4}, {"location", false, 1.8},
+			{"majors offered", false, 2.0},
+		}},
+		{Name: "Home", Criteria: []Criterion{
+			{"quiet neighborhood", true, 2.6}, {"good schools nearby", true, 2.4},
+			{"feeling of space", true, 2.2}, {"safety", true, 2.6},
+			{"natural light", true, 1.8}, {"charm", true, 1.2},
+			{"friendly neighbors", true, 1.4},
+			{"square footage", false, 2.2}, {"number of bedrooms", false, 2.4},
+			{"year built", false, 1.0}, {"commute distance", false, 2.0},
+		}},
+		{Name: "Career", Criteria: []Criterion{
+			{"work-life balance", true, 2.8}, {"great colleagues", true, 2.4},
+			{"company culture", true, 2.6}, {"interesting work", true, 2.2},
+			{"growth opportunities", true, 2.0}, {"supportive manager", true, 1.8},
+			{"salary", false, 3.0}, {"benefits", false, 2.2},
+			{"remote policy", false, 2.0}, {"job title", false, 1.0},
+			{"office location", false, 1.8},
+		}},
+		{Name: "Car", Criteria: []Criterion{
+			{"comfortable ride", true, 2.4}, {"perceived safety", true, 2.2},
+			{"reliability", true, 2.6}, {"looks", true, 1.8},
+			{"fun to drive", true, 1.6}, {"build quality", true, 1.6},
+			{"smooth handling", true, 1.4}, {"quiet cabin", true, 1.3},
+			{"fuel economy", false, 2.6}, {"price", false, 3.0},
+			{"cargo space", false, 1.8}, {"warranty", false, 1.4},
+			{"seating capacity", false, 2.0},
+		}},
+	}
+}
+
+// Result is the Table 3 row for one domain.
+type Result struct {
+	Domain        string
+	SubjectivePct float64
+	Examples      []string // most-cited subjective criteria
+}
+
+// Run simulates the study: workers per domain each list criteriaPerWorker
+// distinct criteria drawn from the bank proportionally to popularity; the
+// subjective percentage is computed over all listed criteria.
+func Run(workers, criteriaPerWorker int, rng *rand.Rand) []Result {
+	var out []Result
+	for _, dom := range Domains() {
+		subj, total := 0, 0
+		cited := map[string]int{}
+		for w := 0; w < workers; w++ {
+			listed := sampleDistinct(dom.Criteria, criteriaPerWorker, rng)
+			for _, c := range listed {
+				total++
+				cited[c.Name]++
+				if c.Subjective {
+					subj++
+				}
+			}
+		}
+		out = append(out, Result{
+			Domain:        dom.Name,
+			SubjectivePct: 100 * float64(subj) / float64(total),
+			Examples:      topSubjective(dom.Criteria, cited, 4),
+		})
+	}
+	return out
+}
+
+// sampleDistinct draws k distinct criteria, weighted by popularity.
+func sampleDistinct(bank []Criterion, k int, rng *rand.Rand) []Criterion {
+	if k >= len(bank) {
+		k = len(bank)
+	}
+	remaining := append([]Criterion(nil), bank...)
+	var out []Criterion
+	for len(out) < k && len(remaining) > 0 {
+		var total float64
+		for _, c := range remaining {
+			total += c.Weight
+		}
+		r := rng.Float64() * total
+		var acc float64
+		idx := len(remaining) - 1
+		for i, c := range remaining {
+			acc += c.Weight
+			if acc >= r {
+				idx = i
+				break
+			}
+		}
+		out = append(out, remaining[idx])
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+	}
+	return out
+}
+
+// topSubjective returns the names of the most-cited subjective criteria.
+func topSubjective(bank []Criterion, cited map[string]int, k int) []string {
+	subjByName := map[string]bool{}
+	for _, c := range bank {
+		if c.Subjective {
+			subjByName[c.Name] = true
+		}
+	}
+	type nc struct {
+		name string
+		n    int
+	}
+	var items []nc
+	for name, n := range cited {
+		if subjByName[name] {
+			items = append(items, nc{name, n})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].name < items[j].name
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.name
+	}
+	return out
+}

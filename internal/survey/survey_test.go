@@ -1,0 +1,116 @@
+package survey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDomainsCount(t *testing.T) {
+	doms := Domains()
+	if len(doms) != 7 {
+		t.Fatalf("got %d domains, want 7 (Table 3)", len(doms))
+	}
+	names := map[string]bool{}
+	for _, d := range doms {
+		names[d.Name] = true
+		if len(d.Criteria) < 8 {
+			t.Errorf("domain %s has only %d criteria", d.Name, len(d.Criteria))
+		}
+		hasSubj, hasObj := false, false
+		for _, c := range d.Criteria {
+			if c.Subjective {
+				hasSubj = true
+			} else {
+				hasObj = true
+			}
+			if c.Weight <= 0 {
+				t.Errorf("%s criterion %q has non-positive weight", d.Name, c.Name)
+			}
+		}
+		if !hasSubj || !hasObj {
+			t.Errorf("domain %s bank is not mixed", d.Name)
+		}
+	}
+	for _, want := range []string{"Hotel", "Restaurant", "Vacation", "College", "Home", "Career", "Car"} {
+		if !names[want] {
+			t.Errorf("missing domain %s", want)
+		}
+	}
+}
+
+func TestRunMajoritySubjective(t *testing.T) {
+	// The Table 3 finding: a majority of criteria are subjective in every
+	// domain, between roughly 55% and 85%.
+	rng := rand.New(rand.NewSource(1))
+	results := Run(30, 7, rng)
+	if len(results) != 7 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.SubjectivePct < 50 || r.SubjectivePct > 90 {
+			t.Errorf("%s: %.1f%% subjective, outside the Table 3 band", r.Domain, r.SubjectivePct)
+		}
+		if len(r.Examples) == 0 {
+			t.Errorf("%s: no example criteria", r.Domain)
+		}
+	}
+}
+
+func TestRunVacationMostSubjective(t *testing.T) {
+	// Table 3's extremes: Vacation (82.6%) highest, Car (56.0%) lowest.
+	rng := rand.New(rand.NewSource(2))
+	results := Run(50, 7, rng)
+	pct := map[string]float64{}
+	for _, r := range results {
+		pct[r.Domain] = r.SubjectivePct
+	}
+	if pct["Vacation"] <= pct["Car"] {
+		t.Errorf("Vacation (%.1f%%) should exceed Car (%.1f%%)", pct["Vacation"], pct["Car"])
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bank := []Criterion{
+		{"a", true, 1}, {"b", false, 1}, {"c", true, 1},
+	}
+	got := sampleDistinct(bank, 2, rng)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	if got[0].Name == got[1].Name {
+		t.Error("duplicate criteria sampled")
+	}
+	// k > bank size clamps.
+	got = sampleDistinct(bank, 10, rng)
+	if len(got) != 3 {
+		t.Errorf("clamped sample = %d", len(got))
+	}
+}
+
+func TestSampleWeighting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bank := []Criterion{
+		{"popular", true, 10}, {"rare", false, 0.1},
+	}
+	first := 0
+	for i := 0; i < 200; i++ {
+		got := sampleDistinct(bank, 1, rng)
+		if got[0].Name == "popular" {
+			first++
+		}
+	}
+	if first < 180 {
+		t.Errorf("popular criterion sampled only %d/200 times", first)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(10, 5, rand.New(rand.NewSource(5)))
+	b := Run(10, 5, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i].SubjectivePct != b[i].SubjectivePct {
+			t.Fatal("same seed must give same survey results")
+		}
+	}
+}
