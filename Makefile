@@ -1,0 +1,27 @@
+# Tier-1 verification gate (referenced from ROADMAP.md): vet, build,
+# and the full test suite under the race detector. CI and pre-merge
+# checks run `make verify`.
+.PHONY: verify build test race bench serve
+
+verify:
+	go vet ./...
+	go build ./...
+	go test -race ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Performance trajectory: every table/figure benchmark plus the
+# concurrency and build benchmarks.
+bench:
+	go test -bench . -benchmem -run xxx .
+
+# Run the HTTP serving daemon on a small corpus.
+serve:
+	go run ./cmd/opinedbd -small -addr :8080

@@ -180,11 +180,13 @@ func BenchmarkAppendixC_Pairing(b *testing.B) {
 	b.ReportMetric(res.RuleAccuracy, "rule-acc-%")
 }
 
-// BenchmarkBuildDB measures full database construction (§4 pipeline).
+// BenchmarkBuildDB measures full database construction (§4 pipeline) on
+// the sequential path (BuildWorkers=1), the historical baseline.
 func BenchmarkBuildDB(b *testing.B) {
 	cfg := corpus.SmallConfig()
 	d := corpus.GenerateHotels(cfg)
 	c := core.DefaultConfig()
+	c.BuildWorkers = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Seed = int64(i + 1)
@@ -192,6 +194,65 @@ func BenchmarkBuildDB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelBuild measures the same construction with the build
+// worker pool at GOMAXPROCS; the ratio to BenchmarkBuildDB is the build
+// parallelization speedup (results are byte-identical either way).
+func BenchmarkParallelBuild(b *testing.B) {
+	cfg := corpus.SmallConfig()
+	d := corpus.GenerateHotels(cfg)
+	c := core.DefaultConfig()
+	c.BuildWorkers = 0 // GOMAXPROCS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Seed = int64(i + 1)
+		if _, err := harness.BuildDB(d, c, 300, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentQuery measures marker-path query throughput under
+// GOMAXPROCS concurrent callers on one shared DB (caches warmed). Compare
+// against BenchmarkQueryMarkers: at GOMAXPROCS≥4 the per-op time should
+// drop well below the single-goroutine figure, since the read path shares
+// only sharded read-locked caches.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	_, _, hdb, _ := benchFixtures(b)
+	opts := core.DefaultQueryOptions()
+	preds := []string{"has really clean rooms", "has friendly staff"}
+	if _, err := hdb.RankPredicates(preds, nil, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := hdb.RankPredicates(preds, nil, opts); err != nil {
+				b.Error(err) // Fatal is not allowed off the benchmark goroutine
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentTopK is BenchmarkConcurrentQuery for the
+// Threshold-Algorithm path (precomputed degree lists, warmed).
+func BenchmarkConcurrentTopK(b *testing.B) {
+	_, _, hdb, _ := benchFixtures(b)
+	preds := []string{"has really clean rooms", "has friendly staff"}
+	if _, _, err := hdb.TopKThreshold(preds, 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := hdb.TopKThreshold(preds, 10); err != nil {
+				b.Error(err) // Fatal is not allowed off the benchmark goroutine
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkQueryMarkers measures one subjective query on the marker path.

@@ -24,7 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -73,7 +73,7 @@ func main() {
 		fmt.Println(harness.FormatTable4(harness.RunTable4(hotels, restaurants)))
 	}
 
-	needDB := run("table5") || run("table7") || run("table8") || run("figure7") || run("figure8") || run("appendixb")
+	needDB := run("table5") || run("table7") || run("table8") || run("figure7") || run("figure8") || run("appendixb") || run("concurrency")
 	var hotelDB, restDB *core.DB
 	if needDB {
 		fmt.Println("building subjective databases (extraction + markers + summaries)...")
@@ -123,6 +123,10 @@ func main() {
 	}
 	if run("appendixc") {
 		fmt.Println(harness.FormatAppendixC(harness.RunAppendixC(*seed + 500)))
+	}
+	if run("concurrency") {
+		fmt.Println("running concurrency (parallel serving + parallel build)...")
+		fmt.Println(harness.FormatConcurrency(harness.RunConcurrency(hotels, hotelDB, *seed+600)))
 	}
 
 	fmt.Printf("total time: %.1fs\n", time.Since(start).Seconds())

@@ -1,0 +1,106 @@
+// Command opinedbd is the always-on OpineDB server: it generates a corpus
+// for the chosen domain, builds the subjective database with the parallel
+// construction pipeline, and serves the HTTP JSON API of internal/server
+// until interrupted.
+//
+// Examples:
+//
+//	opinedbd -addr :8080 -domain hotel
+//	curl 'localhost:8080/query?sql=select+*+from+Hotels+where+"has+really+clean+rooms"&k=5'
+//	curl 'localhost:8080/interpret?predicate=romantic+getaway'
+//	curl 'localhost:8080/schema'
+//	curl 'localhost:8080/evidence?entity=h1&attribute=room_cleanliness'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	domain := flag.String("domain", "hotel", "corpus domain: hotel or restaurant")
+	seed := flag.Int64("seed", 1, "corpus and build seed")
+	small := flag.Bool("small", false, "build a small corpus (faster startup)")
+	workers := flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS)")
+	topK := flag.Int("k", 10, "default result size")
+	flag.Parse()
+
+	genCfg := corpus.DefaultConfig()
+	if *small {
+		genCfg = corpus.SmallConfig()
+		genCfg.HotelsLondon, genCfg.HotelsAmsterdam = 60, 25
+		genCfg.ReviewsPerHotel = 20
+		genCfg.Restaurants = 80
+	}
+	genCfg.Seed = *seed
+
+	log.Printf("generating %s corpus and building subjective database...", *domain)
+	start := time.Now()
+	var d *corpus.Dataset
+	switch *domain {
+	case "hotel":
+		d = corpus.GenerateHotels(genCfg)
+	case "restaurant":
+		d = corpus.GenerateRestaurants(genCfg)
+	default:
+		log.Fatalf("unknown domain %q (want hotel or restaurant)", *domain)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.BuildWorkers = *workers
+	db, err := harness.BuildDB(d, cfg, 800, 800)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	log.Printf("ready: %d entities, %d reviews, %d extractions, %d subjective attributes (%.1fs)",
+		len(d.Entities), len(d.Reviews), len(db.Extractions), len(db.Attrs),
+		time.Since(start).Seconds())
+
+	srv := server.New(db, server.Options{
+		DefaultTopK: *topK,
+		EntityName: func(id string) string {
+			if e := d.EntityByID(id); e != nil {
+				return e.Name
+			}
+			return ""
+		},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}
+
+// logRequests is a minimal access-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%.1fms)", r.Method, r.URL.RequestURI(), float64(time.Since(start).Microseconds())/1000)
+	})
+}

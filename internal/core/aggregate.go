@@ -89,7 +89,7 @@ func (db *DB) RebuildSummaries(weight WeightFn) map[string]map[string]*MarkerSum
 		}
 	}
 	db.Summaries = next
-	db.degreeLists = nil // precomputed degrees are weighting-dependent
+	db.degreeLists.reset() // precomputed degrees are weighting-dependent
 	return prev
 }
 
@@ -97,7 +97,7 @@ func (db *DB) RebuildSummaries(weight WeightFn) map[string]map[string]*MarkerSum
 // RebuildSummaries.
 func (db *DB) RestoreSummaries(summaries map[string]map[string]*MarkerSummary) {
 	db.Summaries = summaries
-	db.degreeLists = nil
+	db.degreeLists.reset()
 }
 
 // AddReview ingests one new review end-to-end at query-serving time:
@@ -181,8 +181,8 @@ func (db *DB) AddReview(rv ReviewData) error {
 	}
 	// Interpretations and precomputed degree lists may shift with new
 	// evidence; drop both caches.
-	db.interpCache = nil
-	db.degreeLists = nil
+	db.interpCache.reset()
+	db.degreeLists.reset()
 	return nil
 }
 

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/classify"
 	"repro/internal/cluster"
@@ -66,6 +69,22 @@ type Config struct {
 	TaggerEpochs int
 	// Seed drives all stochastic build steps.
 	Seed int64
+	// BuildWorkers bounds the worker pool parallelizing the hot build
+	// stages (tokenization, per-review extraction, per-attribute marker
+	// discovery). 0 means GOMAXPROCS; 1 forces a sequential build. The
+	// built database is byte-identical for every worker count under a
+	// fixed Seed: stochastic stages draw from per-task RNGs derived from
+	// the master seed in declaration order, and parallel results merge in
+	// input order.
+	BuildWorkers int
+}
+
+// workerCount resolves BuildWorkers to an effective pool size.
+func (c Config) workerCount() int {
+	if c.BuildWorkers > 0 {
+		return c.BuildWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -86,7 +105,42 @@ func DefaultConfig() Config {
 		Embedding:               embedding.DefaultTrainConfig(),
 		TaggerEpochs:            6,
 		Seed:                    1,
+		BuildWorkers:            0, // GOMAXPROCS
 	}
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across the given number of
+// workers, blocking until all complete. Work items are claimed by an
+// atomic counter, so the schedule is nondeterministic — callers must make
+// fn(i) depend only on i (writing fn's result to slot i of a preallocated
+// slice and merging in index order keeps parallel builds deterministic).
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // AttrSpec declares one subjective attribute for the schema designer:
@@ -163,13 +217,20 @@ func Build(in BuildInput, cfg Config) (*DB, error) {
 	sort.Strings(db.entityIDs)
 
 	// ---- Corpus statistics + word2vec (trained on the review corpus, §3.2).
+	// Tokenization and sentiment scoring are pure per review, so they fan
+	// out across the worker pool; the order-sensitive aggregation into
+	// corpus stats stays sequential over the indexed results.
+	workers := cfg.workerCount()
 	stats := textproc.NewCorpusStats()
 	docTokens := make([][]string, len(in.Reviews))
+	docSentis := make([]float64, len(in.Reviews))
+	parallelFor(len(in.Reviews), workers, func(i int) {
+		docTokens[i] = textproc.Tokenize(in.Reviews[i].Text)
+		docSentis[i] = sentiment.ScoreTokens(docTokens[i])
+	})
 	for i, rv := range in.Reviews {
-		toks := textproc.Tokenize(rv.Text)
-		docTokens[i] = toks
-		stats.AddDocument(toks)
-		db.ReviewSentiments[rv.ID] = sentiment.ScoreTokens(toks)
+		stats.AddDocument(docTokens[i])
+		db.ReviewSentiments[rv.ID] = docSentis[i]
 		db.reviewsPerReviewer[rv.Reviewer]++
 	}
 	model, err := embedding.Train(docTokens, stats, cfg.Embedding, rng)
@@ -196,65 +257,41 @@ func Build(in BuildInput, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("core: attribute classifier: %w", err)
 	}
 
-	// ---- Run extraction over every review sentence.
-	type rawExtraction struct {
-		review    ReviewData
-		aspect    string
-		phrase    string
-		attribute string
-		sentiment float64
-	}
+	// ---- Run extraction over every review sentence. Each review's
+	// extraction is a pure function of the trained models, so reviews fan
+	// out across the worker pool; the per-review results merge in review
+	// order, keeping extraction IDs and phrase counts deterministic.
+	perReview := make([][]rawExtraction, len(in.Reviews))
+	parallelFor(len(in.Reviews), workers, func(i int) {
+		perReview[i] = extractReview(db.Extractor, attrClf, in.Reviews[i], cfg)
+	})
 	var raw []rawExtraction
 	phraseCounts := map[string]map[string]int{} // attr → phrase → count
 	for _, a := range in.Attributes {
 		phraseCounts[a.Name] = map[string]int{}
 	}
-	for _, rv := range in.Reviews {
-		for _, sent := range textproc.Sentences(rv.Text) {
-			toks := textproc.Tokenize(sent)
-			if len(toks) == 0 {
-				continue
-			}
-			for _, op := range db.Extractor.Extract(toks) {
-				if op.Phrase == "" {
-					continue
-				}
-				full := op.Phrase
-				if op.Aspect != "" {
-					full = op.Aspect + " " + op.Phrase
-				}
-				// Out-of-schema gate: phrases mostly made of words no seed
-				// expansion covers ("perfect romantic getaway") are not
-				// forced into an attribute; they stay raw-text-only so the
-				// co-occurrence and IR-fallback stages keep their signal.
-				if attrClf.KnownTokenFraction(full) < cfg.MinPhraseCoverage {
-					continue
-				}
-				attr, conf := attrClf.Classify(full)
-				if conf < cfg.MinClassifierConfidence {
-					continue
-				}
-				// The linguistic variation is the aspect+opinion
-				// concatenation (§4.2.1); the aspect noun disambiguates
-				// otherwise-identical opinion words across attributes
-				// ("food excellent" vs "cocktails excellent").
-				raw = append(raw, rawExtraction{
-					review:    rv,
-					aspect:    op.Aspect,
-					phrase:    full,
-					attribute: attr,
-					sentiment: sentiment.ScorePhrase(op.Phrase),
-				})
-				phraseCounts[attr][full]++
-			}
+	for _, exts := range perReview {
+		for _, r := range exts {
+			raw = append(raw, r)
+			phraseCounts[r.attribute][r.phrase]++
 		}
 	}
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("core: extraction produced no opinions")
 	}
 
-	// ---- Marker discovery per attribute (§4.2.1).
-	for _, spec := range in.Attributes {
+	// ---- Marker discovery per attribute (§4.2.1). Attributes fan out
+	// across the worker pool; each stochastic discovery draws from its own
+	// RNG seeded from the master stream in declaration order, so the
+	// discovered markers are identical for every worker count.
+	markerSeeds := make([]int64, len(in.Attributes))
+	for i := range markerSeeds {
+		markerSeeds[i] = rng.Int63()
+	}
+	attrs := make([]*SubjectiveAttribute, len(in.Attributes))
+	attrErrs := make([]error, len(in.Attributes))
+	parallelFor(len(in.Attributes), workers, func(i int) {
+		spec := in.Attributes[i]
 		attr := &SubjectiveAttribute{
 			Name:          spec.Name,
 			Categorical:   spec.Categorical,
@@ -270,19 +307,27 @@ func Build(in BuildInput, cfg Config) (*DB, error) {
 			// Attribute never observed; keep it with a single neutral marker
 			// so queries against it degrade gracefully.
 			attr.Markers = []Marker{{Name: spec.Name, Centroid: make(embedding.Vector, model.Dim())}}
-			db.Attrs = append(db.Attrs, attr)
-			db.attrByName[spec.Name] = attr
-			continue
+			attrs[i] = attr
+			return
 		}
 		if spec.Categorical {
-			if err := discoverCategoricalMarkers(attr, model, cfg.MarkersPerAttr, rng); err != nil {
-				return nil, fmt.Errorf("core: markers for %s: %w", spec.Name, err)
+			if err := discoverCategoricalMarkers(attr, model, cfg.MarkersPerAttr, rand.New(rand.NewSource(markerSeeds[i]))); err != nil {
+				attrErrs[i] = fmt.Errorf("core: markers for %s: %w", spec.Name, err)
+				return
 			}
 		} else {
 			discoverLinearMarkers(attr, model, cfg.MarkersPerAttr)
 		}
+		attrs[i] = attr
+	})
+	for _, err := range attrErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, attr := range attrs {
 		db.Attrs = append(db.Attrs, attr)
-		db.attrByName[spec.Name] = attr
+		db.attrByName[attr.Name] = attr
 	}
 
 	// ---- Materialize the extraction relation + marker summaries (§4.2.2).
@@ -383,6 +428,61 @@ func Build(in BuildInput, cfg Config) (*DB, error) {
 		db.SubIndex = kdtree.NewSubstitutionIndex(phrases, model)
 	}
 	return db, nil
+}
+
+// rawExtraction is one extracted, attribute-classified opinion awaiting
+// marker assignment.
+type rawExtraction struct {
+	review    ReviewData
+	aspect    string
+	phrase    string
+	attribute string
+	sentiment float64
+}
+
+// extractReview runs §4.1 extraction and §4.2 attribute classification
+// over one review's sentences. Pure function of the trained extractor and
+// classifier, which makes it the unit of work for the build worker pool.
+func extractReview(ex *extract.Extractor, attrClf *classify.Softmax, rv ReviewData, cfg Config) []rawExtraction {
+	var out []rawExtraction
+	for _, sent := range textproc.Sentences(rv.Text) {
+		toks := textproc.Tokenize(sent)
+		if len(toks) == 0 {
+			continue
+		}
+		for _, op := range ex.Extract(toks) {
+			if op.Phrase == "" {
+				continue
+			}
+			full := op.Phrase
+			if op.Aspect != "" {
+				full = op.Aspect + " " + op.Phrase
+			}
+			// Out-of-schema gate: phrases mostly made of words no seed
+			// expansion covers ("perfect romantic getaway") are not
+			// forced into an attribute; they stay raw-text-only so the
+			// co-occurrence and IR-fallback stages keep their signal.
+			if attrClf.KnownTokenFraction(full) < cfg.MinPhraseCoverage {
+				continue
+			}
+			attr, conf := attrClf.Classify(full)
+			if conf < cfg.MinClassifierConfidence {
+				continue
+			}
+			// The linguistic variation is the aspect+opinion
+			// concatenation (§4.2.1); the aspect noun disambiguates
+			// otherwise-identical opinion words across attributes
+			// ("food excellent" vs "cocktails excellent").
+			out = append(out, rawExtraction{
+				review:    rv,
+				aspect:    op.Aspect,
+				phrase:    full,
+				attribute: attr,
+				sentiment: sentiment.ScorePhrase(op.Phrase),
+			})
+		}
+	}
+	return out
 }
 
 // discoverLinearMarkers implements §4.2.1's linearly-ordered method: sort

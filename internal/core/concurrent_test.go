@@ -1,0 +1,168 @@
+package core_test
+
+// The concurrent-reader guarantee: a built DB serves Query,
+// TopKThreshold and Interpret from any number of goroutines with no
+// external locking, and every concurrent result is identical to the
+// sequential run. This suite is the -race workload backing that claim —
+// it hammers all three entry points (cold caches included: the fixture
+// interleaves cache-filling first touches across goroutines) and
+// deep-compares against sequential baselines.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// concurrentWorkload assembles the shared-DB read workload: SQL queries
+// exercising the full execution path, predicate conjunctions for the TA
+// path, and bare predicates for the interpreter (spanning all three
+// Figure 5 stages, including the cooccur/fallback ones that walk the IR
+// indexes).
+func concurrentWorkload() (sqls []string, topkSets [][]string, preds []string) {
+	sqls = []string{
+		`select * from Entities where "has really clean rooms" limit 5`,
+		`select * from Entities where price_pn < 250 and "has friendly staff" limit 8`,
+		`select * from Entities where "quiet rooms" and "comfortable beds" limit 5`,
+		`select * from Entities where "has really clean rooms" or "spotless bathrooms" limit 6`,
+	}
+	topkSets = [][]string{
+		{"has really clean rooms"},
+		{"has really clean rooms", "has friendly staff"},
+		{"quiet rooms", "comfortable beds", "nice view"},
+	}
+	preds = []string{
+		"has really clean rooms", // w2v stage
+		"spotless rooms",
+		"romantic getaway", // composite → cooccur stage
+		"good for motorcyclists",
+		"friendly helpful staff",
+		"terrible dirty rooms",
+	}
+	return
+}
+
+// runWorkload executes the whole workload once, returning a comparable
+// snapshot of every result.
+func runWorkload(db *core.DB, sqls []string, topkSets [][]string, preds []string) ([]*core.QueryResult, [][]core.ResultRow, []core.Interpretation, error) {
+	queryRes := make([]*core.QueryResult, len(sqls))
+	for i, q := range sqls {
+		res, err := db.Query(q)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("query %q: %w", q, err)
+		}
+		queryRes[i] = res
+	}
+	topkRes := make([][]core.ResultRow, len(topkSets))
+	for i, set := range topkSets {
+		rows, _, err := db.TopKThreshold(set, 5)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("topk %v: %w", set, err)
+		}
+		topkRes[i] = rows
+	}
+	interpRes := make([]core.Interpretation, len(preds))
+	for i, p := range preds {
+		interpRes[i] = db.Interpret(p)
+	}
+	return queryRes, topkRes, interpRes, nil
+}
+
+// TestConcurrentReadersMatchSequential is the §3 serving guarantee under
+// -race: ≥8 goroutines hammer Query, TopKThreshold and Interpret on one
+// shared DB and every result must equal the sequential baseline.
+func TestConcurrentReadersMatchSequential(t *testing.T) {
+	_, db := testDB(t)
+	sqls, topkSets, preds := concurrentWorkload()
+
+	// Sequential baseline (also warms every cache the workload touches —
+	// the concurrent phase below re-runs on warm caches; cold-cache
+	// concurrency is covered by TestConcurrentColdStart).
+	wantQuery, wantTopK, wantInterp, err := runWorkload(db, sqls, topkSets, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	const iters = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				gotQuery, gotTopK, gotInterp, err := runWorkload(db, sqls, topkSets, preds)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				for i := range wantQuery {
+					if !reflect.DeepEqual(gotQuery[i], wantQuery[i]) {
+						errs <- fmt.Errorf("goroutine %d: query %d diverged from sequential run", g, i)
+						return
+					}
+				}
+				if !reflect.DeepEqual(gotTopK, wantTopK) {
+					errs <- fmt.Errorf("goroutine %d: top-k diverged from sequential run", g)
+					return
+				}
+				if !reflect.DeepEqual(gotInterp, wantInterp) {
+					errs <- fmt.Errorf("goroutine %d: interpretations diverged from sequential run", g)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentColdStart exercises the cache-miss race: a fresh DB where
+// many goroutines compute the same interpretations, degree lists and
+// phrase reps simultaneously. Results must agree across goroutines even
+// when duplicate computations collide in the caches.
+func TestConcurrentColdStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a private DB")
+	}
+	db := buildTinyDB(t, 8)
+	sqls, topkSets, preds := concurrentWorkload()
+
+	type snapshot struct {
+		query  []*core.QueryResult
+		topk   [][]core.ResultRow
+		interp []core.Interpretation
+	}
+	const goroutines = 8
+	snaps := make([]snapshot, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, k, in, err := runWorkload(db, sqls, topkSets, preds)
+			snaps[g], errs[g] = snapshot{q, k, in}, err
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(snaps[g], snaps[0]) {
+			t.Errorf("goroutine %d observed different results than goroutine 0", g)
+		}
+	}
+}

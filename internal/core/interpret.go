@@ -61,31 +61,25 @@ func (in Interpretation) String() string {
 // co-occurrence mining over positive reviews, then text-retrieval
 // fallback.
 func (db *DB) Interpret(predicate string) Interpretation {
-	if in, ok := db.interpCache[predicate]; ok {
+	return db.interpCache.getOrCompute(predicate, func() Interpretation {
+		in, ok := db.interpretW2V(predicate, db.cfg.W2VThreshold)
+		if !ok {
+			in, ok = db.interpretCooccur(predicate, db.cfg.CooccurThreshold)
+		}
+		if !ok {
+			in = Interpretation{Predicate: predicate, Method: MethodFallback}
+		}
 		return in
-	}
-	in, ok := db.interpretW2V(predicate)
-	if !ok {
-		in, ok = db.interpretCooccur(predicate)
-	}
-	if !ok {
-		in = Interpretation{Predicate: predicate, Method: MethodFallback}
-	}
-	if db.interpCache == nil {
-		db.interpCache = map[string]Interpretation{}
-	}
-	db.interpCache[predicate] = in
-	return in
+	})
 }
 
 // InterpretW2VOnly runs only the word2vec stage with the threshold
 // disabled, always returning its best guess (empty Terms only for fully
 // out-of-vocabulary predicates). Used by the Table 8 component study.
+// Read-only: the override threshold is passed through rather than swapped
+// into the shared config, so this is safe under concurrent readers.
 func (db *DB) InterpretW2VOnly(predicate string) Interpretation {
-	saved := db.cfg.W2VThreshold
-	db.cfg.W2VThreshold = -1
-	in, ok := db.interpretW2V(predicate)
-	db.cfg.W2VThreshold = saved
+	in, ok := db.interpretW2V(predicate, -1)
 	if !ok {
 		return Interpretation{Predicate: predicate, Method: MethodW2V}
 	}
@@ -94,11 +88,9 @@ func (db *DB) InterpretW2VOnly(predicate string) Interpretation {
 
 // InterpretCooccurOnly runs only the co-occurrence stage with the
 // confidence threshold disabled. Used by the Table 8 component study.
+// Read-only, like InterpretW2VOnly.
 func (db *DB) InterpretCooccurOnly(predicate string) Interpretation {
-	saved := db.cfg.CooccurThreshold
-	db.cfg.CooccurThreshold = -1
-	in, ok := db.interpretCooccur(predicate)
-	db.cfg.CooccurThreshold = saved
+	in, ok := db.interpretCooccur(predicate, -1)
 	if !ok {
 		return Interpretation{Predicate: predicate, Method: MethodCooccur}
 	}
@@ -108,19 +100,20 @@ func (db *DB) InterpretCooccurOnly(predicate string) Interpretation {
 // interpretW2V finds the linguistic variation across all subjective
 // attributes with the highest Eq. 2 similarity to the predicate; the
 // interpretation is that variation's attribute and marker. Fails when the
-// best similarity is under θ1.
-func (db *DB) interpretW2V(predicate string) (Interpretation, bool) {
+// best similarity is under threshold (θ1; a negative threshold disables
+// the gate for the component-study "only" mode).
+func (db *DB) interpretW2V(predicate string, threshold float64) (Interpretation, bool) {
 	// Vocabulary gate (skipped in the threshold-disabled "only" mode):
 	// Eq. 1's IDF-weighted sum is meaningless when most content words are
 	// out of vocabulary — "good for motorcyclists" must not collapse to
 	// rep("good") and match the service domain.
-	if db.cfg.W2VThreshold >= 0 && db.queryKnownFraction(predicate) <= 0.5 {
+	if threshold >= 0 && db.queryKnownFraction(predicate) <= 0.5 {
 		return Interpretation{}, false
 	}
 	// Appendix B fast path when the substitution index is enabled.
 	if db.SubIndex != nil {
 		if match, fast := db.SubIndex.Lookup(predicate); fast && match != "" {
-			if am, sim, ok := db.phraseToAttrMarker(match, predicate); ok && sim >= db.cfg.W2VThreshold {
+			if am, sim, ok := db.phraseToAttrMarker(match, predicate); ok && sim >= threshold {
 				return Interpretation{
 					Predicate:     predicate,
 					Method:        MethodW2V,
@@ -144,7 +137,7 @@ func (db *DB) interpretW2V(predicate string) (Interpretation, bool) {
 			best.attr, best.phrase, best.marker, best.sim = attr, phrase, marker, sim
 		}
 	}
-	if best.attr == nil || best.sim < db.cfg.W2VThreshold {
+	if best.attr == nil || best.sim < threshold {
 		return Interpretation{}, false
 	}
 	return Interpretation{
@@ -225,15 +218,9 @@ func (db *DB) bestDomainMatch(attr *SubjectiveAttribute, query string) (phrase s
 
 // phraseSentiment returns the cached sentiment of a domain phrase.
 func (db *DB) phraseSentiment(phrase string) float64 {
-	if v, ok := db.phraseSentis[phrase]; ok {
-		return v
-	}
-	v := sentiment.ScorePhrase(phrase)
-	if db.phraseSentis == nil {
-		db.phraseSentis = map[string]float64{}
-	}
-	db.phraseSentis[phrase] = v
-	return v
+	return db.phraseSentis.getOrCompute(phrase, func() float64 {
+		return sentiment.ScorePhrase(phrase)
+	})
 }
 
 // phraseToAttrMarker resolves a known domain phrase to its attribute and
@@ -252,8 +239,9 @@ func (db *DB) phraseToAttrMarker(phrase, predicate string) (AttrMarker, float64,
 // positive reviews matching the predicate (rank_score = BM25 · senti,
 // Eq. 3), tally which attributes' extractions occur in them, score by
 // freq_k(A)·idf(A), and emit the top-n attributes with their most
-// frequent markers.
-func (db *DB) interpretCooccur(predicate string) (Interpretation, bool) {
+// frequent markers. threshold is θ2; negative disables the confidence and
+// informativeness gates (the component-study "only" mode).
+func (db *DB) interpretCooccur(predicate string, threshold float64) (Interpretation, bool) {
 	toks := textproc.Tokenize(predicate)
 	// "Reviews where q occurs" means reviews containing q's distinctive
 	// terms: common words like "good" match everything and would swamp
@@ -270,7 +258,7 @@ func (db *DB) interpretCooccur(predicate string) (Interpretation, bool) {
 	}
 	if len(informative) > 0 {
 		toks = informative
-	} else if db.cfg.CooccurThreshold >= 0 {
+	} else if threshold >= 0 {
 		// Informativeness gate (skipped in the threshold-disabled "only"
 		// mode): with no distinctive indexed term the mined set is noise.
 		return Interpretation{}, false
@@ -364,7 +352,7 @@ func (db *DB) interpretCooccur(predicate string) (Interpretation, bool) {
 			conf = r/median - 1
 		}
 	}
-	if conf < db.cfg.CooccurThreshold {
+	if conf < threshold {
 		return Interpretation{}, false
 	}
 	terms := make([]AttrMarker, 0, n)
@@ -439,32 +427,21 @@ func (db *DB) queryKnownFraction(predicate string) float64 {
 
 // domainPhraseList returns the (cached, sorted) linguistic domain of attr.
 func (db *DB) domainPhraseList(attr *SubjectiveAttribute) []string {
-	if cached, ok := db.domainLists[attr.Name]; ok {
-		return cached
-	}
-	out := make([]string, 0, len(attr.DomainPhrases))
-	for p := range attr.DomainPhrases {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	if db.domainLists == nil {
-		db.domainLists = map[string][]string{}
-	}
-	db.domainLists[attr.Name] = out
-	return out
+	return db.domainLists.getOrCompute(attr.Name, func() []string {
+		out := make([]string, 0, len(attr.DomainPhrases))
+		for p := range attr.DomainPhrases {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		return out
+	})
 }
 
 // phraseRep returns the cached Eq. 1 representation of a domain phrase.
 func (db *DB) phraseRep(phrase string) embedding.Vector {
-	if v, ok := db.phraseReps[phrase]; ok {
-		return v
-	}
-	v := db.Embed.Rep(phrase)
-	if db.phraseReps == nil {
-		db.phraseReps = map[string]embedding.Vector{}
-	}
-	db.phraseReps[phrase] = v
-	return v
+	return db.phraseReps.getOrCompute(phrase, func() embedding.Vector {
+		return db.Embed.Rep(phrase)
+	})
 }
 
 // extractionsFor returns extraction ids for (attribute, entity).

@@ -4,10 +4,20 @@
 // interpreter (§3.2), membership functions (§3.3), and fuzzy-ranked query
 // execution (§3.1).
 //
-// Concurrency: a built DB serves queries sequentially. Query processing
-// populates unsynchronized caches (interpretations, phrase
-// representations, TA degree lists), so concurrent readers need external
-// locking; the relational layer underneath is independently goroutine-safe.
+// Concurrency: a built DB is safe for unlimited concurrent readers with
+// no external locking — Query, QueryWithOptions, RankPredicates, Execute,
+// TopKThreshold, Interpret, InterpretW2VOnly, InterpretCooccurOnly,
+// Explain, ProvenanceOf and every other read-only accessor may be called
+// from any number of goroutines simultaneously. Query processing memoizes
+// deterministic derived values (interpretations, phrase representations,
+// TA degree lists) in sharded RWMutex caches (cache.go), so a warm cache
+// costs one shard-local read lock per lookup and results are identical to
+// a sequential run. Mutations — Build-time helpers aside, AddReview,
+// RebuildSummaries, RestoreSummaries, SetFuzzyVariant and
+// SetW2VThreshold — are NOT safe concurrently with readers or each other;
+// callers that mutate a live database must provide their own
+// writer-exclusion (e.g. a stop-the-world RWMutex around the writer).
+// The relational layer underneath is independently goroutine-safe.
 //
 // Relations: queries reference a single relation (§2 assumes one
 // select-from-where block); the engine binds any FROM name to the
@@ -259,12 +269,14 @@ type DB struct {
 
 	// Query-time caches. Interpretations are deterministic for a built
 	// database, so they are computed once per predicate text ("these
-	// degrees of truth, once computed, can also be indexed", §3.3).
-	domainLists  map[string][]string
-	phraseReps   map[string]embedding.Vector
-	phraseSentis map[string]float64
-	interpCache  map[string]Interpretation
-	degreeLists  map[AttrMarker][]entityDegree
+	// degrees of truth, once computed, can also be indexed", §3.3). All
+	// five are sharded concurrent caches (cache.go) so readers never need
+	// external locking; degreeLists is keyed by AttrMarker.String().
+	domainLists  shardedCache[[]string]
+	phraseReps   shardedCache[embedding.Vector]
+	phraseSentis shardedCache[float64]
+	interpCache  shardedCache[Interpretation]
+	degreeLists  shardedCache[[]entityDegree]
 
 	cfg Config
 }
@@ -349,5 +361,5 @@ func (db *DB) SetFuzzyVariant(v fuzzy.Variant) { db.cfg.FuzzyVariant = v }
 // The interpretation cache is invalidated.
 func (db *DB) SetW2VThreshold(t float64) {
 	db.cfg.W2VThreshold = t
-	db.interpCache = nil
+	db.interpCache.reset()
 }

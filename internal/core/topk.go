@@ -31,31 +31,26 @@ type entityDegree struct {
 // marker's own centroid as the query representation — exactly the
 // "degree of truth for variations in the linguistic domain".
 func (db *DB) degreeList(am AttrMarker) []entityDegree {
-	if db.degreeLists == nil {
-		db.degreeLists = map[AttrMarker][]entityDegree{}
-	}
-	if l, ok := db.degreeLists[am]; ok {
-		return l
-	}
-	attr := db.Attr(am.Attr)
-	list := make([]entityDegree, 0, len(db.entityIDs))
-	if attr != nil && am.Marker >= 0 && am.Marker < len(attr.Markers) {
-		rep := attr.Markers[am.Marker].Centroid
-		for _, id := range db.entityIDs {
-			list = append(list, entityDegree{
-				entity: id,
-				degree: db.Membership.DegreeMarker(db, id, attr, am.Marker, rep),
-			})
+	return db.degreeLists.getOrCompute(am.String(), func() []entityDegree {
+		attr := db.Attr(am.Attr)
+		list := make([]entityDegree, 0, len(db.entityIDs))
+		if attr != nil && am.Marker >= 0 && am.Marker < len(attr.Markers) {
+			rep := attr.Markers[am.Marker].Centroid
+			for _, id := range db.entityIDs {
+				list = append(list, entityDegree{
+					entity: id,
+					degree: db.Membership.DegreeMarker(db, id, attr, am.Marker, rep),
+				})
+			}
 		}
-	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].degree != list[j].degree {
-			return list[i].degree > list[j].degree
-		}
-		return list[i].entity < list[j].entity
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].degree != list[j].degree {
+				return list[i].degree > list[j].degree
+			}
+			return list[i].entity < list[j].entity
+		})
+		return list
 	})
-	db.degreeLists[am] = list
-	return list
 }
 
 // taSource is one predicate's access structure for TA: a sorted list plus

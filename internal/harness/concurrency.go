@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// ConcurrencyResult reports the serving-layer scaling experiment: query
+// throughput single-goroutine vs parallel on one shared DB, and build
+// wall-time sequential vs parallel-worker-pool. Both ride on the same
+// guarantee — concurrent readers and parallel build workers produce
+// results identical to the sequential run — so the only thing that
+// changes is the clock.
+type ConcurrencyResult struct {
+	// Goroutines is the parallel fan-out used (GOMAXPROCS).
+	Goroutines int
+	// QueriesRun is the workload size per throughput measurement.
+	QueriesRun int
+	// SingleQPS / ParallelQPS are queries-per-second with 1 and
+	// Goroutines callers respectively; QueryScaling is their ratio.
+	SingleQPS    float64
+	ParallelQPS  float64
+	QueryScaling float64
+	// BuildSeqSeconds / BuildParSeconds time a small-corpus database
+	// construction with BuildWorkers=1 vs BuildWorkers=GOMAXPROCS;
+	// BuildSpeedup is their ratio.
+	BuildSeqSeconds float64
+	BuildParSeconds float64
+	BuildSpeedup    float64
+	// Errors counts failed queries/builds; nonzero invalidates the run
+	// (timing an error path is not a throughput measurement).
+	Errors int
+}
+
+// RunConcurrency measures concurrent query throughput on the prebuilt
+// hotel DB and parallel-build speedup on a fresh small corpus. On a
+// single-CPU host both ratios hover around 1 by construction; the
+// experiment reports the available parallelism alongside so trajectories
+// across machines stay interpretable.
+func RunConcurrency(hotels *corpus.Dataset, hotelDB *core.DB, seed int64) ConcurrencyResult {
+	res := ConcurrencyResult{Goroutines: runtime.GOMAXPROCS(0)}
+
+	// Query workload: in-schema predicate pairs, cycled. Warm every cache
+	// first so the measurement sees the steady serving state.
+	var preds []string
+	for _, p := range hotels.Predicates {
+		if p.Kind == corpus.KindMarker || p.Kind == corpus.KindParaphrase {
+			preds = append(preds, p.Text)
+		}
+	}
+	if len(preds) < 2 {
+		preds = append(preds, "has really clean rooms", "has friendly staff")
+	}
+	opts := core.DefaultQueryOptions()
+	var queryErrs atomic.Int64
+	runOne := func(i int) {
+		q := []string{preds[i%len(preds)], preds[(i+1)%len(preds)]}
+		if _, err := hotelDB.RankPredicates(q, nil, opts); err != nil {
+			queryErrs.Add(1)
+		}
+	}
+	for i := 0; i < len(preds); i++ {
+		runOne(i)
+	}
+
+	const queries = 192
+	res.QueriesRun = queries
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		runOne(i)
+	}
+	res.SingleQPS = queries / time.Since(start).Seconds()
+
+	start = time.Now()
+	var wg sync.WaitGroup
+	per := queries / res.Goroutines
+	if per == 0 {
+		per = queries
+	}
+	for g := 0; g < res.Goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				runOne(g*per + i)
+			}
+		}()
+	}
+	wg.Wait()
+	res.ParallelQPS = float64(per*res.Goroutines) / time.Since(start).Seconds()
+	res.QueryScaling = res.ParallelQPS / res.SingleQPS
+
+	// Build speedup on a fresh small corpus (excluded: corpus generation).
+	genCfg := corpus.SmallConfig()
+	genCfg.Seed = seed
+	d := corpus.GenerateHotels(genCfg)
+	buildWith := func(workers int) float64 {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		cfg.BuildWorkers = workers
+		t0 := time.Now()
+		if _, err := BuildDB(d, cfg, 400, 300); err != nil {
+			res.Errors++
+		}
+		return time.Since(t0).Seconds()
+	}
+	res.BuildSeqSeconds = buildWith(1)
+	res.BuildParSeconds = buildWith(0)
+	if res.BuildParSeconds > 0 {
+		res.BuildSpeedup = res.BuildSeqSeconds / res.BuildParSeconds
+	}
+	res.Errors += int(queryErrs.Load())
+	return res
+}
+
+// FormatConcurrency renders the concurrency experiment.
+func FormatConcurrency(r ConcurrencyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrency (GOMAXPROCS=%d, %d queries/run)\n", r.Goroutines, r.QueriesRun)
+	fmt.Fprintf(&b, "  query throughput:  %8.1f qps single   %8.1f qps x%d goroutines   (%.2fx)\n",
+		r.SingleQPS, r.ParallelQPS, r.Goroutines, r.QueryScaling)
+	fmt.Fprintf(&b, "  build wall-time:   %8.2fs sequential %8.2fs parallel workers    (%.2fx)\n",
+		r.BuildSeqSeconds, r.BuildParSeconds, r.BuildSpeedup)
+	if r.Errors > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d queries/builds failed; timings above are invalid\n", r.Errors)
+	}
+	return b.String()
+}

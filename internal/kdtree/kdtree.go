@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/embedding"
 	"repro/internal/textproc"
@@ -152,11 +153,22 @@ type SubstitutionIndex struct {
 	model   *embedding.Model
 
 	// Stats counts fast-path vs slow-path lookups, reported in the
-	// Appendix B experiment.
-	FastHits  int
-	SlowHits  int
-	ExactHits int
+	// Appendix B experiment. Updated atomically: Lookup is called from
+	// concurrent query-serving goroutines. Read via the *Hits accessors
+	// (or FastFraction) for a consistent snapshot.
+	fastHits  atomic.Int64
+	slowHits  atomic.Int64
+	exactHits atomic.Int64
 }
+
+// FastHits counts lookups resolved by word substitution or dropping.
+func (ix *SubstitutionIndex) FastHits() int { return int(ix.fastHits.Load()) }
+
+// SlowHits counts lookups that fell back to the k-d tree search.
+func (ix *SubstitutionIndex) SlowHits() int { return int(ix.slowHits.Load()) }
+
+// ExactHits counts lookups resolved by an exact normalized-form hit.
+func (ix *SubstitutionIndex) ExactHits() int { return int(ix.exactHits.Load()) }
 
 // NewSubstitutionIndex builds the index over the phrases of a linguistic
 // domain. The model supplies vectors and IDF weights.
@@ -240,7 +252,7 @@ func NewSubstitutionIndex(phrases []string, model *embedding.Model) *Substitutio
 func (ix *SubstitutionIndex) Lookup(query string) (match string, fast bool) {
 	norm, toks := normalizePhrase(query)
 	if orig, ok := ix.phrases[norm]; ok {
-		ix.ExactHits++
+		ix.exactHits.Add(1)
 		return orig, true
 	}
 	// Try replacing each word with its precomputed substitute.
@@ -250,7 +262,7 @@ func (ix *SubstitutionIndex) Lookup(query string) (match string, fast bool) {
 			continue
 		}
 		if orig, ok := ix.phrases[joinReplaceSorted(toks, i, sub)]; ok {
-			ix.FastHits++
+			ix.fastHits.Add(1)
 			return orig, true
 		}
 	}
@@ -258,7 +270,7 @@ func (ix *SubstitutionIndex) Lookup(query string) (match string, fast bool) {
 	// variation lacks ("HAS firm beds" vs "beds firm").
 	for i := range toks {
 		if orig, ok := ix.phrases[joinDropSorted(toks, i)]; ok {
-			ix.FastHits++
+			ix.fastHits.Add(1)
 			return orig, true
 		}
 		// Drop + substitute another word.
@@ -273,14 +285,14 @@ func (ix *SubstitutionIndex) Lookup(query string) (match string, fast bool) {
 					k = j - 1
 				}
 				if orig, ok := ix.phrases[joinReplaceSorted(dropped, k, sub)]; ok {
-					ix.FastHits++
+					ix.fastHits.Add(1)
 					return orig, true
 				}
 			}
 		}
 	}
 	// Slow path: full k-d tree similarity search.
-	ix.SlowHits++
+	ix.slowHits.Add(1)
 	label, _ := ix.tree.Nearest(ix.model.Rep(query))
 	return label, false
 }
@@ -327,9 +339,9 @@ func joinDropSorted(toks []string, i int) string {
 // FastFraction returns the fraction of non-exact lookups resolved without
 // a tree search (the paper reports 54.5%).
 func (ix *SubstitutionIndex) FastFraction() float64 {
-	total := ix.FastHits + ix.SlowHits
-	if total == 0 {
+	fast, slow := ix.fastHits.Load(), ix.slowHits.Load()
+	if fast+slow == 0 {
 		return 0
 	}
-	return float64(ix.FastHits) / float64(total)
+	return float64(fast) / float64(fast+slow)
 }

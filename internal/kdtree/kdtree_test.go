@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/embedding"
@@ -112,8 +113,8 @@ func TestSubstitutionExactHit(t *testing.T) {
 	if match != "very clean" || !fast {
 		t.Errorf("exact lookup = (%q, %v)", match, fast)
 	}
-	if ix.ExactHits != 1 {
-		t.Errorf("ExactHits = %d", ix.ExactHits)
+	if ix.ExactHits() != 1 {
+		t.Errorf("ExactHits = %d", ix.ExactHits())
 	}
 }
 
@@ -128,8 +129,8 @@ func TestSubstitutionFastPath(t *testing.T) {
 	if !fast {
 		t.Error("substitution should avoid the tree search")
 	}
-	if ix.FastHits != 1 || ix.SlowHits != 0 {
-		t.Errorf("counter state: fast=%d slow=%d", ix.FastHits, ix.SlowHits)
+	if ix.FastHits() != 1 || ix.SlowHits() != 0 {
+		t.Errorf("counter state: fast=%d slow=%d", ix.FastHits(), ix.SlowHits())
 	}
 }
 
@@ -145,8 +146,8 @@ func TestSubstitutionSlowPathFallback(t *testing.T) {
 	if match != "dirty room" { // shares the high-IDF "room" component
 		t.Errorf("slow-path match = %q, want 'dirty room'", match)
 	}
-	if ix.SlowHits != 1 {
-		t.Errorf("SlowHits = %d", ix.SlowHits)
+	if ix.SlowHits() != 1 {
+		t.Errorf("SlowHits = %d", ix.SlowHits())
 	}
 }
 
@@ -205,5 +206,35 @@ func TestLookupWordOrderAndPlural(t *testing.T) {
 	match, fast = ix.Lookup("really clean rooms")
 	if !fast || match != "room very clean" {
 		t.Errorf("substituted Lookup = (%q, %v)", match, fast)
+	}
+}
+
+// TestSubstitutionConcurrentLookup hammers Lookup from many goroutines:
+// the serving path interprets predicates concurrently, so the hit
+// counters must be race-free and the matches stable (run under -race).
+func TestSubstitutionConcurrentLookup(t *testing.T) {
+	m := subModel(t)
+	ix := NewSubstitutionIndex([]string{"very clean", "dirty room"}, m)
+	queries := []string{"very clean", "really clean", "quiet room", "dirty room"}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		want[i], _ = ix.Lookup(q)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := i % len(queries)
+				if match, _ := ix.Lookup(queries[q]); match != want[q] {
+					t.Errorf("Lookup(%q) = %q, want %q", queries[q], match, want[q])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total := ix.ExactHits() + ix.FastHits() + ix.SlowHits(); total != len(queries)+8*50 {
+		t.Errorf("counters sum to %d, want %d", total, len(queries)+8*50)
 	}
 }

@@ -1,0 +1,385 @@
+// Package server puts an HTTP JSON serving surface in front of a built
+// subjective database. The query path of a built core.DB is safe for
+// unlimited concurrent readers (see internal/core's package doc), so the
+// server dispatches every request straight into the engine with no
+// serialization — the process serves as many parallel subjective queries
+// as the hardware allows.
+//
+// Endpoints (mirroring cmd/opinedb's subcommands):
+//
+//	GET  /healthz                       liveness + database shape
+//	GET  /schema                        subjective attributes and markers
+//	POST /query                         {"sql": ..., "k": ...} → ranked rows
+//	GET  /query?sql=...&k=...           same, for quick curls
+//	GET  /interpret?predicate=...       Figure 5 interpretation chain
+//	GET  /evidence?entity=&attribute=   marker summary with provenance
+//	GET  /topk?predicate=...&k=...      Threshold-Algorithm top-k
+//
+// Every response is JSON; errors are {"error": "..."} with a 4xx/5xx
+// status.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options configure a Server.
+type Options struct {
+	// EntityName, when non-nil, resolves an entity id to a display name
+	// included in query results (e.g. the generated hotel name).
+	EntityName func(id string) string
+	// DefaultTopK caps rankings when a request does not specify k.
+	// 0 means core's default of 10.
+	DefaultTopK int
+}
+
+// Server is an http.Handler serving one built subjective database.
+type Server struct {
+	db      *core.DB
+	opts    Options
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New wraps a built database in an HTTP serving surface. The database
+// must not be mutated (AddReview, RebuildSummaries, ...) while the server
+// is accepting traffic; readers need no locking.
+func New(db *core.DB, opts Options) *Server {
+	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/interpret", s.handleInterpret)
+	s.mux.HandleFunc("/evidence", s.handleEvidence)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError emits {"error": msg}.
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Database      string  `json:"database"`
+	Entities      int     `json:"entities"`
+	Extractions   int     `json:"extractions"`
+	Attributes    int     `json:"attributes"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Database:      s.db.Name,
+		Entities:      len(s.db.EntityIDs()),
+		Extractions:   len(s.db.Extractions),
+		Attributes:    len(s.db.Attrs),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// MarkerJSON is one marker of a subjective attribute.
+type MarkerJSON struct {
+	Index     int     `json:"index"`
+	Name      string  `json:"name"`
+	Sentiment float64 `json:"sentiment"`
+}
+
+// AttributeJSON is one subjective attribute of the schema.
+type AttributeJSON struct {
+	Name          string       `json:"name"`
+	Categorical   bool         `json:"categorical"`
+	DomainPhrases int          `json:"domain_phrases"`
+	Markers       []MarkerJSON `json:"markers"`
+}
+
+// SchemaResponse is the /schema payload.
+type SchemaResponse struct {
+	Database   string          `json:"database"`
+	Attributes []AttributeJSON `json:"attributes"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	resp := SchemaResponse{Database: s.db.Name}
+	for _, a := range s.db.Attrs {
+		aj := AttributeJSON{
+			Name:          a.Name,
+			Categorical:   a.Categorical,
+			DomainPhrases: len(a.DomainPhrases),
+		}
+		for i, m := range a.Markers {
+			aj.Markers = append(aj.Markers, MarkerJSON{Index: i, Name: m.Name, Sentiment: m.Sentiment})
+		}
+		resp.Attributes = append(resp.Attributes, aj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	K   int    `json:"k"`
+}
+
+// InterpretationJSON renders one predicate interpretation.
+type InterpretationJSON struct {
+	Predicate     string   `json:"predicate"`
+	Method        string   `json:"method"`
+	Rendered      string   `json:"rendered"`
+	Terms         []string `json:"terms,omitempty"`
+	Disjunction   bool     `json:"disjunction,omitempty"`
+	MatchedPhrase string   `json:"matched_phrase,omitempty"`
+	Similarity    float64  `json:"similarity"`
+}
+
+func interpretationJSON(in core.Interpretation) InterpretationJSON {
+	out := InterpretationJSON{
+		Predicate:     in.Predicate,
+		Method:        string(in.Method),
+		Rendered:      in.String(),
+		Disjunction:   in.Disjunction,
+		MatchedPhrase: in.MatchedPhrase,
+		Similarity:    in.Similarity,
+	}
+	for _, t := range in.Terms {
+		out.Terms = append(out.Terms, t.String())
+	}
+	return out
+}
+
+// RowJSON is one ranked entity.
+type RowJSON struct {
+	EntityID        string             `json:"entity_id"`
+	Name            string             `json:"name,omitempty"`
+	Score           float64            `json:"score"`
+	PredicateScores map[string]float64 `json:"predicate_scores,omitempty"`
+}
+
+// QueryResponse is the /query payload.
+type QueryResponse struct {
+	Rewritten       string                        `json:"rewritten"`
+	Interpretations map[string]InterpretationJSON `json:"interpretations"`
+	Rows            []RowJSON                     `json:"rows"`
+	ElapsedMs       float64                       `json:"elapsed_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("sql")
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			k, err := strconv.Atoi(ks)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad k: %v", err)
+				return
+			}
+			req.K = k
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	opts := core.DefaultQueryOptions()
+	if s.opts.DefaultTopK > 0 {
+		opts.TopK = s.opts.DefaultTopK
+	}
+	if req.K > 0 {
+		opts.TopK = req.K
+	}
+	start := time.Now()
+	res, err := s.db.QueryWithOptions(req.SQL, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	resp := QueryResponse{
+		Rewritten:       res.Rewritten,
+		Interpretations: map[string]InterpretationJSON{},
+		Rows:            []RowJSON{},
+		ElapsedMs:       float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for text, in := range res.Interpretations {
+		resp.Interpretations[text] = interpretationJSON(in)
+	}
+	for _, row := range res.Rows {
+		rj := RowJSON{EntityID: row.EntityID, Score: row.Score, PredicateScores: row.PredicateScores}
+		if s.opts.EntityName != nil {
+			rj.Name = s.opts.EntityName(row.EntityID)
+		}
+		resp.Rows = append(resp.Rows, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// InterpretResponse is the /interpret payload: the chosen interpretation
+// plus the per-stage diagnostics cmd/opinedb's \interpret prints.
+type InterpretResponse struct {
+	Chosen      InterpretationJSON `json:"chosen"`
+	W2VOnly     InterpretationJSON `json:"w2v_only"`
+	CooccurOnly InterpretationJSON `json:"cooccur_only"`
+}
+
+func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
+	pred := strings.Trim(r.URL.Query().Get("predicate"), `"' `)
+	if pred == "" {
+		writeError(w, http.StatusBadRequest, "missing predicate")
+		return
+	}
+	writeJSON(w, http.StatusOK, InterpretResponse{
+		Chosen:      interpretationJSON(s.db.Interpret(pred)),
+		W2VOnly:     interpretationJSON(s.db.InterpretW2VOnly(pred)),
+		CooccurOnly: interpretationJSON(s.db.InterpretCooccurOnly(pred)),
+	})
+}
+
+// EvidenceExtraction is one provenance record.
+type EvidenceExtraction struct {
+	ReviewID string `json:"review_id"`
+	Aspect   string `json:"aspect,omitempty"`
+	Phrase   string `json:"phrase"`
+}
+
+// EvidenceMarker is one marker row of an evidence response.
+type EvidenceMarker struct {
+	Index        int                  `json:"index"`
+	Name         string               `json:"name"`
+	Count        float64              `json:"count"`
+	AvgSentiment float64              `json:"avg_sentiment"`
+	Extractions  []EvidenceExtraction `json:"extractions,omitempty"`
+}
+
+// EvidenceResponse is the /evidence payload: the marker summary of one
+// (entity, attribute) pair with the reviews backing each marker — the
+// paper's "any result returned can be supported with evidence from the
+// reviews".
+type EvidenceResponse struct {
+	EntityID  string           `json:"entity_id"`
+	Attribute string           `json:"attribute"`
+	Total     float64          `json:"total"`
+	Markers   []EvidenceMarker `json:"markers"`
+}
+
+func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	attribute := r.URL.Query().Get("attribute")
+	if entity == "" || attribute == "" {
+		writeError(w, http.StatusBadRequest, "missing entity or attribute")
+		return
+	}
+	attr := s.db.Attr(attribute)
+	if attr == nil {
+		writeError(w, http.StatusNotFound, "no attribute %q", attribute)
+		return
+	}
+	sum := s.db.Summary(attribute, entity)
+	if sum == nil {
+		writeError(w, http.StatusNotFound, "no summary for %s/%s", entity, attribute)
+		return
+	}
+	limit := 3
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = l
+	}
+	resp := EvidenceResponse{EntityID: entity, Attribute: attribute, Total: sum.Total}
+	for i, m := range attr.Markers {
+		em := EvidenceMarker{
+			Index:        i,
+			Name:         m.Name,
+			Count:        sum.Counts[i],
+			AvgSentiment: sum.AvgSentiment(i),
+		}
+		for j, ext := range s.db.ProvenanceOf(attribute, entity, i) {
+			if j >= limit {
+				break
+			}
+			em.Extractions = append(em.Extractions, EvidenceExtraction{
+				ReviewID: ext.ReviewID, Aspect: ext.Aspect, Phrase: ext.Phrase,
+			})
+		}
+		resp.Markers = append(resp.Markers, em)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// TopKResponse is the /topk payload.
+type TopKResponse struct {
+	Rows           []RowJSON `json:"rows"`
+	SortedAccesses int       `json:"sorted_accesses"`
+	Depth          int       `json:"depth"`
+	Candidates     int       `json:"candidates"`
+	ElapsedMs      float64   `json:"elapsed_ms"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	preds := r.URL.Query()["predicate"]
+	if len(preds) == 0 {
+		writeError(w, http.StatusBadRequest, "missing predicate (repeatable)")
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, "bad k")
+			return
+		}
+	}
+	start := time.Now()
+	rows, stats, err := s.db.TopKThreshold(preds, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "topk: %v", err)
+		return
+	}
+	resp := TopKResponse{
+		Rows:           []RowJSON{},
+		SortedAccesses: stats.SortedAccesses,
+		Depth:          stats.Depth,
+		Candidates:     stats.Candidates,
+		ElapsedMs:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, row := range rows {
+		rj := RowJSON{EntityID: row.EntityID, Score: row.Score}
+		if s.opts.EntityName != nil {
+			rj.Name = s.opts.EntityName(row.EntityID)
+		}
+		resp.Rows = append(resp.Rows, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
