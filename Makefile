@@ -1,12 +1,18 @@
-# Tier-1 verification gate (referenced from ROADMAP.md): vet, build,
-# and the full test suite under the race detector. CI and pre-merge
-# checks run `make verify`.
-.PHONY: verify build test race bench serve
+# Tier-1 verification gate (referenced from ROADMAP.md): gofmt
+# cleanliness, vet, build, and the full test suite under the race
+# detector. CI and pre-merge checks run `make verify`.
+.PHONY: verify fmtcheck build test race bench serve snapshot snapshot-smoke
 
-verify:
+verify: fmtcheck
 	go vet ./...
 	go build ./...
 	go test -race ./...
+
+# gofmt cleanliness: fail listing any file that gofmt would rewrite.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	go build ./...
@@ -18,10 +24,20 @@ race:
 	go test -race ./...
 
 # Performance trajectory: every table/figure benchmark plus the
-# concurrency and build benchmarks.
+# concurrency, build, and snapshot persistence benchmarks.
 bench:
 	go test -bench . -benchmem -run xxx .
 
-# Run the HTTP serving daemon on a small corpus.
+# Run the HTTP serving daemon on a small corpus (in-process build).
 serve:
 	go run ./cmd/opinedbd -small -addr :8080
+
+# Build-once / serve-many: write a snapshot artifact, then serve it.
+#   make snapshot && go run ./cmd/opinedbd -snapshot opinedb.snap
+snapshot:
+	go run ./cmd/opinedbb -o opinedb.snap
+
+# Snapshot smoke test: build a small corpus, save, reload, and check the
+# loaded database answers byte-identically (plus one live query).
+snapshot-smoke:
+	go run ./cmd/opinedbb -small -verify -o /tmp/opinedb-smoke.snap

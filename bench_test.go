@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/kdtree"
+	"repro/internal/snapshot"
 	"repro/internal/textproc"
 )
 
@@ -208,6 +210,53 @@ func BenchmarkParallelBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Seed = int64(i + 1)
 		if _, err := harness.BuildDB(d, c, 300, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotSave measures serializing a built small-corpus DB to
+// the versioned snapshot artifact (the offline half of build-once /
+// serve-many).
+func BenchmarkSnapshotSave(b *testing.B) {
+	cfg := corpus.SmallConfig()
+	d := corpus.GenerateHotels(cfg)
+	c := core.DefaultConfig()
+	db, err := harness.BuildDB(d, c, 300, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snapshot.Save(path, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures the serve-many cold start: loading a
+// query-ready DB from the snapshot artifact. It builds the SAME corpus
+// with the SAME config as BenchmarkParallelBuild, so the per-op ratio
+// between the two is the snapshot cold-start speedup (the acceptance
+// floor is 10x; cmd/benchall's "persistence" experiment tracks it).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	cfg := corpus.SmallConfig()
+	d := corpus.GenerateHotels(cfg)
+	c := core.DefaultConfig()
+	c.BuildWorkers = 0 // GOMAXPROCS, as in BenchmarkParallelBuild
+	c.Seed = 1
+	db, err := harness.BuildDB(d, c, 300, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	if _, err := snapshot.Save(path, db); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := snapshot.Load(path); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,21 +1,26 @@
-// Command opinedbd is the always-on OpineDB server: it generates a corpus
-// for the chosen domain, builds the subjective database with the parallel
-// construction pipeline, and serves the HTTP JSON API of internal/server
-// until interrupted.
+// Command opinedbd is the always-on OpineDB server. With -snapshot it is
+// the serving half of the build-once / serve-many split: it loads a
+// snapshot artifact written by opinedbb (mmap-or-read) and serves
+// immediately — cold start in milliseconds instead of rebuilding the
+// corpus. When the snapshot file does not exist (or no -snapshot is
+// given) it falls back to the in-process build: generate a corpus for
+// the chosen domain and run the parallel construction pipeline. Either
+// way it then serves the HTTP JSON API of internal/server until
+// interrupted.
 //
 // Examples:
 //
+//	opinedbb -domain hotel -o hotel.snap && opinedbd -snapshot hotel.snap
 //	opinedbd -addr :8080 -domain hotel
 //	curl 'localhost:8080/query?sql=select+*+from+Hotels+where+"has+really+clean+rooms"&k=5'
-//	curl 'localhost:8080/interpret?predicate=romantic+getaway'
-//	curl 'localhost:8080/schema'
-//	curl 'localhost:8080/evidence?entity=h1&attribute=room_cleanliness'
+//	curl 'localhost:8080/healthz'   # reports snapshot format version, build seed, load time
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -24,59 +29,75 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/corpus"
 	"repro/internal/harness"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	domain := flag.String("domain", "hotel", "corpus domain: hotel or restaurant")
-	seed := flag.Int64("seed", 1, "corpus and build seed")
-	small := flag.Bool("small", false, "build a small corpus (faster startup)")
-	workers := flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS)")
+	snapPath := flag.String("snapshot", "", "snapshot artifact to serve (written by opinedbb); falls back to an in-process build when the file does not exist")
+	domain := flag.String("domain", "hotel", "corpus domain for the in-process build: hotel or restaurant")
+	seed := flag.Int64("seed", 1, "corpus and build seed (in-process build)")
+	small := flag.Bool("small", false, "build a small corpus (faster startup; in-process build)")
+	workers := flag.Int("workers", 0, "build worker pool size (0 = GOMAXPROCS; in-process build)")
+	subindex := flag.Bool("subindex", true, "build the Appendix B substitution index (in-process build; match opinedbb's flag so a fallen-back replica serves identically to its snapshot-loaded peers)")
+	tagged := flag.Int("tagged", 800, "gold sentences for extractor training (in-process build; match opinedbb's flag)")
+	labels := flag.Int("labels", 800, "membership-function training labels (in-process build; match opinedbb's flag)")
 	topK := flag.Int("k", 10, "default result size")
 	flag.Parse()
 
-	genCfg := corpus.DefaultConfig()
-	if *small {
-		genCfg = corpus.SmallConfig()
-		genCfg.HotelsLondon, genCfg.HotelsAmsterdam = 60, 25
-		genCfg.ReviewsPerHotel = 20
-		genCfg.Restaurants = 80
+	var (
+		db       *core.DB
+		snapInfo *server.SnapshotInfo
+	)
+	if *snapPath != "" {
+		loaded, meta, err := snapshot.Load(*snapPath)
+		switch {
+		case err == nil:
+			db = loaded
+			snapInfo = &server.SnapshotInfo{
+				Path:          *snapPath,
+				FormatVersion: meta.FormatVersion,
+				BuildSeed:     meta.BuildSeed,
+				Entities:      meta.Entities,
+				Reviews:       meta.Reviews,
+				Extractions:   meta.Extractions,
+				FileBytes:     meta.FileBytes,
+				LoadMillis:    float64(meta.LoadDuration.Microseconds()) / 1000,
+			}
+			log.Printf("loaded snapshot %s: %s, %d entities, %d reviews, %d extractions, seed %d (%.1fms)",
+				*snapPath, meta.Name, meta.Entities, meta.Reviews, meta.Extractions,
+				meta.BuildSeed, snapInfo.LoadMillis)
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("snapshot %s not found; falling back to in-process build", *snapPath)
+		default:
+			// A present-but-unusable artifact is an operator problem;
+			// silently rebuilding would mask it across a fleet.
+			log.Fatalf("snapshot %s: %v", *snapPath, err)
+		}
 	}
-	genCfg.Seed = *seed
 
-	log.Printf("generating %s corpus and building subjective database...", *domain)
-	start := time.Now()
-	var d *corpus.Dataset
-	switch *domain {
-	case "hotel":
-		d = corpus.GenerateHotels(genCfg)
-	case "restaurant":
-		d = corpus.GenerateRestaurants(genCfg)
-	default:
-		log.Fatalf("unknown domain %q (want hotel or restaurant)", *domain)
+	if db == nil {
+		// Build through the same helper as opinedbb with matching flags, so
+		// a replica that fell back serves the same database its peers
+		// loaded from a snapshot of the same domain/size/seed.
+		log.Printf("generating %s corpus and building subjective database...", *domain)
+		start := time.Now()
+		d, built, err := harness.BuildDomain(*domain, *small, *seed, *workers, *tagged, *labels, *subindex)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		db = built
+		log.Printf("ready: %d entities, %d reviews, %d extractions, %d subjective attributes (%.1fs)",
+			len(d.Entities), len(d.Reviews), len(db.Extractions), len(db.Attrs),
+			time.Since(start).Seconds())
 	}
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.BuildWorkers = *workers
-	db, err := harness.BuildDB(d, cfg, 800, 800)
-	if err != nil {
-		log.Fatalf("build: %v", err)
-	}
-	log.Printf("ready: %d entities, %d reviews, %d extractions, %d subjective attributes (%.1fs)",
-		len(d.Entities), len(d.Reviews), len(db.Extractions), len(db.Attrs),
-		time.Since(start).Seconds())
 
 	srv := server.New(db, server.Options{
 		DefaultTopK: *topK,
-		EntityName: func(id string) string {
-			if e := d.EntityByID(id); e != nil {
-				return e.Name
-			}
-			return ""
-		},
+		EntityName:  entityNamer(db),
+		Snapshot:    snapInfo,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv)}
 
@@ -94,6 +115,22 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("shut down")
+}
+
+// entityNamer resolves display names from the Entities relation's "name"
+// column, which works identically whether the database was built in
+// process or loaded from a snapshot.
+func entityNamer(db *core.DB) func(id string) string {
+	return func(id string) string {
+		v, err := db.ObjectiveValue(id, "name")
+		if err != nil {
+			return ""
+		}
+		if name, ok := v.(string); ok {
+			return name
+		}
+		return ""
+	}
 }
 
 // logRequests is a minimal access-log middleware.

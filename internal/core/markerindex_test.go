@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMarkerIndex covers the lazily built name→index map: hits, misses,
+// and the linear-scan-compatible duplicate rule (lowest index wins).
+func TestMarkerIndex(t *testing.T) {
+	a := &SubjectiveAttribute{
+		Markers: []Marker{
+			{Name: "dirty"}, {Name: "clean"}, {Name: "spotless"}, {Name: "clean"},
+		},
+	}
+	for name, want := range map[string]int{
+		"dirty": 0, "clean": 1, "spotless": 2, "unknown": -1, "": -1,
+	} {
+		if got := a.MarkerIndex(name); got != want {
+			t.Errorf("MarkerIndex(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestMarkerIndexConcurrent races the lazy first build from many readers
+// (run under -race); every caller must see the same complete map.
+func TestMarkerIndexConcurrent(t *testing.T) {
+	a := &SubjectiveAttribute{
+		Markers: []Marker{{Name: "awful"}, {Name: "fine"}, {Name: "great"}},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, m := range a.Markers {
+				if got := a.MarkerIndex(m.Name); got != i {
+					errs <- m.Name
+					return
+				}
+			}
+			if a.MarkerIndex("nope") != -1 {
+				errs <- "nope"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for name := range errs {
+		t.Errorf("concurrent MarkerIndex(%q) wrong", name)
+	}
+}

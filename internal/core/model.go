@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/embedding"
 	"repro/internal/extract"
@@ -62,6 +63,11 @@ type SubjectiveAttribute struct {
 	DomainPhrases map[string]int
 	// phraseMarker caches each domain phrase's marker assignment.
 	phraseMarker map[string]int
+	// markerIdx lazily indexes marker name → position for MarkerIndex;
+	// built once under markerIdxOnce so concurrent readers share it
+	// without locking. Markers are fixed after construction.
+	markerIdxOnce sync.Once
+	markerIdx     map[string]int
 }
 
 // MarkerOf returns the marker index a domain phrase maps to and whether
@@ -71,12 +77,22 @@ func (a *SubjectiveAttribute) MarkerOf(phrase string) (int, bool) {
 	return m, ok
 }
 
-// MarkerIndex returns the index of the named marker, or -1.
+// MarkerIndex returns the index of the named marker, or -1. The lookup
+// map is built lazily on first call (marker sets are fixed after
+// construction); duplicate names resolve to the lowest index, matching
+// the linear scan this replaced.
 func (a *SubjectiveAttribute) MarkerIndex(name string) int {
-	for i, m := range a.Markers {
-		if m.Name == name {
-			return i
+	a.markerIdxOnce.Do(func() {
+		idx := make(map[string]int, len(a.Markers))
+		for i := range a.Markers {
+			if _, dup := idx[a.Markers[i].Name]; !dup {
+				idx[a.Markers[i].Name] = i
+			}
 		}
+		a.markerIdx = idx
+	})
+	if i, ok := a.markerIdx[name]; ok {
+		return i
 	}
 	return -1
 }

@@ -393,6 +393,40 @@ func buildUnigramTable(vocab []string, stats *textproc.CorpusStats, rng *rand.Ra
 	return table
 }
 
+// ModelState is the exported serialization seam for Model: trained
+// vectors plus the corpus statistics that supply IDF weights. Vecs is
+// shared with the live model, not copied — treat a state taken from a
+// live Model as read-only.
+type ModelState struct {
+	Dim   int
+	Vecs  map[string]Vector
+	Stats textproc.CorpusStatsState
+}
+
+// State exports the model for serialization.
+func (m *Model) State() ModelState {
+	return ModelState{Dim: m.dim, Vecs: m.vecs, Stats: m.stats.State()}
+}
+
+// NewModelFromState reconstructs a model from exported state. Phrase
+// representations computed by the reconstructed model are bit-identical
+// to the original's: Rep is a pure function of the vectors and IDF counts
+// restored here.
+func NewModelFromState(st ModelState) (*Model, error) {
+	if st.Dim <= 0 {
+		return nil, fmt.Errorf("embedding: state has non-positive dim %d", st.Dim)
+	}
+	if st.Vecs == nil {
+		st.Vecs = map[string]Vector{}
+	}
+	for w, v := range st.Vecs {
+		if len(v) != st.Dim {
+			return nil, fmt.Errorf("embedding: state vector %q has dim %d, want %d", w, len(v), st.Dim)
+		}
+	}
+	return &Model{dim: st.Dim, vecs: st.Vecs, stats: textproc.NewCorpusStatsFromState(st.Stats)}, nil
+}
+
 // NewModelFromVectors builds a Model directly from precomputed vectors;
 // used by tests and by the substitution index which needs small synthetic
 // models.

@@ -121,6 +121,30 @@ func TrainPerceptron(train []Sentence, epochs int, rng *rand.Rand) (*PerceptronT
 	return avg, nil
 }
 
+// PerceptronState is the exported serialization seam for PerceptronTagger:
+// the averaged feature weights and transition matrix, i.e. everything Tag
+// needs. Weights is shared with the live tagger, not copied — treat a
+// state taken from a live tagger as read-only.
+type PerceptronState struct {
+	Weights map[string][NumTags]float64
+	Trans   [NumTags][NumTags]float64
+}
+
+// State exports the trained tagger for serialization.
+func (p *PerceptronTagger) State() PerceptronState {
+	return PerceptronState{Weights: p.weights, Trans: p.trans}
+}
+
+// NewPerceptronFromState reconstructs a tagger from exported state.
+// Viterbi decoding is a pure function of the restored scores, so the
+// reconstructed tagger tags identically to the original.
+func NewPerceptronFromState(st PerceptronState) *PerceptronTagger {
+	if st.Weights == nil {
+		st.Weights = make(map[string][NumTags]float64)
+	}
+	return &PerceptronTagger{weights: st.Weights, trans: st.Trans}
+}
+
 // Tag implements Tagger via Viterbi decoding over the learned scores.
 func (p *PerceptronTagger) Tag(tokens []string) []Tag {
 	n := len(tokens)

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
@@ -86,6 +87,39 @@ func BuildDB(d *corpus.Dataset, cfg core.Config, taggedN, labelsN int) (*core.DB
 	rng := rand.New(rand.NewSource(cfg.Seed + 13))
 	in := BuildInputFromDataset(d, taggedN, labelsN, rng)
 	return core.Build(in, cfg)
+}
+
+// BuildDomain generates the named domain's corpus and builds its database
+// with the serving defaults. It is the single construction path shared by
+// cmd/opinedbb and cmd/opinedbd's build-in-process fallback: a replica
+// that cannot find its snapshot builds exactly the corpus shape and
+// config a snapshot-writing builder uses, so (by the build-determinism
+// guarantee) it serves the same answers as its snapshot-loaded peers for
+// the same seed.
+func BuildDomain(domain string, small bool, seed int64, workers, taggedN, labelsN int, subindex bool) (*corpus.Dataset, *core.DB, error) {
+	genCfg := corpus.DefaultConfig()
+	if small {
+		genCfg = corpus.SmallConfig()
+	}
+	genCfg.Seed = seed
+	var d *corpus.Dataset
+	switch domain {
+	case "hotel":
+		d = corpus.GenerateHotels(genCfg)
+	case "restaurant":
+		d = corpus.GenerateRestaurants(genCfg)
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown domain %q (want hotel or restaurant)", domain)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.BuildWorkers = workers
+	cfg.UseSubstitutionIndex = subindex
+	db, err := BuildDB(d, cfg, taggedN, labelsN)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, db, nil
 }
 
 // Setting is one objective-filter query setting of Table 4/5.

@@ -12,6 +12,7 @@ package ir
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"sort"
 
@@ -24,16 +25,18 @@ const (
 	b  = 0.75
 )
 
-// posting records one document's term frequency for a term.
-type posting struct {
-	doc int
-	tf  int
+// Posting records one document's term frequency for a term. Exported
+// (with exported fields) so the index state can be serialized by the
+// snapshot layer without conversion.
+type Posting struct {
+	Doc int
+	TF  int
 }
 
 // Index is an inverted index over documents added with Add. The zero value
 // is not usable; call NewIndex.
 type Index struct {
-	postings map[string][]posting
+	postings map[string][]Posting
 	docLen   []int
 	docIDs   []string // external ids, parallel to internal doc numbers
 	byExtID  map[string]int
@@ -43,7 +46,7 @@ type Index struct {
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		postings: make(map[string][]posting),
+		postings: make(map[string][]Posting),
 		byExtID:  make(map[string]int),
 	}
 }
@@ -62,7 +65,7 @@ func (ix *Index) Add(id string, tokens []string) int {
 		tf[t]++
 	}
 	for t, n := range tf {
-		ix.postings[t] = append(ix.postings[t], posting{doc: doc, tf: n})
+		ix.postings[t] = append(ix.postings[t], Posting{Doc: doc, TF: n})
 	}
 	return doc
 }
@@ -153,9 +156,9 @@ func (ix *Index) SearchBoosted(query []string, k int, boost func(id string) floa
 		}
 		idf := ix.idf(term)
 		for _, p := range plist {
-			tf := float64(p.tf)
-			dl := float64(ix.docLen[p.doc])
-			scores[p.doc] += idf * tf * (k1 + 1) / (tf + k1*(1-b+b*dl/avg))
+			tf := float64(p.TF)
+			dl := float64(ix.docLen[p.Doc])
+			scores[p.Doc] += idf * tf * (k1 + 1) / (tf + k1*(1-b+b*dl/avg))
 		}
 	}
 	h := make(resultHeap, 0, k+1)
@@ -204,10 +207,10 @@ func (ix *Index) Score(id string, query []string) float64 {
 		}
 		seen[term] = true
 		for _, p := range ix.postings[term] {
-			if p.doc != doc {
+			if p.Doc != doc {
 				continue
 			}
-			tf := float64(p.tf)
+			tf := float64(p.TF)
 			dl := float64(ix.docLen[doc])
 			s += ix.idf(term) * tf * (k1 + 1) / (tf + k1*(1-b+b*dl/avg))
 			break
@@ -227,6 +230,56 @@ func Sigmoid(score, c float64) float64 {
 		return 0
 	}
 	return 1 / (1 + math.Exp(-x))
+}
+
+// IndexState is the exported serialization seam for Index: the complete
+// inverted-index state except byExtID, which is rebuilt from DocIDs on
+// reconstruction. Slices and maps are shared with the live index, not
+// copied — treat a state taken from a live Index as read-only.
+type IndexState struct {
+	Postings map[string][]Posting
+	DocLen   []int
+	DocIDs   []string
+	TotalLen int64
+}
+
+// State exports the index for serialization.
+func (ix *Index) State() IndexState {
+	return IndexState{Postings: ix.postings, DocLen: ix.docLen, DocIDs: ix.docIDs, TotalLen: ix.totalLen}
+}
+
+// NewIndexFromState reconstructs an index from exported state. BM25 scores
+// from the reconstructed index are bit-identical to the original's: every
+// statistic entering the formula (tf, df, doc lengths, totals) is restored
+// exactly, and posting-list order is preserved.
+func NewIndexFromState(st IndexState) (*Index, error) {
+	if len(st.DocLen) != len(st.DocIDs) {
+		return nil, fmt.Errorf("ir: state has %d doc lengths but %d doc ids", len(st.DocLen), len(st.DocIDs))
+	}
+	n := len(st.DocIDs)
+	for term, plist := range st.Postings {
+		for _, p := range plist {
+			if p.Doc < 0 || p.Doc >= n {
+				return nil, fmt.Errorf("ir: state posting for %q references doc %d of %d", term, p.Doc, n)
+			}
+		}
+	}
+	ix := &Index{
+		postings: st.Postings,
+		docLen:   st.DocLen,
+		docIDs:   st.DocIDs,
+		byExtID:  make(map[string]int, n),
+		totalLen: st.TotalLen,
+	}
+	if ix.postings == nil {
+		ix.postings = make(map[string][]Posting)
+	}
+	// Rebuild the external-id lookup exactly as repeated Add calls would:
+	// later duplicates win.
+	for doc, id := range ix.docIDs {
+		ix.byExtID[id] = doc
+	}
+	return ix, nil
 }
 
 // EntityDocs builds one concatenated document per entity from its reviews,

@@ -292,25 +292,53 @@ func (db *DB) Names() []string {
 	return out
 }
 
-// snapshot is the gob-serializable form of a DB.
-type snapshot struct {
+// DBState is the exported serialization seam for a relational DB: every
+// table's schema (in sorted name order) and rows (in insertion order).
+// Row values are the basic column types (string, int64, float64, bool),
+// which encoding/gob handles without registration. State copies row
+// slices (not the rows themselves), so a state taken under State's locks
+// stays consistent if the live DB keeps inserting.
+type DBState struct {
 	Schemas []Schema
 	Rows    map[string][]Row
 }
 
-// Save persists the database to path with encoding/gob.
-func (db *DB) Save(path string) error {
+// State exports the database for serialization.
+func (db *DB) State() DBState {
 	db.mu.RLock()
-	snap := snapshot{Rows: make(map[string][]Row)}
+	defer db.mu.RUnlock()
+	st := DBState{Rows: make(map[string][]Row)}
 	for _, name := range db.namesLocked() {
 		t := db.tables[name]
-		snap.Schemas = append(snap.Schemas, t.schema)
 		t.mu.RLock()
-		snap.Rows[name] = append([]Row(nil), t.rows...)
+		st.Schemas = append(st.Schemas, t.schema)
+		st.Rows[name] = append([]Row(nil), t.rows...)
 		t.mu.RUnlock()
 	}
-	db.mu.RUnlock()
+	return st
+}
 
+// FromState reconstructs a database from exported state, re-validating
+// every schema and row exactly as the original inserts did.
+func FromState(st DBState) (*DB, error) {
+	db := NewDB()
+	for _, schema := range st.Schemas {
+		t, err := db.Create(schema)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range st.Rows[schema.Name] {
+			if err := t.Insert(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// Save persists the database to path with encoding/gob.
+func (db *DB) Save(path string) error {
+	snap := db.State()
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("relstore: save: %w", err)
@@ -338,21 +366,9 @@ func Load(path string) (*DB, error) {
 		return nil, fmt.Errorf("relstore: load: %w", err)
 	}
 	defer f.Close()
-	var snap snapshot
+	var snap DBState
 	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("relstore: decode: %w", err)
 	}
-	db := NewDB()
-	for _, schema := range snap.Schemas {
-		t, err := db.Create(schema)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range snap.Rows[schema.Name] {
-			if err := t.Insert(r); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db, nil
+	return FromState(snap)
 }

@@ -30,6 +30,22 @@ import (
 	"repro/internal/core"
 )
 
+// SnapshotInfo describes the snapshot artifact a server was loaded from;
+// it is reported verbatim by /healthz so a fleet operator can confirm
+// every replica serves the same build. The daemon fills it from
+// snapshot.Meta; the server package stays decoupled from the snapshot
+// format itself.
+type SnapshotInfo struct {
+	Path          string  `json:"path"`
+	FormatVersion uint32  `json:"format_version"`
+	BuildSeed     int64   `json:"build_seed"`
+	Entities      int     `json:"entities"`
+	Reviews       int     `json:"reviews"`
+	Extractions   int     `json:"extractions"`
+	FileBytes     int64   `json:"file_bytes"`
+	LoadMillis    float64 `json:"load_ms"`
+}
+
 // Options configure a Server.
 type Options struct {
 	// EntityName, when non-nil, resolves an entity id to a display name
@@ -38,6 +54,9 @@ type Options struct {
 	// DefaultTopK caps rankings when a request does not specify k.
 	// 0 means core's default of 10.
 	DefaultTopK int
+	// Snapshot, when non-nil, records that the database was loaded from a
+	// snapshot artifact rather than built in process; /healthz reports it.
+	Snapshot *SnapshotInfo
 }
 
 // Server is an http.Handler serving one built subjective database.
@@ -79,7 +98,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// HealthResponse is the /healthz payload.
+// HealthResponse is the /healthz payload: liveness, database shape, and
+// provenance — whether the process built its database in memory or loaded
+// a snapshot artifact, and if so which one.
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	Database      string  `json:"database"`
@@ -87,9 +108,18 @@ type HealthResponse struct {
 	Extractions   int     `json:"extractions"`
 	Attributes    int     `json:"attributes"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Source is "snapshot" when the database was loaded from an artifact,
+	// "built" when constructed in process.
+	Source string `json:"source"`
+	// Snapshot carries the artifact metadata when Source is "snapshot".
+	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	source := "built"
+	if s.opts.Snapshot != nil {
+		source = "snapshot"
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		Database:      s.db.Name,
@@ -97,6 +127,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Extractions:   len(s.db.Extractions),
 		Attributes:    len(s.db.Attrs),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Source:        source,
+		Snapshot:      s.opts.Snapshot,
 	})
 }
 

@@ -1,0 +1,714 @@
+package snapshot
+
+// Hand-rolled binary codecs for the snapshot sections. gob's
+// reflection-driven decoding was ~70% of snapshot load time (the whole
+// point of a snapshot is a millisecond cold start), so every section
+// except the tiny metadata one uses an explicit length-prefixed encoding
+// over the packages' exported state seams. All integers are
+// uvarint/varint, floats are fixed 8-byte IEEE-754 bits (bit-exact
+// round-trip, which the byte-identical query guarantee depends on),
+// strings and slices are length-prefixed. Maps are written in sorted key
+// order, so every section payload is byte-stable across identical builds
+// — operators can diff or hash artifacts to confirm replicas carry the
+// same build (only the meta section varies, by its creation timestamp).
+//
+// These codecs decode payloads that already passed the container CRC, so
+// a decode failure means a format bug or a version mismatch the header
+// check missed; they still fail with errors, never panics, via the
+// sticky-error reader.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/extract"
+	"repro/internal/fuzzy"
+	"repro/internal/ir"
+	"repro/internal/kdtree"
+	"repro/internal/relstore"
+)
+
+// enc is an append-only binary writer.
+type enc struct {
+	b   []byte
+	err error
+}
+
+func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f64(v float64)    { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) f64s(v []float64) {
+	e.uvarint(uint64(len(v)))
+	for _, f := range v {
+		e.f64(f)
+	}
+}
+func (e *enc) ints(v []int) {
+	e.uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.varint(int64(x))
+	}
+}
+func (e *enc) strs(v []string) {
+	e.uvarint(uint64(len(v)))
+	for _, s := range v {
+		e.str(s)
+	}
+}
+
+// dec is a sticky-error binary reader over one section payload.
+type dec struct {
+	b       []byte
+	off     int
+	section string
+	err     error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: decode %s: malformed %s at offset %d", d.section, what, d.off)
+	}
+}
+func (d *dec) u8() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+func (d *dec) f64() float64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+func (d *dec) boolean() bool { return d.u8() != 0 }
+
+// count reads a length prefix and sanity-bounds it by the bytes left
+// (every counted element occupies at least one byte), so a corrupt
+// length cannot drive a huge allocation.
+func (d *dec) count(what string) int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.b)-d.off) {
+		d.fail(what + " count")
+		return 0
+	}
+	return int(v)
+}
+func (d *dec) str() string {
+	n := d.count("string")
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *dec) f64s() []float64 {
+	n := d.uvarint()
+	if d.err != nil || n > uint64((len(d.b)-d.off)/8) {
+		d.fail("float64 slice")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+func (d *dec) ints() []int {
+	n := d.count("int slice")
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.varint())
+	}
+	return out
+}
+func (d *dec) strs() []string {
+	n := d.count("string slice")
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("snapshot: decode %s: %d trailing bytes", d.section, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *enc) stringIntMap(m map[string]int) {
+	e.uvarint(uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		e.str(k)
+		e.varint(int64(m[k]))
+	}
+}
+func (d *dec) stringIntMap() map[string]int {
+	n := d.count("map")
+	m := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		m[k] = int(d.varint())
+	}
+	return m
+}
+
+func (e *enc) stringF64Map(m map[string]float64) {
+	e.uvarint(uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		e.str(k)
+		e.f64(m[k])
+	}
+}
+func (d *dec) stringF64Map() map[string]float64 {
+	n := d.count("map")
+	m := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		m[k] = d.f64()
+	}
+	return m
+}
+
+// ---- relstore.DBState ----
+
+func encodeRelState(st relstore.DBState) ([]byte, error) {
+	e := &enc{}
+	e.uvarint(uint64(len(st.Schemas)))
+	for _, schema := range st.Schemas {
+		e.str(schema.Name)
+		e.str(schema.Key)
+		e.uvarint(uint64(len(schema.Columns)))
+		for _, col := range schema.Columns {
+			e.str(col.Name)
+			e.uvarint(uint64(col.Type))
+		}
+		rows := st.Rows[schema.Name]
+		e.uvarint(uint64(len(rows)))
+		for _, row := range rows {
+			if len(row) != len(schema.Columns) {
+				return nil, fmt.Errorf("snapshot: encode rel: %s row arity %d, want %d",
+					schema.Name, len(row), len(schema.Columns))
+			}
+			for ci, v := range row {
+				if v == nil {
+					e.u8(0)
+					continue
+				}
+				e.u8(1)
+				switch schema.Columns[ci].Type {
+				case relstore.TString:
+					s, ok := v.(string)
+					if !ok {
+						return nil, fmt.Errorf("snapshot: encode rel: %s.%s holds %T", schema.Name, schema.Columns[ci].Name, v)
+					}
+					e.str(s)
+				case relstore.TInt:
+					x, ok := v.(int64)
+					if !ok {
+						return nil, fmt.Errorf("snapshot: encode rel: %s.%s holds %T", schema.Name, schema.Columns[ci].Name, v)
+					}
+					e.varint(x)
+				case relstore.TFloat:
+					f, ok := v.(float64)
+					if !ok {
+						return nil, fmt.Errorf("snapshot: encode rel: %s.%s holds %T", schema.Name, schema.Columns[ci].Name, v)
+					}
+					e.f64(f)
+				case relstore.TBool:
+					bv, ok := v.(bool)
+					if !ok {
+						return nil, fmt.Errorf("snapshot: encode rel: %s.%s holds %T", schema.Name, schema.Columns[ci].Name, v)
+					}
+					e.boolean(bv)
+				default:
+					return nil, fmt.Errorf("snapshot: encode rel: unknown column type %v", schema.Columns[ci].Type)
+				}
+			}
+		}
+	}
+	return e.b, nil
+}
+
+func decodeRelState(payload []byte) (relstore.DBState, error) {
+	d := &dec{b: payload, section: SectionRel}
+	st := relstore.DBState{Rows: map[string][]relstore.Row{}}
+	nschemas := d.count("schema")
+	for i := 0; i < nschemas && d.err == nil; i++ {
+		schema := relstore.Schema{Name: d.str(), Key: d.str()}
+		ncols := d.count("column")
+		for c := 0; c < ncols && d.err == nil; c++ {
+			schema.Columns = append(schema.Columns, relstore.Column{
+				Name: d.str(),
+				Type: relstore.Type(d.uvarint()),
+			})
+		}
+		nrows := d.count("row")
+		rows := make([]relstore.Row, 0, nrows)
+		for r := 0; r < nrows && d.err == nil; r++ {
+			row := make(relstore.Row, len(schema.Columns))
+			for ci := range schema.Columns {
+				if d.u8() == 0 {
+					continue // NULL
+				}
+				switch schema.Columns[ci].Type {
+				case relstore.TString:
+					row[ci] = d.str()
+				case relstore.TInt:
+					row[ci] = d.varint()
+				case relstore.TFloat:
+					row[ci] = d.f64()
+				case relstore.TBool:
+					row[ci] = d.boolean()
+				default:
+					d.fail("column type")
+				}
+			}
+			rows = append(rows, row)
+		}
+		st.Schemas = append(st.Schemas, schema)
+		st.Rows[schema.Name] = rows
+	}
+	return st, d.finish()
+}
+
+// ---- embedding.ModelState ----
+
+func encodeEmbeddingState(st embedding.ModelState) []byte {
+	e := &enc{}
+	e.uvarint(uint64(st.Dim))
+	e.uvarint(uint64(len(st.Vecs)))
+	for _, w := range sortedKeys(st.Vecs) {
+		e.str(w)
+		e.f64s(st.Vecs[w])
+	}
+	e.uvarint(uint64(st.Stats.DocCount))
+	e.stringIntMap(st.Stats.DF)
+	e.stringIntMap(st.Stats.TermCount)
+	e.varint(st.Stats.Total)
+	return e.b
+}
+
+func decodeEmbeddingState(payload []byte) (embedding.ModelState, error) {
+	d := &dec{b: payload, section: SectionEmbedding}
+	st := embedding.ModelState{Dim: int(d.uvarint())}
+	nvecs := d.count("vector")
+	st.Vecs = make(map[string]embedding.Vector, nvecs)
+	for i := 0; i < nvecs && d.err == nil; i++ {
+		w := d.str()
+		st.Vecs[w] = d.f64s()
+	}
+	st.Stats.DocCount = int(d.uvarint())
+	st.Stats.DF = d.stringIntMap()
+	st.Stats.TermCount = d.stringIntMap()
+	st.Stats.Total = d.varint()
+	return st, d.finish()
+}
+
+// ---- ir.IndexState ----
+
+func encodeIndexState(st ir.IndexState) []byte {
+	e := &enc{}
+	e.strs(st.DocIDs)
+	e.ints(st.DocLen)
+	e.varint(st.TotalLen)
+	e.uvarint(uint64(len(st.Postings)))
+	for _, term := range sortedKeys(st.Postings) {
+		e.str(term)
+		plist := st.Postings[term]
+		e.uvarint(uint64(len(plist)))
+		for _, p := range plist {
+			e.varint(int64(p.Doc))
+			e.varint(int64(p.TF))
+		}
+	}
+	return e.b
+}
+
+func decodeIndexState(payload []byte, section string) (ir.IndexState, error) {
+	d := &dec{b: payload, section: section}
+	st := ir.IndexState{
+		DocIDs:   d.strs(),
+		DocLen:   d.ints(),
+		TotalLen: d.varint(),
+	}
+	nterms := d.count("term")
+	st.Postings = make(map[string][]ir.Posting, nterms)
+	for i := 0; i < nterms && d.err == nil; i++ {
+		term := d.str()
+		nposts := d.count("posting")
+		plist := make([]ir.Posting, 0, nposts)
+		for p := 0; p < nposts && d.err == nil; p++ {
+			plist = append(plist, ir.Posting{Doc: int(d.varint()), TF: int(d.varint())})
+		}
+		st.Postings[term] = plist
+	}
+	return st, d.finish()
+}
+
+// ---- core.DBState ----
+
+func (e *enc) config(cfg core.Config) {
+	e.varint(int64(cfg.MarkersPerAttr))
+	e.f64(cfg.W2VThreshold)
+	e.f64(cfg.CooccurThreshold)
+	e.varint(int64(cfg.CooccurTopK))
+	e.varint(int64(cfg.CooccurTopN))
+	e.f64(cfg.CooccurMinIDF)
+	e.f64(cfg.FallbackCenter)
+	e.f64(cfg.MinClassifierConfidence)
+	e.f64(cfg.MinPhraseCoverage)
+	e.varint(int64(cfg.FuzzyVariant))
+	e.varint(int64(cfg.MinPhraseCount))
+	e.boolean(cfg.UseSubstitutionIndex)
+	e.varint(int64(cfg.Embedding.Dim))
+	e.varint(int64(cfg.Embedding.Window))
+	e.varint(int64(cfg.Embedding.Negatives))
+	e.varint(int64(cfg.Embedding.Epochs))
+	e.f64(cfg.Embedding.LR)
+	e.varint(int64(cfg.Embedding.MinCount))
+	e.varint(int64(cfg.TaggerEpochs))
+	e.varint(cfg.Seed)
+	e.varint(int64(cfg.BuildWorkers))
+}
+
+func (d *dec) config() core.Config {
+	var cfg core.Config
+	cfg.MarkersPerAttr = int(d.varint())
+	cfg.W2VThreshold = d.f64()
+	cfg.CooccurThreshold = d.f64()
+	cfg.CooccurTopK = int(d.varint())
+	cfg.CooccurTopN = int(d.varint())
+	cfg.CooccurMinIDF = d.f64()
+	cfg.FallbackCenter = d.f64()
+	cfg.MinClassifierConfidence = d.f64()
+	cfg.MinPhraseCoverage = d.f64()
+	cfg.FuzzyVariant = fuzzy.Variant(d.varint())
+	cfg.MinPhraseCount = int(d.varint())
+	cfg.UseSubstitutionIndex = d.boolean()
+	cfg.Embedding.Dim = int(d.varint())
+	cfg.Embedding.Window = int(d.varint())
+	cfg.Embedding.Negatives = int(d.varint())
+	cfg.Embedding.Epochs = int(d.varint())
+	cfg.Embedding.LR = d.f64()
+	cfg.Embedding.MinCount = int(d.varint())
+	cfg.TaggerEpochs = int(d.varint())
+	cfg.Seed = d.varint()
+	cfg.BuildWorkers = int(d.varint())
+	return cfg
+}
+
+func (e *enc) logReg(m *classify.LogReg) {
+	if m == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.f64s(m.W)
+	e.f64(m.Bias)
+}
+
+func (e *enc) summary(s *core.MarkerSummary) {
+	e.f64s(s.Counts)
+	e.f64s(s.SentSum)
+	e.uvarint(uint64(len(s.VecSum)))
+	for _, v := range s.VecSum {
+		e.f64s(v)
+	}
+	e.f64(s.Total)
+	e.uvarint(uint64(len(s.Provenance)))
+	for _, ids := range s.Provenance {
+		e.ints(ids)
+	}
+}
+
+func (d *dec) summary() *core.MarkerSummary {
+	s := &core.MarkerSummary{
+		Counts:  d.f64s(),
+		SentSum: d.f64s(),
+	}
+	nvec := d.count("vecsum")
+	s.VecSum = make([]embedding.Vector, nvec)
+	for i := 0; i < nvec && d.err == nil; i++ {
+		s.VecSum[i] = d.f64s()
+	}
+	s.Total = d.f64()
+	nprov := d.count("provenance")
+	s.Provenance = make([][]int, nprov)
+	for i := 0; i < nprov && d.err == nil; i++ {
+		s.Provenance[i] = d.ints()
+	}
+	return s
+}
+
+func encodeCoreState(st *core.DBState) []byte {
+	e := &enc{}
+	e.str(st.Name)
+	e.config(st.Cfg)
+
+	e.uvarint(uint64(len(st.Attrs)))
+	for _, a := range st.Attrs {
+		e.str(a.Name)
+		e.boolean(a.Categorical)
+		e.uvarint(uint64(len(a.Markers)))
+		for _, m := range a.Markers {
+			e.str(m.Name)
+			e.f64(m.Sentiment)
+			e.f64s(m.Centroid)
+		}
+		e.stringIntMap(a.DomainPhrases)
+		e.stringIntMap(a.PhraseMarker)
+	}
+
+	e.uvarint(uint64(len(st.Summaries)))
+	for _, attr := range sortedKeys(st.Summaries) {
+		e.str(attr)
+		byEntity := st.Summaries[attr]
+		e.uvarint(uint64(len(byEntity)))
+		for _, entity := range sortedKeys(byEntity) {
+			e.str(entity)
+			e.summary(byEntity[entity])
+		}
+	}
+
+	e.uvarint(uint64(len(st.Extractions)))
+	for i := range st.Extractions {
+		x := &st.Extractions[i]
+		e.varint(int64(x.ID))
+		e.str(x.EntityID)
+		e.str(x.ReviewID)
+		e.str(x.Reviewer)
+		e.varint(int64(x.Day))
+		e.str(x.Attribute)
+		e.str(x.Aspect)
+		e.str(x.Phrase)
+		e.varint(int64(x.Marker))
+		e.f64(x.Sentiment)
+	}
+
+	e.stringF64Map(st.ReviewSentiments)
+
+	e.logReg(st.Membership.MarkerLR)
+	e.logReg(st.Membership.ScanLR)
+	e.f64(st.Membership.MarkerAccuracy)
+	e.f64(st.Membership.ScanAccuracy)
+	return e.b
+}
+
+func decodeCoreState(payload []byte) (*core.DBState, error) {
+	d := &dec{b: payload, section: SectionCore}
+	st := &core.DBState{Name: d.str(), Cfg: d.config()}
+
+	nattrs := d.count("attribute")
+	for i := 0; i < nattrs && d.err == nil; i++ {
+		a := core.AttributeState{Name: d.str(), Categorical: d.boolean()}
+		nmarkers := d.count("marker")
+		for m := 0; m < nmarkers && d.err == nil; m++ {
+			a.Markers = append(a.Markers, core.Marker{
+				Name:      d.str(),
+				Sentiment: d.f64(),
+				Centroid:  d.f64s(),
+			})
+		}
+		a.DomainPhrases = d.stringIntMap()
+		a.PhraseMarker = d.stringIntMap()
+		st.Attrs = append(st.Attrs, a)
+	}
+
+	nsum := d.count("summary attribute")
+	st.Summaries = make(map[string]map[string]*core.MarkerSummary, nsum)
+	for i := 0; i < nsum && d.err == nil; i++ {
+		attr := d.str()
+		nent := d.count("summary entity")
+		byEntity := make(map[string]*core.MarkerSummary, nent)
+		for j := 0; j < nent && d.err == nil; j++ {
+			entity := d.str()
+			byEntity[entity] = d.summary()
+		}
+		st.Summaries[attr] = byEntity
+	}
+
+	next := d.count("extraction")
+	st.Extractions = make([]core.Extraction, 0, next)
+	for i := 0; i < next && d.err == nil; i++ {
+		st.Extractions = append(st.Extractions, core.Extraction{
+			ID:        int(d.varint()),
+			EntityID:  d.str(),
+			ReviewID:  d.str(),
+			Reviewer:  d.str(),
+			Day:       int(d.varint()),
+			Attribute: d.str(),
+			Aspect:    d.str(),
+			Phrase:    d.str(),
+			Marker:    int(d.varint()),
+			Sentiment: d.f64(),
+		})
+	}
+
+	st.ReviewSentiments = d.stringF64Map()
+
+	st.Membership.MarkerLR = d.decodeLogReg()
+	st.Membership.ScanLR = d.decodeLogReg()
+	st.Membership.MarkerAccuracy = d.f64()
+	st.Membership.ScanAccuracy = d.f64()
+	return st, d.finish()
+}
+
+func (d *dec) decodeLogReg() *classify.LogReg {
+	if d.u8() == 0 {
+		return nil
+	}
+	return &classify.LogReg{W: d.f64s(), Bias: d.f64()}
+}
+
+// ---- extract.PerceptronState ----
+
+func encodeExtractorState(st extract.PerceptronState) []byte {
+	e := &enc{}
+	e.uvarint(extract.NumTags)
+	e.uvarint(uint64(len(st.Weights)))
+	for _, feat := range sortedKeys(st.Weights) {
+		e.str(feat)
+		w := st.Weights[feat]
+		for t := 0; t < extract.NumTags; t++ {
+			e.f64(w[t])
+		}
+	}
+	for i := 0; i < extract.NumTags; i++ {
+		for j := 0; j < extract.NumTags; j++ {
+			e.f64(st.Trans[i][j])
+		}
+	}
+	return e.b
+}
+
+func decodeExtractorState(payload []byte) (extract.PerceptronState, error) {
+	d := &dec{b: payload, section: SectionExtractor}
+	var st extract.PerceptronState
+	if n := d.uvarint(); d.err == nil && n != extract.NumTags {
+		d.err = fmt.Errorf("snapshot: decode %s: tag alphabet size %d, this build uses %d",
+			SectionExtractor, n, extract.NumTags)
+	}
+	nfeats := d.count("feature")
+	st.Weights = make(map[string][extract.NumTags]float64, nfeats)
+	for i := 0; i < nfeats && d.err == nil; i++ {
+		feat := d.str()
+		var w [extract.NumTags]float64
+		for t := 0; t < extract.NumTags; t++ {
+			w[t] = d.f64()
+		}
+		st.Weights[feat] = w
+	}
+	for i := 0; i < extract.NumTags; i++ {
+		for j := 0; j < extract.NumTags; j++ {
+			st.Trans[i][j] = d.f64()
+		}
+	}
+	return st, d.finish()
+}
+
+// ---- kdtree.SubstitutionIndexState ----
+
+func encodeSubIndexState(st kdtree.SubstitutionIndexState) []byte {
+	e := &enc{}
+	e.uvarint(uint64(len(st.Substitute)))
+	for _, w := range sortedKeys(st.Substitute) {
+		e.str(w)
+		e.str(st.Substitute[w])
+	}
+	e.uvarint(uint64(len(st.Phrases)))
+	for _, norm := range sortedKeys(st.Phrases) {
+		e.str(norm)
+		e.str(st.Phrases[norm])
+	}
+	e.strs(st.Labels)
+	return e.b
+}
+
+func decodeSubIndexState(payload []byte) (kdtree.SubstitutionIndexState, error) {
+	d := &dec{b: payload, section: SectionSubIndex}
+	var st kdtree.SubstitutionIndexState
+	nsub := d.count("substitute")
+	st.Substitute = make(map[string]string, nsub)
+	for i := 0; i < nsub && d.err == nil; i++ {
+		w := d.str()
+		st.Substitute[w] = d.str()
+	}
+	nphr := d.count("phrase")
+	st.Phrases = make(map[string]string, nphr)
+	for i := 0; i < nphr && d.err == nil; i++ {
+		norm := d.str()
+		st.Phrases[norm] = d.str()
+	}
+	st.Labels = d.strs()
+	return st, d.finish()
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package snapshot
+
+import "os"
+
+// readSnapshotFile reads the whole file; the mmap fast path is
+// linux-only (see mmap_linux.go).
+func readSnapshotFile(path string) (data []byte, cleanup func(), err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

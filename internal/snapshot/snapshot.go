@@ -1,0 +1,325 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/extract"
+	"repro/internal/ir"
+	"repro/internal/kdtree"
+	"repro/internal/relstore"
+)
+
+// Section names of format version 1. SectionSubIndex is present only when
+// the database was built with the Appendix B substitution index; every
+// other section is required.
+const (
+	SectionMeta        = "meta"
+	SectionRel         = "rel"
+	SectionCore        = "core"
+	SectionEmbedding   = "embedding"
+	SectionReviewIndex = "reviewindex"
+	SectionEntityIndex = "entityindex"
+	SectionExtractor   = "extractor"
+	SectionSubIndex    = "subindex"
+)
+
+// metaPayload is the stored form of the metadata section.
+type metaPayload struct {
+	Name        string
+	BuildSeed   int64
+	Entities    int
+	Reviews     int
+	Extractions int
+	Attributes  int
+	CreatedUnix int64
+}
+
+// toMeta lifts the stored metadata into the public Meta; the single
+// conversion point shared by Write and Load, so the two can never
+// disagree about what a field means.
+func (mp metaPayload) toMeta() *Meta {
+	return &Meta{
+		FormatVersion: FormatVersion,
+		Name:          mp.Name,
+		BuildSeed:     mp.BuildSeed,
+		Entities:      mp.Entities,
+		Reviews:       mp.Reviews,
+		Extractions:   mp.Extractions,
+		Attributes:    mp.Attributes,
+		CreatedUnix:   mp.CreatedUnix,
+	}
+}
+
+// SectionInfo describes one section of a loaded or written snapshot.
+type SectionInfo struct {
+	Name  string
+	Bytes int
+}
+
+// Meta describes a snapshot: the stored build metadata plus, after Load,
+// how the file was read. It backs the /healthz snapshot report.
+type Meta struct {
+	// FormatVersion is the container version of the file.
+	FormatVersion uint32
+	// Name is the database name ("hotel", "restaurant").
+	Name string
+	// BuildSeed is the Config.Seed the corpus was built with.
+	BuildSeed int64
+	// Entities, Reviews, Extractions, Attributes size the corpus.
+	Entities    int
+	Reviews     int
+	Extractions int
+	Attributes  int
+	// CreatedUnix is when the snapshot was written (Unix seconds).
+	CreatedUnix int64
+	// Sections lists the file's sections with payload sizes.
+	Sections []SectionInfo
+	// FileBytes is the total artifact size. Filled by Save and Load.
+	FileBytes int64
+	// LoadDuration is how long Load took. Filled by Load only.
+	LoadDuration time.Duration
+}
+
+// encodeSection gobs v into a named section.
+func encodeSection(name string, v interface{}) (Section, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return Section{}, fmt.Errorf("snapshot: encode %s: %w", name, err)
+	}
+	return Section{Name: name, Payload: buf.Bytes()}, nil
+}
+
+// decodeSection gobs a section payload into out.
+func decodeSection(s Section, out interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(s.Payload)).Decode(out); err != nil {
+		return fmt.Errorf("snapshot: decode %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Write serializes a built database to w. The database must not be
+// mutated (AddReview, RebuildSummaries, ...) until Write returns. It
+// returns the written metadata, including the per-section layout
+// (FileBytes is left zero; Save fills it from the artifact).
+func Write(w io.Writer, db *core.DB) (*Meta, error) {
+	if db == nil {
+		return nil, fmt.Errorf("snapshot: nil database")
+	}
+	tagger, ok := db.Extractor.Tagger.(*extract.PerceptronTagger)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: unsupported tagger %T (format %d serializes the perceptron tagger)",
+			db.Extractor.Tagger, FormatVersion)
+	}
+	st := db.State()
+	mp := metaPayload{
+		Name:        db.Name,
+		BuildSeed:   db.Config().Seed,
+		Entities:    len(db.EntityIDs()),
+		Reviews:     len(db.ReviewSentiments),
+		Extractions: len(db.Extractions),
+		Attributes:  len(db.Attrs),
+		CreatedUnix: time.Now().Unix(),
+	}
+	metaSec, err := encodeSection(SectionMeta, mp)
+	if err != nil {
+		return nil, err
+	}
+	relPayload, err := encodeRelState(db.Rel.State())
+	if err != nil {
+		return nil, err
+	}
+	// Every section except the tiny gob-encoded meta uses the hand-rolled
+	// codecs of codec.go (fast, byte-stable).
+	sections := []Section{
+		metaSec,
+		{Name: SectionRel, Payload: relPayload},
+		{Name: SectionCore, Payload: encodeCoreState(st)},
+		{Name: SectionEmbedding, Payload: encodeEmbeddingState(db.Embed.State())},
+		{Name: SectionReviewIndex, Payload: encodeIndexState(db.ReviewIndex.State())},
+		{Name: SectionEntityIndex, Payload: encodeIndexState(db.EntityIndex.State())},
+	}
+	sections = append(sections, Section{Name: SectionExtractor, Payload: encodeExtractorState(tagger.State())})
+	if db.SubIndex != nil {
+		sections = append(sections, Section{Name: SectionSubIndex, Payload: encodeSubIndexState(db.SubIndex.State())})
+	}
+	meta := mp.toMeta()
+	for _, sec := range sections {
+		meta.Sections = append(meta.Sections, SectionInfo{Name: sec.Name, Bytes: len(sec.Payload)})
+	}
+	if err := writeContainer(w, sections); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// Save writes a snapshot atomically: to a uniquely named temp file in
+// path's directory first, fsynced, then renamed over path, so neither a
+// crashed build nor two builders racing on the same output path can
+// leave a half-written artifact where a server might mmap it. It returns
+// metadata describing the written file.
+func Save(path string, db *core.DB) (*Meta, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".opinedb-snap-*")
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: save: %w", err)
+	}
+	tmp := f.Name()
+	meta, err := Write(f, db)
+	if err == nil {
+		// CreateTemp makes the file 0600; the artifact is meant to be read
+		// by serving processes running as other users.
+		err = f.Chmod(0o644)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("snapshot: save: %w", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: save: %w", err)
+	}
+	meta.FileBytes = fi.Size()
+	return meta, nil
+}
+
+// Load reads a snapshot file (mmap when the platform supports it, plain
+// read otherwise) and reconstructs a query-ready database. The returned
+// DB answers every query byte-identically to the freshly built database
+// the snapshot was taken from. Corrupt or incompatible files return the
+// package's typed errors; a missing file returns an error satisfying
+// errors.Is(err, fs.ErrNotExist).
+func Load(path string) (*core.DB, *Meta, error) {
+	start := time.Now()
+	data, cleanup, err := readSnapshotFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: load: %w", err)
+	}
+	defer cleanup()
+
+	sections, err := parseContainer(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := make(map[string]Section, len(sections))
+	infos := make([]SectionInfo, 0, len(sections))
+	for _, s := range sections {
+		byName[s.Name] = s
+		infos = append(infos, SectionInfo{Name: s.Name, Bytes: len(s.Payload)})
+	}
+	need := func(name string) (Section, error) {
+		s, ok := byName[name]
+		if !ok {
+			return Section{}, fmt.Errorf("%w: %s", ErrMissingSection, name)
+		}
+		return s, nil
+	}
+
+	var mp metaPayload
+	if s, err := need(SectionMeta); err != nil {
+		return nil, nil, err
+	} else if err := decodeSection(s, &mp); err != nil {
+		return nil, nil, err
+	}
+	s, err := need(SectionRel)
+	if err != nil {
+		return nil, nil, err
+	}
+	relState, err := decodeRelState(s.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, err = need(SectionCore); err != nil {
+		return nil, nil, err
+	}
+	coreState, err := decodeCoreState(s.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, err = need(SectionEmbedding); err != nil {
+		return nil, nil, err
+	}
+	embedState, err := decodeEmbeddingState(s.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, err = need(SectionReviewIndex); err != nil {
+		return nil, nil, err
+	}
+	reviewIdxState, err := decodeIndexState(s.Payload, SectionReviewIndex)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, err = need(SectionEntityIndex); err != nil {
+		return nil, nil, err
+	}
+	entityIdxState, err := decodeIndexState(s.Payload, SectionEntityIndex)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, err = need(SectionExtractor); err != nil {
+		return nil, nil, err
+	}
+	taggerState, err := decodeExtractorState(s.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	var subState *kdtree.SubstitutionIndexState
+	if s, ok := byName[SectionSubIndex]; ok {
+		decoded, err := decodeSubIndexState(s.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		subState = &decoded
+	}
+
+	rel, err := relstore.FromState(relState)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %s: %w", SectionRel, err)
+	}
+	embed, err := embedding.NewModelFromState(embedState)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %s: %w", SectionEmbedding, err)
+	}
+	reviewIdx, err := ir.NewIndexFromState(reviewIdxState)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %s: %w", SectionReviewIndex, err)
+	}
+	entityIdx, err := ir.NewIndexFromState(entityIdxState)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %s: %w", SectionEntityIndex, err)
+	}
+	db, err := core.FromState(coreState, core.Components{
+		Rel:         rel,
+		Embed:       embed,
+		ReviewIndex: reviewIdx,
+		EntityIndex: entityIdx,
+		Tagger:      extract.NewPerceptronFromState(taggerState),
+		SubIndex:    subState,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %s: %w", SectionCore, err)
+	}
+
+	meta := mp.toMeta()
+	meta.Sections = infos
+	meta.FileBytes = int64(len(data))
+	meta.LoadDuration = time.Since(start)
+	return db, meta, nil
+}

@@ -1,0 +1,394 @@
+package snapshot_test
+
+// Round-trip determinism and corruption handling of the snapshot layer.
+//
+// The contract under test is the tentpole guarantee: build → save → load
+// must yield a database whose Query, TopKThreshold and Interpret answers
+// are byte-identical (exact float bits) to the freshly built one, under
+// concurrent readers, and every way a file can be unusable — truncation,
+// bit rot, wrong version, wrong magic, missing file — must surface as a
+// typed error, never a panic.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/snapshot"
+)
+
+// Shared fixture: one small hotel corpus + built DB + saved snapshot.
+var (
+	fixOnce   sync.Once
+	fixData   *corpus.Dataset
+	fixDB     *core.DB
+	fixBytes  []byte
+	fixErr    error
+	fixErrCtx string
+)
+
+func fixtures(t *testing.T) (*corpus.Dataset, *core.DB, []byte) {
+	t.Helper()
+	fixOnce.Do(func() {
+		genCfg := corpus.SmallConfig()
+		fixData = corpus.GenerateHotels(genCfg)
+		cfg := core.DefaultConfig()
+		cfg.MarkersPerAttr = 6
+		cfg.UseSubstitutionIndex = true // exercise the optional section
+		fixDB, fixErr = harness.BuildDB(fixData, cfg, 400, 300)
+		if fixErr != nil {
+			fixErrCtx = "build"
+			return
+		}
+		dir, err := os.MkdirTemp("", "snapshot-fixture-*")
+		if err != nil {
+			fixErr, fixErrCtx = err, "tempdir"
+			return
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "fixture.snap")
+		if _, fixErr = snapshot.Save(path, fixDB); fixErr != nil {
+			fixErrCtx = "save"
+			return
+		}
+		fixBytes, fixErr = os.ReadFile(path)
+		if fixErr != nil {
+			fixErrCtx = "read"
+		}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture %s: %v", fixErrCtx, fixErr)
+	}
+	return fixData, fixDB, fixBytes
+}
+
+// writeSnap materializes raw snapshot bytes as a file for Load.
+func writeSnap(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// loadFixture loads the fixture snapshot from a fresh file.
+func loadFixture(t *testing.T) (*core.DB, *snapshot.Meta) {
+	t.Helper()
+	_, _, raw := fixtures(t)
+	db, meta, err := snapshot.Load(writeSnap(t, raw))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return db, meta
+}
+
+// TestRoundTripEquivalence is the tentpole acceptance check: the loaded
+// database answers the full harness query set — every bank predicate's
+// interpretation, ranked query and TA top-k — byte-identically to the
+// built one.
+func TestRoundTripEquivalence(t *testing.T) {
+	d, built, _ := fixtures(t)
+	loaded, _ := loadFixture(t)
+	builtFP, n := harness.QueryFingerprint(d, built)
+	loadedFP, _ := harness.QueryFingerprint(d, loaded)
+	if n == 0 {
+		t.Fatal("query fingerprint covered nothing")
+	}
+	if builtFP != loadedFP {
+		t.Fatalf("loaded DB diverges from built DB over %d query-set entries:\n%s",
+			n, firstDiff(builtFP, loadedFP))
+	}
+	t.Logf("loaded DB byte-identical to built DB over %d query-set entries", n)
+}
+
+// TestRoundTripMeta checks the stored metadata round-trips and the load
+// path reports its own timing and layout.
+func TestRoundTripMeta(t *testing.T) {
+	d, built, _ := fixtures(t)
+	_, meta := loadFixture(t)
+	if meta.FormatVersion != snapshot.FormatVersion {
+		t.Errorf("format version %d, want %d", meta.FormatVersion, snapshot.FormatVersion)
+	}
+	if meta.Name != "hotel" {
+		t.Errorf("name %q, want hotel", meta.Name)
+	}
+	if meta.BuildSeed != built.Config().Seed {
+		t.Errorf("build seed %d, want %d", meta.BuildSeed, built.Config().Seed)
+	}
+	if meta.Entities != len(d.Entities) || meta.Reviews != len(d.Reviews) {
+		t.Errorf("corpus size %d/%d, want %d/%d", meta.Entities, meta.Reviews, len(d.Entities), len(d.Reviews))
+	}
+	if meta.Extractions != len(built.Extractions) {
+		t.Errorf("extractions %d, want %d", meta.Extractions, len(built.Extractions))
+	}
+	if meta.LoadDuration <= 0 {
+		t.Error("load duration not recorded")
+	}
+	want := map[string]bool{
+		snapshot.SectionMeta: true, snapshot.SectionRel: true, snapshot.SectionCore: true,
+		snapshot.SectionEmbedding: true, snapshot.SectionReviewIndex: true,
+		snapshot.SectionEntityIndex: true, snapshot.SectionExtractor: true,
+		snapshot.SectionSubIndex: true,
+	}
+	for _, s := range meta.Sections {
+		if !want[s.Name] {
+			t.Errorf("unexpected section %q", s.Name)
+		}
+		delete(want, s.Name)
+	}
+	for name := range want {
+		t.Errorf("missing section %q", name)
+	}
+}
+
+// TestLoadedConcurrentReads drives the loaded database from many
+// goroutines under the race detector: the reconstructed caches must
+// uphold core's unlimited-concurrent-readers contract, and every
+// goroutine must see the same answers.
+func TestLoadedConcurrentReads(t *testing.T) {
+	d, _, _ := fixtures(t)
+	loaded, _ := loadFixture(t)
+	preds := make([]string, 0, 8)
+	for _, p := range d.Predicates {
+		if p.Kind == corpus.KindMarker || p.Kind == corpus.KindParaphrase {
+			preds = append(preds, p.Text)
+			if len(preds) == 8 {
+				break
+			}
+		}
+	}
+	if len(preds) < 2 {
+		t.Skip("predicate bank too small")
+	}
+	opts := core.DefaultQueryOptions()
+	sequential := make([]string, len(preds))
+	for i, p := range preds {
+		res, err := loaded.RankPredicates([]string{p}, nil, opts)
+		if err != nil {
+			t.Fatalf("sequential %q: %v", p, err)
+		}
+		sequential[i] = renderRows(res)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < len(preds)*3; i++ {
+				pi := (g + i) % len(preds)
+				res, err := loaded.RankPredicates([]string{preds[pi]}, nil, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := renderRows(res); got != sequential[pi] {
+					errs <- errors.New("concurrent result diverged from sequential: " + preds[pi])
+					return
+				}
+				if _, _, err := loaded.TopKThreshold(preds[pi:pi+1], 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func renderRows(res *core.QueryResult) string {
+	out := ""
+	for _, r := range res.Rows {
+		out += r.EntityID + "," // scores compared via fingerprint test
+	}
+	return out
+}
+
+// parseLayout walks the documented container layout (magic, version,
+// count, section table, payloads) independently of the package's own
+// parser, returning section name → (payload, crc). It doubles as a
+// format-layout regression test: if the writer's layout drifts from the
+// documented one, this parser breaks.
+func parseLayout(t *testing.T, data []byte) map[string]struct {
+	payload []byte
+	crc     uint32
+} {
+	t.Helper()
+	if string(data[:8]) != snapshot.Magic {
+		t.Fatalf("magic %q", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != snapshot.FormatVersion {
+		t.Fatalf("version %d", v)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:]))
+	off := 16
+	type entry struct {
+		name string
+		size int
+		crc  uint32
+	}
+	var entries []entry
+	for i := 0; i < count; i++ {
+		nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+		name := string(data[off+2 : off+2+nameLen])
+		size := int(binary.LittleEndian.Uint64(data[off+2+nameLen:]))
+		crc := binary.LittleEndian.Uint32(data[off+10+nameLen:])
+		off += 14 + nameLen
+		entries = append(entries, entry{name: name, size: size, crc: crc})
+	}
+	out := map[string]struct {
+		payload []byte
+		crc     uint32
+	}{}
+	for _, e := range entries {
+		out[e.name] = struct {
+			payload []byte
+			crc     uint32
+		}{payload: data[off : off+e.size], crc: e.crc}
+		off += e.size
+	}
+	if off != len(data) {
+		t.Fatalf("layout accounts for %d of %d bytes", off, len(data))
+	}
+	return out
+}
+
+// TestArtifactByteStability: two saves of the same built DB produce
+// byte-identical payloads for every section except meta (which carries
+// the creation timestamp), so operators can hash artifacts to confirm
+// replicas serve the same build.
+func TestArtifactByteStability(t *testing.T) {
+	_, _, raw := fixtures(t)
+	_, db, _ := fixtures(t)
+	path := filepath.Join(t.TempDir(), "again.snap")
+	if _, err := snapshot.Save(path, db); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := parseLayout(t, raw), parseLayout(t, raw2)
+	if len(a) != len(b) {
+		t.Fatalf("section counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, sa := range a {
+		sb, ok := b[name]
+		if !ok {
+			t.Fatalf("second save lacks section %q", name)
+		}
+		if name == snapshot.SectionMeta {
+			continue // creation timestamp varies
+		}
+		if sa.crc != sb.crc || !bytes.Equal(sa.payload, sb.payload) {
+			t.Errorf("section %q is not byte-stable across identical saves", name)
+		}
+	}
+}
+
+// TestCorruptionTruncated: every truncation point must produce a typed
+// error (ErrTruncated, or ErrBadMagic when even the magic is cut), and
+// never a panic or a silently wrong database.
+func TestCorruptionTruncated(t *testing.T) {
+	_, _, raw := fixtures(t)
+	for _, n := range []int{0, 3, 7, 8, 11, 15, 40, len(raw) / 2, len(raw) - 1} {
+		if n >= len(raw) {
+			continue
+		}
+		_, _, err := snapshot.Load(writeSnap(t, raw[:n]))
+		if err == nil {
+			t.Fatalf("truncation to %d bytes loaded successfully", n)
+		}
+		if !errors.Is(err, snapshot.ErrTruncated) && !errors.Is(err, snapshot.ErrBadMagic) {
+			t.Errorf("truncation to %d bytes: got %v, want ErrTruncated/ErrBadMagic", n, err)
+		}
+	}
+}
+
+// TestCorruptionChecksum: a flipped payload bit fails the section CRC.
+func TestCorruptionChecksum(t *testing.T) {
+	_, _, raw := fixtures(t)
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0x40 // last payload byte
+	_, _, err := snapshot.Load(writeSnap(t, bad))
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[len(raw)/2] ^= 0x01 // a middle payload byte
+	if _, _, err := snapshot.Load(writeSnap(t, bad)); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("middle flip: got %v, want ErrChecksum", err)
+	}
+}
+
+// TestCorruptionVersion: a future format version is refused up front.
+func TestCorruptionVersion(t *testing.T) {
+	_, _, raw := fixtures(t)
+	bad := append([]byte(nil), raw...)
+	bad[8] = 0x63 // version field little-endian low byte → 99
+	_, _, err := snapshot.Load(writeSnap(t, bad))
+	if !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+// TestCorruptionMagic: a non-snapshot file is identified as such.
+func TestCorruptionMagic(t *testing.T) {
+	_, _, raw := fixtures(t)
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, _, err := snapshot.Load(writeSnap(t, bad)); !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+	if _, _, err := snapshot.Load(writeSnap(t, []byte("definitely not a snapshot file"))); !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("text file: got %v, want ErrBadMagic", err)
+	}
+}
+
+// TestCorruptionTrailing: trailing garbage after the declared sections is
+// rejected with the typed error rather than ignored.
+func TestCorruptionTrailing(t *testing.T) {
+	_, _, raw := fixtures(t)
+	bad := append(append([]byte(nil), raw...), "extra"...)
+	if _, _, err := snapshot.Load(writeSnap(t, bad)); !errors.Is(err, snapshot.ErrTrailingData) {
+		t.Fatalf("got %v, want ErrTrailingData", err)
+	}
+}
+
+// TestMissingFile: a nonexistent path surfaces fs.ErrNotExist so the
+// daemon can distinguish "no snapshot yet" (fall back to building) from
+// "snapshot corrupt" (operator error).
+func TestMissingFile(t *testing.T) {
+	_, _, err := snapshot.Load(filepath.Join(t.TempDir(), "nope.snap"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("got %v, want fs.ErrNotExist", err)
+	}
+}
+
+// firstDiff returns the first differing line of two multi-line strings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  built:  %s\n  loaded: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d lines", len(al), len(bl))
+}

@@ -181,3 +181,32 @@ func (c *CorpusStats) Vocabulary(minCount int) []string {
 	}
 	return out
 }
+
+// CorpusStatsState is the exported serialization seam for CorpusStats:
+// the complete accumulator state, suitable for gob/JSON encoding by the
+// snapshot layer. Maps are shared with the live accumulator, not copied —
+// treat a state taken from a live CorpusStats as read-only.
+type CorpusStatsState struct {
+	DocCount  int
+	DF        map[string]int
+	TermCount map[string]int
+	Total     int64
+}
+
+// State exports the accumulator for serialization.
+func (c *CorpusStats) State() CorpusStatsState {
+	return CorpusStatsState{DocCount: c.docCount, DF: c.df, TermCount: c.termCnt, Total: c.total}
+}
+
+// NewCorpusStatsFromState reconstructs an accumulator from exported state.
+// Nil maps (possible after decoding an empty corpus) are replaced by empty
+// ones so the accumulator stays usable.
+func NewCorpusStatsFromState(st CorpusStatsState) *CorpusStats {
+	if st.DF == nil {
+		st.DF = make(map[string]int)
+	}
+	if st.TermCount == nil {
+		st.TermCount = make(map[string]int)
+	}
+	return &CorpusStats{docCount: st.DocCount, df: st.DF, termCnt: st.TermCount, total: st.Total}
+}
