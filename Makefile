@@ -1,12 +1,29 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench serve snapshot snapshot-smoke
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke
 
 verify: fmtcheck
 	go vet ./...
 	go build ./...
 	go test -race ./...
+
+# Coverage floor: internal/core + internal/snapshot own the correctness
+# contracts (byte-identical serving, typed corruption errors), so their
+# combined statement coverage must stay at or above 75%.
+COVER_FLOOR := 75
+cover:
+	go test -coverprofile=cover.out ./internal/core ./internal/snapshot
+	@go tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(COVER_FLOOR)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_FLOOR); exit 1 } \
+		else { printf "coverage %.1f%% (floor $(COVER_FLOOR)%%)\n", $$3 } }'
+
+# Short coverage-guided fuzz smoke over each fuzz target (CI runs this;
+# longer local runs: go test -fuzz=FuzzParseQuery -fuzztime 5m ...).
+FUZZTIME := 10s
+fuzz-smoke:
+	go test -run xxx -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/sqlparse
+	go test -run xxx -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) ./internal/snapshot
 
 # gofmt cleanliness: fail listing any file that gofmt would rewrite.
 fmtcheck:
@@ -41,3 +58,9 @@ snapshot:
 # loaded database answers byte-identically (plus one live query).
 snapshot-smoke:
 	go run ./cmd/opinedbb -small -verify -o /tmp/opinedb-smoke.snap
+
+# Sharding smoke test: build a small corpus, partition into 4 per-shard
+# snapshots + manifest, reload the fleet behind the router, and check it
+# answers byte-identically to the monolith.
+shard-smoke:
+	go run ./cmd/opinedbb -small -shards 4 -verify -o /tmp/opinedb-shard-smoke.snap

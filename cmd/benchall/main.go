@@ -24,7 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -131,6 +131,10 @@ func main() {
 	if run("persistence") {
 		fmt.Println("running persistence (snapshot cold start vs rebuild)...")
 		fmt.Println(harness.FormatPersistence(harness.RunPersistence(*seed + 700)))
+	}
+	if run("sharding") {
+		fmt.Println("running sharding (scatter-gather router vs monolith)...")
+		fmt.Println(harness.FormatSharding(harness.RunSharding(*seed + 800)))
 	}
 
 	fmt.Printf("total time: %.1fs\n", time.Since(start).Seconds())

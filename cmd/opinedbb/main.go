@@ -4,11 +4,19 @@
 // workers, and writes the result as a versioned snapshot artifact that
 // any number of opinedbd servers can load in milliseconds.
 //
+// With -shards N it additionally partitions the entity space into N
+// contiguous ranges and writes one snapshot per shard plus a checksummed
+// manifest; opinedbd then serves a single shard (-shard-manifest
+// -shard-index) or routes over the fleet (-router).
+//
 // Examples:
 //
 //	opinedbb -domain hotel -o hotel.snap
-//	opinedbb -small -verify -o /tmp/smoke.snap   # build → save → load → query smoke test
-//	opinedbd -snapshot hotel.snap                # serve it
+//	opinedbb -small -verify -o /tmp/smoke.snap     # build → save → load → query smoke test
+//	opinedbd -snapshot hotel.snap                  # serve it
+//	opinedbb -domain hotel -shards 4 -o hotel.snap # hotel-shard0..3.snap + hotel.manifest.json
+//	opinedbd -shard-manifest hotel.manifest.json -shard-index 2
+//	opinedbd -router hotel.manifest.json
 package main
 
 import (
@@ -16,14 +24,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/harness"
+	"repro/internal/router"
 	"repro/internal/snapshot"
 )
 
 func main() {
-	out := flag.String("o", "opinedb.snap", "snapshot output path")
+	out := flag.String("o", "opinedb.snap", "snapshot output path; with -shards > 1 the base name for <base>-shardK.snap and <base>.manifest.json")
 	domain := flag.String("domain", "hotel", "corpus domain: hotel or restaurant")
 	seed := flag.Int64("seed", 1, "corpus and build seed")
 	small := flag.Bool("small", false, "build a small corpus (faster)")
@@ -31,7 +44,8 @@ func main() {
 	tagged := flag.Int("tagged", 800, "gold sentences for extractor training")
 	labels := flag.Int("labels", 800, "membership-function training labels")
 	subindex := flag.Bool("subindex", true, "build the Appendix B substitution index into the snapshot")
-	verify := flag.Bool("verify", false, "after writing, reload the snapshot and check query equivalence against the in-memory build")
+	shards := flag.Int("shards", 1, "partition the entity space into N per-shard snapshots plus a manifest (1 = monolithic)")
+	verify := flag.Bool("verify", false, "after writing, reload the artifact(s) and check query equivalence against the in-memory build")
 	flag.Parse()
 
 	log.Printf("generating %s corpus and building subjective database...", *domain)
@@ -43,6 +57,11 @@ func main() {
 	buildSecs := time.Since(start).Seconds()
 	log.Printf("built: %d entities, %d reviews, %d extractions, %d subjective attributes (%.1fs)",
 		len(d.Entities), len(d.Reviews), len(db.Extractions), len(db.Attrs), buildSecs)
+
+	if *shards > 1 {
+		writeSharded(d, db, *out, *shards, *seed, buildSecs, *verify)
+		os.Exit(0)
+	}
 
 	start = time.Now()
 	meta, err := snapshot.Save(*out, db)
@@ -76,4 +95,78 @@ func main() {
 			buildSecs/loadMeta.LoadDuration.Seconds())
 	}
 	os.Exit(0)
+}
+
+// shardBase strips the output path's extension: hotel.snap → hotel.
+func shardBase(out string) string { return strings.TrimSuffix(out, filepath.Ext(out)) }
+
+// writeSharded partitions the built database, writes one snapshot per
+// shard plus the checksummed manifest, and optionally verifies that a
+// router over the reloaded shards answers byte-identically to the
+// in-memory monolith.
+func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, seed int64, buildSecs float64, verify bool) {
+	base := shardBase(out)
+	shardDBs, parts, err := db.Shards(shards)
+	if err != nil {
+		log.Fatalf("shard: %v", err)
+	}
+	manifest := &snapshot.Manifest{
+		FormatVersion: snapshot.FormatVersion,
+		Name:          db.Name,
+		BuildSeed:     seed,
+		Shards:        shards,
+		TotalEntities: len(db.EntityIDs()),
+		CreatedUnix:   time.Now().Unix(),
+	}
+	start := time.Now()
+	for i, shardDB := range shardDBs {
+		ids := parts[i]
+		path := fmt.Sprintf("%s-shard%d.snap", base, i)
+		meta, err := snapshot.SaveShard(path, shardDB, &snapshot.ShardMeta{
+			Index:         i,
+			Count:         shards,
+			Entities:      len(ids),
+			TotalEntities: len(db.EntityIDs()),
+			FirstEntity:   ids[0],
+			LastEntity:    ids[len(ids)-1],
+		})
+		if err != nil {
+			log.Fatalf("shard %d: save: %v", i, err)
+		}
+		digest, err := snapshot.FileDigest(path)
+		if err != nil {
+			log.Fatalf("shard %d: digest: %v", i, err)
+		}
+		manifest.Shard = append(manifest.Shard, snapshot.ManifestShard{
+			Index:          i,
+			Path:           filepath.Base(path),
+			Entities:       len(ids),
+			FirstEntity:    ids[0],
+			LastEntity:     ids[len(ids)-1],
+			SnapshotSHA256: digest,
+			SnapshotBytes:  meta.FileBytes,
+		})
+		log.Printf("wrote %s: %.2f MB, entities [%s .. %s] (%d)",
+			path, float64(meta.FileBytes)/(1<<20), ids[0], ids[len(ids)-1], len(ids))
+	}
+	manifestPath := base + ".manifest.json"
+	if err := snapshot.WriteManifest(manifestPath, manifest); err != nil {
+		log.Fatalf("manifest: %v", err)
+	}
+	log.Printf("wrote %s: %d shards, %d entities (%.2fs)",
+		manifestPath, shards, manifest.TotalEntities, time.Since(start).Seconds())
+
+	if verify {
+		rt, _, err := router.FromManifest(manifestPath, router.ManifestOptions{})
+		if err != nil {
+			log.Fatalf("verify: %v", err)
+		}
+		builtFP, n := harness.QueryFingerprint(d, db)
+		routedFP, _ := harness.QueryFingerprint(d, rt)
+		if builtFP != routedFP {
+			log.Fatalf("verify: sharded fleet diverges from the in-memory build over %d query-set entries", n)
+		}
+		log.Printf("verify: %d-shard fleet byte-identical to the monolith over %d query-set entries", shards, n)
+		fmt.Printf("shard-smoke OK: %d shards, %d query-set entries identical (build %.1fs)\n", shards, n, buildSecs)
+	}
 }

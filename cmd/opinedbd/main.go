@@ -1,19 +1,25 @@
-// Command opinedbd is the always-on OpineDB server. With -snapshot it is
-// the serving half of the build-once / serve-many split: it loads a
-// snapshot artifact written by opinedbb (mmap-or-read) and serves
-// immediately — cold start in milliseconds instead of rebuilding the
-// corpus. When the snapshot file does not exist (or no -snapshot is
-// given) it falls back to the in-process build: generate a corpus for
-// the chosen domain and run the parallel construction pipeline. Either
-// way it then serves the HTTP JSON API of internal/server until
-// interrupted.
+// Command opinedbd is the always-on OpineDB server. It runs in one of
+// three roles:
+//
+//   - Monolith: -snapshot loads a snapshot artifact written by opinedbb
+//     (mmap-or-read) and serves immediately; when the file does not exist
+//     (or no -snapshot is given) it falls back to the in-process build.
+//   - Shard replica: -shard-manifest + -shard-index load one shard of a
+//     sharded build (digest-verified against the manifest) and serve just
+//     that entity range.
+//   - Router: -router loads a shard manifest and scatter-gathers the
+//     query API over the fleet — remote replicas named by
+//     -router-backends, or every shard loaded in process when the flag is
+//     empty (single-binary sharded serving).
 //
 // Examples:
 //
 //	opinedbb -domain hotel -o hotel.snap && opinedbd -snapshot hotel.snap
-//	opinedbd -addr :8080 -domain hotel
+//	opinedbb -domain hotel -shards 4 -o hotel.snap
+//	opinedbd -addr :8081 -shard-manifest hotel.manifest.json -shard-index 0
+//	opinedbd -addr :8080 -router hotel.manifest.json -router-backends http://h1:8081,http://h2:8081,http://h3:8081,http://h4:8081
 //	curl 'localhost:8080/query?sql=select+*+from+Hotels+where+"has+really+clean+rooms"&k=5'
-//	curl 'localhost:8080/healthz'   # reports snapshot format version, build seed, load time
+//	curl 'localhost:8080/healthz'   # router mode aggregates per-shard health
 package main
 
 import (
@@ -25,11 +31,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/snapshot"
 )
@@ -37,6 +45,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapPath := flag.String("snapshot", "", "snapshot artifact to serve (written by opinedbb); falls back to an in-process build when the file does not exist")
+	shardManifest := flag.String("shard-manifest", "", "shard manifest (written by opinedbb -shards); serve the single shard selected by -shard-index")
+	shardIndex := flag.Int("shard-index", -1, "which shard of -shard-manifest to serve")
+	routerManifest := flag.String("router", "", "shard manifest; act as the scatter-gather router over the fleet")
+	routerBackends := flag.String("router-backends", "", "comma-separated shard base URLs for -router, ordered by shard index; empty loads every shard in process")
 	domain := flag.String("domain", "hotel", "corpus domain for the in-process build: hotel or restaurant")
 	seed := flag.Int64("seed", 1, "corpus and build seed (in-process build)")
 	small := flag.Bool("small", false, "build a small corpus (faster startup; in-process build)")
@@ -47,34 +59,46 @@ func main() {
 	topK := flag.Int("k", 10, "default result size")
 	flag.Parse()
 
+	var handler http.Handler
+	switch {
+	case *routerManifest != "":
+		handler = routerHandler(*routerManifest, *routerBackends, *topK)
+	case *shardManifest != "":
+		handler = shardHandler(*shardManifest, *shardIndex, *topK)
+	default:
+		handler = monolithHandler(*snapPath, *domain, *small, *seed, *workers, *tagged, *labels, *subindex, *topK)
+	}
+	serve(*addr, handler)
+}
+
+// monolithHandler is the original single-database role: load a snapshot
+// or build in process.
+func monolithHandler(snapPath, domain string, small bool, seed int64, workers, tagged, labels int, subindex bool, topK int) http.Handler {
 	var (
 		db       *core.DB
 		snapInfo *server.SnapshotInfo
 	)
-	if *snapPath != "" {
-		loaded, meta, err := snapshot.Load(*snapPath)
+	if snapPath != "" {
+		loaded, meta, err := snapshot.Load(snapPath)
 		switch {
 		case err == nil:
-			db = loaded
-			snapInfo = &server.SnapshotInfo{
-				Path:          *snapPath,
-				FormatVersion: meta.FormatVersion,
-				BuildSeed:     meta.BuildSeed,
-				Entities:      meta.Entities,
-				Reviews:       meta.Reviews,
-				Extractions:   meta.Extractions,
-				FileBytes:     meta.FileBytes,
-				LoadMillis:    float64(meta.LoadDuration.Microseconds()) / 1000,
+			if meta.Shard != nil {
+				// A shard artifact silently serving as "the database" would
+				// answer with a fraction of the entity space.
+				log.Fatalf("snapshot %s is shard %d/%d of a sharded build; serve it with -shard-manifest/-shard-index",
+					snapPath, meta.Shard.Index, meta.Shard.Count)
 			}
+			db = loaded
+			snapInfo = snapshotInfo(snapPath, meta)
 			log.Printf("loaded snapshot %s: %s, %d entities, %d reviews, %d extractions, seed %d (%.1fms)",
-				*snapPath, meta.Name, meta.Entities, meta.Reviews, meta.Extractions,
+				snapPath, meta.Name, meta.Entities, meta.Reviews, meta.Extractions,
 				meta.BuildSeed, snapInfo.LoadMillis)
 		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("snapshot %s not found; falling back to in-process build", *snapPath)
+			log.Printf("snapshot %s not found; falling back to in-process build", snapPath)
 		default:
 			// A present-but-unusable artifact is an operator problem;
 			// silently rebuilding would mask it across a fleet.
-			log.Fatalf("snapshot %s: %v", *snapPath, err)
+			log.Fatalf("snapshot %s: %v", snapPath, err)
 		}
 	}
 
@@ -82,9 +106,9 @@ func main() {
 		// Build through the same helper as opinedbb with matching flags, so
 		// a replica that fell back serves the same database its peers
 		// loaded from a snapshot of the same domain/size/seed.
-		log.Printf("generating %s corpus and building subjective database...", *domain)
+		log.Printf("generating %s corpus and building subjective database...", domain)
 		start := time.Now()
-		d, built, err := harness.BuildDomain(*domain, *small, *seed, *workers, *tagged, *labels, *subindex)
+		d, built, err := harness.BuildDomain(domain, small, seed, workers, tagged, labels, subindex)
 		if err != nil {
 			log.Fatalf("build: %v", err)
 		}
@@ -94,12 +118,115 @@ func main() {
 			time.Since(start).Seconds())
 	}
 
-	srv := server.New(db, server.Options{
-		DefaultTopK: *topK,
+	return server.New(db, server.Options{
+		DefaultTopK: topK,
 		EntityName:  entityNamer(db),
 		Snapshot:    snapInfo,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv)}
+}
+
+// shardHandler serves one digest-verified shard of a sharded build.
+func shardHandler(manifestPath string, index, topK int) http.Handler {
+	m, err := snapshot.LoadManifest(manifestPath)
+	if err != nil {
+		log.Fatalf("shard manifest %s: %v", manifestPath, err)
+	}
+	db, meta, err := snapshot.LoadVerifiedShard(manifestPath, m, index)
+	if err != nil {
+		log.Fatalf("shard %d of %s: %v", index, manifestPath, err)
+	}
+	info := snapshotInfo(snapshot.ShardPath(manifestPath, m.Shard[index]), meta)
+	log.Printf("serving shard %d/%d of %s: %d entities [%s .. %s] (%.1fms load)",
+		index, m.Shards, m.Name, meta.Shard.Entities, meta.Shard.FirstEntity, meta.Shard.LastEntity, info.LoadMillis)
+	return server.New(db, server.Options{
+		DefaultTopK: topK,
+		EntityName:  entityNamer(db),
+		Snapshot:    info,
+	})
+}
+
+// routerHandler assembles the scatter-gather router: remote backends when
+// -router-backends is given, otherwise every shard loaded in process.
+func routerHandler(manifestPath, backendList string, topK int) http.Handler {
+	opts := router.Options{DefaultTopK: topK}
+	if backendList == "" {
+		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
+			Options: opts,
+			ShardServer: func(index int, path string, db *core.DB, meta *snapshot.Meta) server.Options {
+				return server.Options{
+					DefaultTopK: topK,
+					EntityName:  entityNamer(db),
+					Snapshot:    snapshotInfo(path, meta),
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("router: %v", err)
+		}
+		log.Printf("routing %s over %d in-process shards", m.Name, m.Shards)
+		return router.NewHandler(rt)
+	}
+	m, err := snapshot.LoadManifest(manifestPath)
+	if err != nil {
+		log.Fatalf("router manifest %s: %v", manifestPath, err)
+	}
+	urls := strings.Split(backendList, ",")
+	if len(urls) != m.Shards {
+		log.Fatalf("router-backends names %d shards, manifest %s has %d", len(urls), manifestPath, m.Shards)
+	}
+	var shards []router.Shard
+	for i, u := range urls {
+		shards = append(shards, router.Shard{
+			Backend:     &router.HTTPBackend{BaseURL: strings.TrimSpace(u)},
+			FirstEntity: m.Shard[i].FirstEntity,
+			LastEntity:  m.Shard[i].LastEntity,
+		})
+	}
+	rt, err := router.New(shards, opts)
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	// A misordered backend list misroutes /evidence silently; refuse to
+	// start if any reachable backend reports the wrong shard identity.
+	// (Unreachable backends are allowed — replicas may still be starting.)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.VerifyShardIdentities(ctx); err != nil {
+		log.Fatalf("%v", err)
+	}
+	log.Printf("routing %s over %d remote shards", m.Name, m.Shards)
+	return router.NewHandler(rt)
+}
+
+// snapshotInfo converts load metadata to the /healthz report.
+func snapshotInfo(path string, meta *snapshot.Meta) *server.SnapshotInfo {
+	info := &server.SnapshotInfo{
+		Path:          path,
+		FormatVersion: meta.FormatVersion,
+		BuildSeed:     meta.BuildSeed,
+		Entities:      meta.Entities,
+		Reviews:       meta.Reviews,
+		Extractions:   meta.Extractions,
+		FileBytes:     meta.FileBytes,
+		LoadMillis:    float64(meta.LoadDuration.Microseconds()) / 1000,
+	}
+	if meta.Shard != nil {
+		info.Entities = meta.Shard.Entities
+		info.Shard = &server.ShardInfo{
+			Index:         meta.Shard.Index,
+			Count:         meta.Shard.Count,
+			Entities:      meta.Shard.Entities,
+			TotalEntities: meta.Shard.TotalEntities,
+			FirstEntity:   meta.Shard.FirstEntity,
+			LastEntity:    meta.Shard.LastEntity,
+		}
+	}
+	return info
+}
+
+// serve runs the HTTP server until interrupted.
+func serve(addr string, handler http.Handler) {
+	httpSrv := &http.Server{Addr: addr, Handler: logRequests(handler)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -110,7 +237,7 @@ func main() {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s", addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

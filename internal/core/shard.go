@@ -1,0 +1,168 @@
+package core
+
+// Horizontal sharding seam. A shard of a built database serves a
+// contiguous range of the (sorted) entity id space while answering every
+// query byte-identically to the monolithic database — the contract the
+// scatter-gather router (internal/router) depends on.
+//
+// What identity requires: a predicate's interpretation and an entity's
+// degree of truth are functions of corpus-global model state — the
+// subjective schema, the embedding model, both BM25 indexes (the entity
+// index's idf enters fallback scores), the review-sentiment and
+// co-occurrence statistics, the extraction relation and the membership
+// model. That state is therefore REPLICATED into every shard. What is
+// PARTITIONED is the per-entity serving state the engine iterates over:
+// the Entities relation and, through it, entityIDs, plus the marker
+// summaries — so a shard only scores, ranks and caches degree lists for
+// its own entity range. Per-entity scores never change; only which
+// entities a process answers for does.
+
+import (
+	"fmt"
+
+	"repro/internal/extract"
+	"repro/internal/kdtree"
+	"repro/internal/relstore"
+)
+
+// PartitionEntities splits the database's sorted entity ids into n
+// contiguous, near-equal ranges (shard i gets ids[i*N/n : (i+1)*N/n]).
+// The split is a pure function of the sorted id list, so every build of
+// the same corpus partitions identically. It errors when n exceeds the
+// entity count (an empty shard serves nothing and signals a misconfigured
+// fleet).
+func (db *DB) PartitionEntities(n int) ([][]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: partition into %d shards", n)
+	}
+	total := len(db.entityIDs)
+	if n > total {
+		return nil, fmt.Errorf("core: %d shards over %d entities leaves empty shards", n, total)
+	}
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, db.entityIDs[i*total/n:(i+1)*total/n])
+	}
+	return out, nil
+}
+
+// Shards partitions the database into n shard databases over contiguous
+// entity ranges — PartitionEntities + ShardDB in one step, so every
+// caller (builder, in-process router, experiments) derives fleets the
+// same way. It returns the shard databases and the entity-id ranges they
+// own, both ordered by shard index.
+func (db *DB) Shards(n int) ([]*DB, [][]string, error) {
+	parts, err := db.PartitionEntities(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*DB, 0, n)
+	for i, ids := range parts {
+		keep := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			keep[id] = true
+		}
+		shard, err := db.ShardDB(func(id string) bool { return keep[id] })
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		out = append(out, shard)
+	}
+	return out, parts, nil
+}
+
+// ShardDB derives a new query-ready database restricted to the entities
+// where keep(id) is true. Global model state (schema, embedding, IR
+// indexes, extractor, membership model, extraction relation, review
+// statistics, substitution index) is shared or rebuilt identically, so
+// the shard's answers for its entities carry the exact float bits the
+// monolith produces; only the Entities relation and the marker summaries
+// are restricted. The receiver must not be mutated while ShardDB runs,
+// and the shard shares read-only structures with it afterwards — treat
+// both as frozen once serving starts (the same rule as snapshot.Write).
+func (db *DB) ShardDB(keep func(entityID string) bool) (*DB, error) {
+	if keep == nil {
+		return nil, fmt.Errorf("core: ShardDB needs a keep predicate")
+	}
+	tagger, ok := db.Extractor.Tagger.(*extract.PerceptronTagger)
+	if !ok {
+		return nil, fmt.Errorf("core: ShardDB supports the perceptron tagger, not %T", db.Extractor.Tagger)
+	}
+
+	st := db.State()
+	shardSt := &DBState{
+		Name:             st.Name,
+		Cfg:              st.Cfg,
+		Attrs:            st.Attrs,
+		Extractions:      st.Extractions,
+		ReviewSentiments: st.ReviewSentiments,
+		Membership:       st.Membership,
+		Summaries:        make(map[string]map[string]*MarkerSummary, len(st.Summaries)),
+	}
+	for attr, byEntity := range st.Summaries {
+		kept := make(map[string]*MarkerSummary)
+		for id, s := range byEntity {
+			if keep(id) {
+				kept[id] = s
+			}
+		}
+		shardSt.Summaries[attr] = kept
+	}
+
+	rel, err := restrictEntities(db.Rel, keep)
+	if err != nil {
+		return nil, err
+	}
+
+	var subState *kdtree.SubstitutionIndexState
+	if db.SubIndex != nil {
+		s := db.SubIndex.State()
+		subState = &s
+	}
+	shard, err := FromState(shardSt, Components{
+		Rel:         rel,
+		Embed:       db.Embed,
+		ReviewIndex: db.ReviewIndex,
+		EntityIndex: db.EntityIndex,
+		Tagger:      tagger,
+		SubIndex:    subState,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: shard reconstruction: %w", err)
+	}
+	return shard, nil
+}
+
+// restrictEntities rebuilds the relational layer with the Entities table
+// limited to kept ids; Reviews and Extractions stay complete (reviewer
+// counts and co-occurrence statistics are corpus-global).
+func restrictEntities(rel *relstore.DB, keep func(string) bool) (*relstore.DB, error) {
+	st := rel.State()
+	for _, schema := range st.Schemas {
+		if schema.Name != "Entities" {
+			continue
+		}
+		keyIdx := -1
+		for i, c := range schema.Columns {
+			if c.Name == schema.Key {
+				keyIdx = i
+			}
+		}
+		if keyIdx < 0 {
+			return nil, fmt.Errorf("core: Entities relation has no key column")
+		}
+		rows := st.Rows[schema.Name]
+		kept := make([]relstore.Row, 0, len(rows))
+		for _, r := range rows {
+			id, ok := r[keyIdx].(string)
+			if !ok {
+				return nil, fmt.Errorf("core: Entities key %v is not a string", r[keyIdx])
+			}
+			if keep(id) {
+				kept = append(kept, r)
+			}
+		}
+		st.Rows[schema.Name] = kept
+	}
+	return relstore.FromState(st)
+}

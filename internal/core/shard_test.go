@@ -1,0 +1,144 @@
+package core_test
+
+// Unit tests of the sharding seam: deterministic partitioning and the
+// per-entity-score identity of a derived shard database. The end-to-end
+// sharded-vs-monolithic byte-identity contract (through snapshots, HTTP
+// and the router merge) lives in internal/router/e2e_test.go.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func TestPartitionEntitiesErrors(t *testing.T) {
+	_, db := testDB(t)
+	if _, err := db.PartitionEntities(0); err == nil {
+		t.Error("0 shards should fail")
+	}
+	if _, err := db.PartitionEntities(-3); err == nil {
+		t.Error("negative shards should fail")
+	}
+	if _, err := db.PartitionEntities(len(db.EntityIDs()) + 1); err == nil {
+		t.Error("more shards than entities should fail")
+	}
+}
+
+func TestPartitionEntitiesCoversContiguously(t *testing.T) {
+	_, db := testDB(t)
+	all := db.EntityIDs()
+	for _, n := range []int{1, 2, 4, 7} {
+		parts, err := db.PartitionEntities(n)
+		if err != nil {
+			t.Fatalf("partition %d: %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("partition %d returned %d parts", n, len(parts))
+		}
+		var joined []string
+		for i, p := range parts {
+			if len(p) == 0 {
+				t.Fatalf("partition %d: shard %d is empty", n, i)
+			}
+			joined = append(joined, p...)
+		}
+		if len(joined) != len(all) {
+			t.Fatalf("partition %d covers %d of %d entities", n, len(joined), len(all))
+		}
+		for i, id := range joined {
+			if id != all[i] {
+				t.Fatalf("partition %d: position %d has %s, want %s (not contiguous/ordered)", n, i, id, all[i])
+			}
+		}
+		// Determinism: a second partition is identical.
+		again, _ := db.PartitionEntities(n)
+		for i := range parts {
+			if len(parts[i]) != len(again[i]) || parts[i][0] != again[i][0] {
+				t.Fatalf("partition %d is not deterministic at shard %d", n, i)
+			}
+		}
+	}
+}
+
+func TestShardDBScoresAreMonolithScores(t *testing.T) {
+	d, db := testDB(t)
+	parts, err := db.PartitionEntities(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple of schema-targeting predicates exercising the marker path
+	// and (via pairing) multi-term scoring.
+	var preds []string
+	for _, p := range d.Predicates {
+		if p.Kind == corpus.KindMarker || p.Kind == corpus.KindParaphrase {
+			preds = append(preds, p.Text)
+			if len(preds) == 4 {
+				break
+			}
+		}
+	}
+	if len(preds) < 2 {
+		t.Skip("predicate bank too small")
+	}
+	opts := core.DefaultQueryOptions()
+	opts.TopK = 0 // rank everything: compare full score maps
+	monolith := map[string]map[string]float64{}
+	for _, p := range preds {
+		res, err := db.RankPredicates([]string{p}, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monolith[p] = map[string]float64{}
+		for _, row := range res.Rows {
+			monolith[p][row.EntityID] = row.Score
+		}
+	}
+
+	for si, ids := range parts {
+		keep := map[string]bool{}
+		for _, id := range ids {
+			keep[id] = true
+		}
+		shard, err := db.ShardDB(func(id string) bool { return keep[id] })
+		if err != nil {
+			t.Fatalf("shard %d: %v", si, err)
+		}
+		if got, want := len(shard.EntityIDs()), len(ids); got != want {
+			t.Fatalf("shard %d serves %d entities, want %d", si, got, want)
+		}
+		for _, p := range preds {
+			// Interpretation state is replicated: identical rendering.
+			if got, want := shard.Interpret(p).String(), db.Interpret(p).String(); got != want {
+				t.Fatalf("shard %d interprets %q as %s, monolith %s", si, p, got, want)
+			}
+			res, err := shard.RankPredicates([]string{p}, nil, opts)
+			if err != nil {
+				t.Fatalf("shard %d: %v", si, err)
+			}
+			for _, row := range res.Rows {
+				if !keep[row.EntityID] {
+					t.Fatalf("shard %d returned foreign entity %s", si, row.EntityID)
+				}
+				want, ok := monolith[p][row.EntityID]
+				if !ok {
+					t.Fatalf("shard %d returned %s which the monolith filtered out", si, row.EntityID)
+				}
+				if row.Score != want {
+					t.Fatalf("shard %d scores %s at %s, monolith %s (bit-exactness broken)",
+						si, row.EntityID,
+						strconv.FormatFloat(row.Score, 'x', -1, 64),
+						strconv.FormatFloat(want, 'x', -1, 64))
+				}
+			}
+		}
+	}
+}
+
+func TestShardDBRejectsBadInput(t *testing.T) {
+	_, db := testDB(t)
+	if _, err := db.ShardDB(nil); err == nil {
+		t.Error("nil keep predicate should fail")
+	}
+}

@@ -157,9 +157,21 @@ func (db *DB) TopKThreshold(predicates []string, k int) ([]ResultRow, TopKStats,
 			}
 		}
 		stats.Depth = depth + 1
-		// TA stop condition: the k-th best aggregate is at least the
-		// threshold, so no unseen entity can enter the top-k.
-		if !progressed || (len(top) >= k && worstTop() >= threshold) {
+		// TA stop condition, deliberately strict: stop only once the k-th
+		// best aggregate EXCEEDS the threshold. The classic >= stop admits
+		// a boundary ambiguity — an unseen entity whose aggregate exactly
+		// equals the k-th score could be kept or dropped depending on list
+		// order — which would make the result depend on how the entity
+		// space is partitioned. Strict comparison guarantees every unseen
+		// entity is strictly worse than the whole top-k, so a sharded
+		// deployment's merged top-k is byte-identical to the monolith's.
+		// Tradeoff, accepted deliberately: a persistent exact tie between
+		// the k-th score and the threshold (e.g. membership degrees
+		// saturating at exactly 1.0 for >= k entities) keeps TA scanning to
+		// the end of the lists — worst-case O(n), the same bound as the
+		// full-scan /query path — because enumerating every potential tie
+		// is precisely what deployment-invariance requires.
+		if !progressed || (len(top) >= k && worstTop() > threshold) {
 			break
 		}
 	}

@@ -97,13 +97,25 @@ func RunPersistence(seed int64) PersistenceResult {
 	return res
 }
 
-// QueryFingerprint serializes a database's answers over the full harness
+// QueryEngine is the query surface QueryFingerprint drives: a *core.DB
+// satisfies it directly, and router.Router implements it by scattering to
+// shard backends — which is exactly how the sharding contract ("a sharded
+// deployment answers byte-identically to the monolith") is enforced.
+type QueryEngine interface {
+	Interpret(text string) core.Interpretation
+	RankPredicates(predicates []string, objective func(entityID string) bool, opts core.QueryOptions) (*core.QueryResult, error)
+	TopKThreshold(predicates []string, k int) ([]core.ResultRow, core.TopKStats, error)
+}
+
+// QueryFingerprint serializes an engine's answers over the full harness
 // query set with exact float bits: the interpretation of every bank
 // predicate, the ranked Query result for every single predicate and
-// adjacent pair, and TopKThreshold for the same workloads. Two databases
-// answering byte-identically produce equal fingerprints. It returns the
-// fingerprint and the number of query-set entries it covers.
-func QueryFingerprint(d *corpus.Dataset, db *core.DB) (string, int) {
+// adjacent pair, and TopKThreshold for the same workloads. Two engines
+// answering byte-identically produce equal fingerprints. Work statistics
+// (TA depth, sorted accesses) are deliberately excluded: they depend on
+// the deployment shape (monolith vs shard fleet), not on the answers.
+// It returns the fingerprint and the number of query-set entries covered.
+func QueryFingerprint(d *corpus.Dataset, db QueryEngine) (string, int) {
 	hexf := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
 	var b strings.Builder
 	n := 0
@@ -139,13 +151,13 @@ func QueryFingerprint(d *corpus.Dataset, db *core.DB) (string, int) {
 		b.WriteByte('\n')
 		n++
 
-		rows, stats, err := db.TopKThreshold(q, 10)
+		rows, _, err := db.TopKThreshold(q, 10)
 		if err != nil {
 			fmt.Fprintf(&b, "topk %v error=%v\n", q, err)
 			n++
 			continue
 		}
-		fmt.Fprintf(&b, "topk %v depth=%d:", q, stats.Depth)
+		fmt.Fprintf(&b, "topk %v:", q)
 		for _, r := range rows {
 			fmt.Fprintf(&b, " %s=%s", r.EntityID, hexf(r.Score))
 		}

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// HTTPBackend talks to a remote opinedbd shard replica over its HTTP JSON
+// API.
+type HTTPBackend struct {
+	// BaseURL is the replica's base address ("http://10.0.0.7:8080").
+	BaseURL string
+	// Client is the HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+}
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.BaseURL }
+
+// Do implements Backend.
+func (b *HTTPBackend) Do(ctx context.Context, method, target string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(b.BaseURL, "/")+target, rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("router: %s %s: %w", method, target, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	client := b.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// LocalBackend serves one in-process shard database through the exact
+// same HTTP handler a remote replica runs, so local and remote fleets are
+// behaviorally indistinguishable (single-binary sharded serving, tests,
+// and the benchall sharding experiment all use it).
+type LocalBackend struct {
+	name    string
+	handler http.Handler
+}
+
+// NewLocalBackend wraps a shard database in an in-process backend.
+func NewLocalBackend(name string, db *core.DB, opts server.Options) *LocalBackend {
+	return &LocalBackend{name: name, handler: server.New(db, opts)}
+}
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return b.name }
+
+// Do implements Backend.
+func (b *LocalBackend) Do(ctx context.Context, method, target string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, target, rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("router: %s %s: %w", method, target, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := &memResponse{header: http.Header{}}
+	b.handler.ServeHTTP(rec, req)
+	return rec.status(), rec.buf.Bytes(), nil
+}
+
+// memResponse is a minimal in-memory http.ResponseWriter for LocalBackend
+// (httptest's recorder, without importing a testing package into the
+// serving path).
+type memResponse struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+func (m *memResponse) WriteHeader(c int) {
+	if m.code == 0 {
+		m.code = c
+	}
+}
+func (m *memResponse) Write(b []byte) (int, error) {
+	if m.code == 0 {
+		m.code = http.StatusOK
+	}
+	return m.buf.Write(b)
+}
+func (m *memResponse) status() int {
+	if m.code == 0 {
+		return http.StatusOK
+	}
+	return m.code
+}

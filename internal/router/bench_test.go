@@ -1,0 +1,93 @@
+package router
+
+// Router micro-benchmarks: scatter + decode + bounded-heap merge over
+// synthetic shard backends (no engine work, isolating the router's own
+// overhead), and the heap merge alone. The end-to-end router-vs-monolith
+// overhead on a real corpus is measured by the benchall "sharding"
+// experiment (harness.RunSharding).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// rawBackend answers every request with fixed pre-marshaled bytes.
+type rawBackend struct {
+	name string
+	body []byte
+}
+
+func (b *rawBackend) Name() string { return b.name }
+func (b *rawBackend) Do(ctx context.Context, method, target string, body []byte) (int, []byte, error) {
+	return 200, b.body, nil
+}
+
+// shardRows fabricates one shard's ranked top-k list.
+func shardRows(rng *rand.Rand, shard, k int) []server.RowJSON {
+	rows := make([]server.RowJSON, k)
+	score := 1.0
+	for i := range rows {
+		score *= 0.9 + 0.1*rng.Float64()
+		rows[i] = server.RowJSON{EntityID: fmt.Sprintf("h%02d%04d", shard, i), Score: score}
+	}
+	return rows
+}
+
+func BenchmarkRouterTopK(b *testing.B) {
+	const k = 10
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			fleet := make([]Shard, shards)
+			for i := range fleet {
+				body, err := json.Marshal(server.TopKResponse{
+					Rows: shardRows(rng, i, k), SortedAccesses: 40, Depth: 12, Candidates: 30,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fleet[i] = Shard{Backend: &rawBackend{name: fmt.Sprintf("s%d", i), body: body}}
+			}
+			rt, err := New(fleet, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			preds := []string{"spotless rooms", "friendly staff"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := rt.TopK(context.Background(), preds, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != k {
+					b.Fatalf("merged %d rows", len(res.Rows))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMergeRanked(b *testing.B) {
+	for _, shards := range []int{2, 4, 8, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			lists := make([][]server.RowJSON, shards)
+			for i := range lists {
+				lists[i] = shardRows(rng, i, 1000)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rows := mergeRanked(lists, 10); len(rows) != 10 {
+					b.Fatal("bad merge")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+package router
+
+// HTTP surface: the router serves the same JSON API as a single shard
+// (internal/server), so clients need not know whether they talk to a
+// monolith, one shard, or a routed fleet. Responses add partial/
+// shard_errors fields when shards are down, and /healthz aggregates the
+// fleet.
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// Handler wraps a Router in the shard-compatible HTTP JSON API.
+type Handler struct {
+	r   *Router
+	mux *http.ServeMux
+}
+
+// NewHandler builds the router's HTTP surface.
+func NewHandler(r *Router) *Handler {
+	h := &Handler{r: r, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux.HandleFunc("/schema", h.handleSchema)
+	h.mux.HandleFunc("/query", h.handleQuery)
+	h.mux.HandleFunc("/interpret", h.handleInterpret)
+	h.mux.HandleFunc("/evidence", h.handleEvidence)
+	h.mux.HandleFunc("/topk", h.handleTopK)
+	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		server.WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// requireMethod guards an endpoint's verb set, emitting the JSON error
+// envelope on mismatch. HEAD is accepted wherever GET is (net/http strips
+// the body), keeping health probes working.
+func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	server.WriteError(w, http.StatusMethodNotAllowed, "use %s", strings.Join(methods, " or "))
+	return false
+}
+
+// RouterHealthResponse is the router's /healthz payload.
+type RouterHealthResponse struct {
+	// Status is "ok" with every shard live, "degraded" otherwise.
+	Status string `json:"status"`
+	// Role distinguishes the router from a shard server's /healthz.
+	Role     string        `json:"role"`
+	Shards   int           `json:"shards"`
+	Entities int           `json:"entities"`
+	Shard    []ShardHealth `json:"shard"`
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	ok, shards := h.r.Health(r.Context())
+	resp := RouterHealthResponse{Status: "ok", Role: "router", Shards: len(shards), Shard: shards}
+	if !ok {
+		resp.Status = "degraded"
+	}
+	for _, s := range shards {
+		resp.Entities += s.Entities
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp, err := h.r.Schema(r.Context())
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Decoding is shared with the shard servers (server.DecodeQueryRequest),
+	// so the two tiers accept and reject exactly the same requests.
+	req, err := server.DecodeQueryRequest(r)
+	if err != nil {
+		if errors.Is(err, server.ErrQueryMethod) {
+			// Shard servers 405 everything but GET/POST here (including
+			// HEAD — /query is not a probe target); mirror them exactly
+			// rather than using requireMethod's HEAD-as-GET leniency.
+			w.Header().Set("Allow", "GET, POST")
+			server.WriteError(w, http.StatusMethodNotAllowed, "%v", err)
+		} else {
+			server.WriteError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	res, err := h.r.Query(r.Context(), req.SQL, req.K)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrBadQuery) {
+			status = http.StatusBadRequest
+		}
+		server.WriteError(w, status, "%v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, res)
+}
+
+func (h *Handler) handleInterpret(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	pred, err := server.DecodeInterpretRequest(r)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := h.r.InterpretChain(r.Context(), pred)
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	// limit stays -1 when unspecified: the owning shard applies its
+	// default, keeping the two tiers identical for the same request.
+	entity, attribute, limit, err := server.DecodeEvidenceRequest(r)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := h.r.Evidence(r.Context(), entity, attribute, limit)
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	// Pass the owning shard's status and body through verbatim.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}
+
+func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	preds, k, err := server.DecodeTopKRequest(r, h.r.defaultK)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := h.r.TopK(r.Context(), preds, k)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrBadQuery) {
+			status = http.StatusBadRequest
+		}
+		server.WriteError(w, status, "%v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, res)
+}

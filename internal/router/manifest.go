@@ -1,0 +1,53 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/snapshot"
+)
+
+// ManifestOptions configure FromManifest.
+type ManifestOptions struct {
+	// Options are the router options.
+	Options
+	// ShardServer, when non-nil, customizes each in-process shard's server
+	// options (entity naming, /healthz snapshot report); path is the
+	// shard's resolved snapshot file. nil serves each shard with zero
+	// options.
+	ShardServer func(index int, path string, db *core.DB, meta *snapshot.Meta) server.Options
+}
+
+// FromManifest assembles a single-process sharded deployment from a shard
+// manifest: every shard snapshot is digest-verified against the manifest,
+// loaded, checked for the shard identity it claims, and served through an
+// in-process backend behind a router. This is the `opinedbd -router`
+// (no -router-backends) path and the builder's -verify path.
+func FromManifest(manifestPath string, opts ManifestOptions) (*Router, *snapshot.Manifest, error) {
+	m, err := snapshot.LoadManifest(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards := make([]Shard, 0, m.Shards)
+	for _, ms := range m.Shard {
+		db, meta, err := snapshot.LoadVerifiedShard(manifestPath, m, ms.Index)
+		if err != nil {
+			return nil, nil, err
+		}
+		var srvOpts server.Options
+		if opts.ShardServer != nil {
+			srvOpts = opts.ShardServer(ms.Index, snapshot.ShardPath(manifestPath, ms), db, meta)
+		}
+		shards = append(shards, Shard{
+			Backend:     NewLocalBackend(fmt.Sprintf("shard%d", ms.Index), db, srvOpts),
+			FirstEntity: ms.FirstEntity,
+			LastEntity:  ms.LastEntity,
+		})
+	}
+	rt, err := New(shards, opts.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rt, m, nil
+}

@@ -1,0 +1,564 @@
+// Package router is the scatter-gather query layer over a sharded
+// OpineDB fleet. Each shard serves a contiguous range of the entity space
+// (built by opinedbb -shards and described by a snapshot.Manifest); the
+// router fans /query, /topk, /interpret and /evidence out to the shard
+// backends, merges ranked results into the exact global answer, and
+// degrades gracefully — partial results plus per-shard error reporting —
+// when shards are down.
+//
+// Correctness contract: because every shard replicates the corpus-global
+// model state and partitions only per-entity serving state (see
+// core.ShardDB), a shard's scores carry the exact float bits the
+// monolithic database produces. Merging the per-shard rankings under the
+// engine's own ordering (score descending, entity id ascending) therefore
+// reproduces the monolithic answer byte-for-byte — enforced end to end by
+// internal/router/e2e_test.go over the full harness query fingerprint.
+//
+// The merge is a bounded k-way heap merge: O((k + s) log s) for k results
+// over s shards, never a concatenate-and-sort.
+package router
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sqlparse"
+)
+
+// Backend executes one shard-API request (the HTTP JSON API of
+// internal/server) and returns the status code and response body. The two
+// implementations are HTTPBackend (a remote opinedbd replica) and
+// LocalBackend (an in-process shard behind the same handler).
+type Backend interface {
+	// Name identifies the backend in error reports ("shard 2 @ :8082").
+	Name() string
+	// Do performs method on target (path + raw query, e.g. "/topk?k=5")
+	// with an optional JSON body.
+	Do(ctx context.Context, method, target string, body []byte) (status int, respBody []byte, err error)
+}
+
+// Shard pairs a backend with the entity range it owns. The range bounds
+// come from the shard manifest; they let the router route point lookups
+// (/evidence) straight to the owner. Empty bounds disable targeted
+// routing for that shard (the router falls back to scattering).
+type Shard struct {
+	Backend     Backend
+	FirstEntity string
+	LastEntity  string
+}
+
+// Options configure a Router.
+type Options struct {
+	// Timeout bounds each scatter round-trip. 0 means 15s.
+	Timeout time.Duration
+	// DefaultTopK caps merged rankings when a request does not specify k.
+	// 0 means 10, matching the engine and shard servers.
+	DefaultTopK int
+}
+
+// ErrBadQuery marks client-side query errors — unparseable SQL or a
+// query shape the router cannot merge — as opposed to fleet failures.
+// The HTTP handler maps it to 400; everything else to 502.
+var ErrBadQuery = errors.New("router: bad query")
+
+// Router scatters queries over shard backends and gathers exact merged
+// answers. Safe for concurrent use.
+type Router struct {
+	shards   []Shard
+	timeout  time.Duration
+	defaultK int
+}
+
+// New builds a router over the given shards (ordered by shard index).
+func New(shards []Shard, opts Options) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router: no shards")
+	}
+	for i, s := range shards {
+		if s.Backend == nil {
+			return nil, fmt.Errorf("router: shard %d has no backend", i)
+		}
+	}
+	t := opts.Timeout
+	if t <= 0 {
+		t = 15 * time.Second
+	}
+	k := opts.DefaultTopK
+	if k <= 0 {
+		k = 10
+	}
+	return &Router{shards: append([]Shard(nil), shards...), timeout: t, defaultK: k}, nil
+}
+
+// NumShards returns the fleet size.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// shardReply is one backend's raw response to a scatter.
+type shardReply struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// scatter fans one request out to every shard concurrently.
+func (r *Router) scatter(ctx context.Context, method, target string, body []byte) []shardReply {
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	replies := make([]shardReply, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, b, err := r.shards[i].Backend.Do(ctx, method, target, body)
+			replies[i] = shardReply{status: status, body: b, err: err}
+		}(i)
+	}
+	wg.Wait()
+	return replies
+}
+
+// replyError renders a shard reply as an error string, or "" for success.
+func replyError(rep shardReply) string {
+	if rep.err != nil {
+		return rep.err.Error()
+	}
+	if rep.status != 200 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(rep.body, &env) == nil && env.Error != "" {
+			return fmt.Sprintf("status %d: %s", rep.status, env.Error)
+		}
+		return fmt.Sprintf("status %d", rep.status)
+	}
+	return ""
+}
+
+// gather decodes every successful reply into outs[i] (a pointer) and
+// returns per-shard error strings keyed by shard index. outs[i] stays nil
+// for failed shards.
+func gatherInto[T any](replies []shardReply) ([]*T, map[int]string) {
+	outs := make([]*T, len(replies))
+	errs := map[int]string{}
+	for i, rep := range replies {
+		if msg := replyError(rep); msg != "" {
+			errs[i] = msg
+			continue
+		}
+		v := new(T)
+		if err := json.Unmarshal(rep.body, v); err != nil {
+			errs[i] = fmt.Sprintf("bad response: %v", err)
+			continue
+		}
+		outs[i] = v
+	}
+	return outs, errs
+}
+
+// ---- bounded-heap ranked merge ----
+
+// rowCursor walks one shard's ranked row list.
+type rowCursor struct {
+	rows []server.RowJSON
+	pos  int
+}
+
+// rowHeap orders cursors by their head row: score descending, entity id
+// ascending — the engine's own ranking order, so the merge reproduces the
+// monolithic sort exactly.
+type rowHeap []*rowCursor
+
+func (h rowHeap) Len() int { return len(h) }
+func (h rowHeap) Less(i, j int) bool {
+	a, b := h[i].rows[h[i].pos], h[j].rows[h[j].pos]
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.EntityID < b.EntityID
+}
+func (h rowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rowHeap) Push(x interface{}) { *h = append(*h, x.(*rowCursor)) }
+func (h *rowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeRanked merges per-shard ranked lists (each already sorted by score
+// desc, entity asc) into the global top k. The heap holds at most one
+// cursor per shard, so the merge is O((k + s) log s) — it never
+// concatenates and re-sorts.
+func mergeRanked(lists [][]server.RowJSON, k int) []server.RowJSON {
+	h := make(rowHeap, 0, len(lists))
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			h = append(h, &rowCursor{rows: l})
+		}
+	}
+	heap.Init(&h)
+	// Allocate by what can actually be merged, not by k: k comes straight
+	// from the request, and make(..., 0, 9e18) would panic while a merely
+	// huge k would allocate unbounded memory per request.
+	capHint := k
+	if total < capHint {
+		capHint = total
+	}
+	out := make([]server.RowJSON, 0, capHint)
+	for len(h) > 0 && len(out) < k {
+		c := h[0]
+		out = append(out, c.rows[c.pos])
+		c.pos++
+		if c.pos < len(c.rows) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// ---- merged endpoint results ----
+
+// QueryResult is the router's merged /query answer.
+type QueryResult struct {
+	Rewritten       string                               `json:"rewritten"`
+	Interpretations map[string]server.InterpretationJSON `json:"interpretations"`
+	Rows            []server.RowJSON                     `json:"rows"`
+	// Partial is true when at least one shard failed; Rows then covers
+	// only the live shards' entity ranges.
+	Partial bool `json:"partial,omitempty"`
+	// ShardErrors maps failed shard index → error description.
+	ShardErrors map[int]string `json:"shard_errors,omitempty"`
+	ElapsedMs   float64        `json:"elapsed_ms"`
+}
+
+// TopKResult is the router's merged /topk answer. Work statistics are
+// summed over shards (Depth takes the deepest shard) — they describe the
+// fleet's total effort, not any single TA run.
+type TopKResult struct {
+	Rows           []server.RowJSON `json:"rows"`
+	SortedAccesses int              `json:"sorted_accesses"`
+	Depth          int              `json:"depth"`
+	Candidates     int              `json:"candidates"`
+	Partial        bool             `json:"partial,omitempty"`
+	ShardErrors    map[int]string   `json:"shard_errors,omitempty"`
+	ElapsedMs      float64          `json:"elapsed_ms"`
+}
+
+// errAllShardsFailed renders a total scatter failure. When every shard
+// answered with a client-error status (shards replicate the same engine,
+// so a deterministic rejection is unanimous), the error is classified as
+// ErrBadQuery and the handler returns the 400 a monolith would — 502 is
+// reserved for actual fleet failures.
+func (r *Router) errAllShardsFailed(op string, replies []shardReply, errs map[int]string) error {
+	parts := make([]string, 0, len(errs))
+	for i := 0; i < len(r.shards); i++ {
+		if msg, ok := errs[i]; ok {
+			parts = append(parts, fmt.Sprintf("shard %d (%s): %s", i, r.shards[i].Backend.Name(), msg))
+		}
+	}
+	detail := strings.Join(parts, "; ")
+	allClientErr := len(replies) > 0
+	for _, rep := range replies {
+		if rep.err != nil || rep.status < 400 || rep.status >= 500 {
+			allClientErr = false
+			break
+		}
+	}
+	if allClientErr {
+		return fmt.Errorf("%w: rejected by every shard: %s", ErrBadQuery, detail)
+	}
+	return fmt.Errorf("router: %s failed on every shard: %s", op, detail)
+}
+
+// Query scatters a subjective SQL query and merges the per-shard rankings
+// into the exact global top k, mirroring the engine's limit semantics (an
+// explicit SQL LIMIT wins over the request's k). The query is parsed up
+// front: unparseable SQL fails here exactly as it would on every shard,
+// and ORDER BY is rejected — shards return (entity, score) rows without
+// the ordering column, so an objective ordering cannot be merged
+// correctly at this layer.
+func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if q.OrderBy != "" {
+		return nil, fmt.Errorf("%w: ORDER BY is not supported in sharded serving (rows merge by subjective score); query a single shard or the monolith", ErrBadQuery)
+	}
+	if k <= 0 {
+		k = r.defaultK
+	}
+	if q.Limit > 0 {
+		// Same precedence as core's execute(): the SQL LIMIT overrides the
+		// request-level default, and every shard applies it identically.
+		k = q.Limit
+	}
+	start := time.Now()
+	body, err := json.Marshal(server.QueryRequest{SQL: sql, K: k})
+	if err != nil {
+		return nil, fmt.Errorf("router: encode query: %w", err)
+	}
+	replies := r.scatter(ctx, "POST", "/query", body)
+	outs, errs := gatherInto[server.QueryResponse](replies)
+
+	res := &QueryResult{Rows: []server.RowJSON{}}
+	lists := make([][]server.RowJSON, 0, len(outs))
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		lists = append(lists, o.Rows)
+		if res.Interpretations == nil {
+			// Interpretation is a function of replicated global state, so
+			// any shard's diagnostics are the fleet's.
+			res.Interpretations = o.Interpretations
+			res.Rewritten = o.Rewritten
+		}
+	}
+	if len(lists) == 0 {
+		return nil, r.errAllShardsFailed("query", replies, errs)
+	}
+	res.Rows = mergeRanked(lists, k)
+	res.Partial = len(errs) > 0
+	if len(errs) > 0 {
+		res.ShardErrors = errs
+	}
+	res.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return res, nil
+}
+
+// TopK scatters a conjunction of predicates to every shard's
+// Threshold-Algorithm endpoint and heap-merges the shard top-ks into the
+// exact global top k.
+func (r *Router) TopK(ctx context.Context, predicates []string, k int) (*TopKResult, error) {
+	if len(predicates) == 0 {
+		return nil, fmt.Errorf("%w: topk needs at least one predicate", ErrBadQuery)
+	}
+	if k <= 0 {
+		k = r.defaultK
+	}
+	start := time.Now()
+	q := make([]string, 0, len(predicates)+1)
+	for _, p := range predicates {
+		q = append(q, "predicate="+queryEscape(p))
+	}
+	q = append(q, fmt.Sprintf("k=%d", k))
+	replies := r.scatter(ctx, "GET", "/topk?"+strings.Join(q, "&"), nil)
+	outs, errs := gatherInto[server.TopKResponse](replies)
+
+	res := &TopKResult{Rows: []server.RowJSON{}}
+	lists := make([][]server.RowJSON, 0, len(outs))
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		lists = append(lists, o.Rows)
+		res.SortedAccesses += o.SortedAccesses
+		res.Candidates += o.Candidates
+		if o.Depth > res.Depth {
+			res.Depth = o.Depth
+		}
+	}
+	if len(lists) == 0 {
+		return nil, r.errAllShardsFailed("topk", replies, errs)
+	}
+	res.Rows = mergeRanked(lists, k)
+	res.Partial = len(errs) > 0
+	if len(errs) > 0 {
+		res.ShardErrors = errs
+	}
+	res.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	return res, nil
+}
+
+// firstSuccess tries shards in index order and decodes the first
+// successful reply — the failover (not fan-out) pattern for endpoints
+// whose answer comes from replicated global state, so any one shard is
+// authoritative.
+func firstSuccess[T any](r *Router, ctx context.Context, op, target string) (*T, error) {
+	errs := map[int]string{}
+	for i := range r.shards {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err.Error()
+			break
+		}
+		reqCtx, cancel := context.WithTimeout(ctx, r.timeout)
+		status, body, err := r.shards[i].Backend.Do(reqCtx, "GET", target, nil)
+		cancel()
+		rep := shardReply{status: status, body: body, err: err}
+		if msg := replyError(rep); msg != "" {
+			errs[i] = msg
+			continue
+		}
+		out := new(T)
+		if err := json.Unmarshal(body, out); err != nil {
+			errs[i] = fmt.Sprintf("bad response: %v", err)
+			continue
+		}
+		return out, nil
+	}
+	return nil, r.errAllShardsFailed(op, nil, errs)
+}
+
+// InterpretChain asks the fleet for a predicate's interpretation
+// diagnostics. Interpretation state is replicated, so the router tries
+// shards in index order and returns the first success.
+func (r *Router) InterpretChain(ctx context.Context, predicate string) (*server.InterpretResponse, error) {
+	return firstSuccess[server.InterpretResponse](r, ctx, "interpret", "/interpret?predicate="+queryEscape(predicate))
+}
+
+// ownerOf returns the index of the shard whose entity range contains id,
+// or -1 when ranges are unknown or no shard owns it.
+func (r *Router) ownerOf(id string) int {
+	for i, s := range r.shards {
+		if s.FirstEntity == "" && s.LastEntity == "" {
+			return -1 // ranges not configured; caller scatters
+		}
+		if id >= s.FirstEntity && id <= s.LastEntity {
+			return i
+		}
+	}
+	return -1
+}
+
+// EvidenceStatus is Evidence's outcome: the owning shard's status code
+// and body are passed through (a 404 for an unknown entity is a valid
+// routed answer, not a router failure).
+type EvidenceStatus struct {
+	Status int
+	Body   []byte
+	// Shard is the shard index that answered.
+	Shard int
+}
+
+// Evidence routes a marker-summary lookup to the shard owning the entity
+// (by manifest range), falling back to a scatter when ranges are unknown.
+// limit < 0 means unspecified (the shard applies its default); an
+// explicit 0 is forwarded, matching the monolith's zero-extraction mode.
+func (r *Router) Evidence(ctx context.Context, entity, attribute string, limit int) (*EvidenceStatus, error) {
+	target := "/evidence?entity=" + queryEscape(entity) + "&attribute=" + queryEscape(attribute)
+	if limit >= 0 {
+		target += fmt.Sprintf("&limit=%d", limit)
+	}
+	if owner := r.ownerOf(entity); owner >= 0 {
+		reqCtx, cancel := context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+		status, body, err := r.shards[owner].Backend.Do(reqCtx, "GET", target, nil)
+		if err != nil {
+			return nil, fmt.Errorf("router: evidence: shard %d (%s): %w", owner, r.shards[owner].Backend.Name(), err)
+		}
+		return &EvidenceStatus{Status: status, Body: body, Shard: owner}, nil
+	}
+	// Unknown ownership: scatter; the owner answers 200, everyone else
+	// 4xx. Prefer the 200. A miss is only a definitive not-found when
+	// every shard actually answered with a deliberate client-error status
+	// — a transport failure or 5xx means the entity may live on a shard
+	// that could not say so, so report the failure instead of a confident
+	// 404 a client would cache.
+	replies := r.scatter(ctx, "GET", target, nil)
+	errs := map[int]string{}
+	var firstMiss *EvidenceStatus
+	for i, rep := range replies {
+		switch {
+		case rep.err != nil:
+			errs[i] = rep.err.Error()
+		case rep.status == 200:
+			return &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: i}, nil
+		case rep.status >= 400 && rep.status < 500:
+			if firstMiss == nil {
+				firstMiss = &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: i}
+			}
+		default:
+			errs[i] = replyError(rep)
+		}
+	}
+	if len(errs) > 0 {
+		parts := make([]string, 0, len(errs))
+		for i := 0; i < len(r.shards); i++ {
+			if msg, ok := errs[i]; ok {
+				parts = append(parts, fmt.Sprintf("shard %d (%s): %s", i, r.shards[i].Backend.Name(), msg))
+			}
+		}
+		return nil, fmt.Errorf("router: evidence: no shard answered 200 and the entity may live on an unreachable shard: %s",
+			strings.Join(parts, "; "))
+	}
+	return firstMiss, nil
+}
+
+// ShardHealth is one shard's health probe result.
+type ShardHealth struct {
+	Index    int                    `json:"index"`
+	Backend  string                 `json:"backend"`
+	OK       bool                   `json:"ok"`
+	Error    string                 `json:"error,omitempty"`
+	Entities int                    `json:"entities"`
+	Health   *server.HealthResponse `json:"health,omitempty"`
+}
+
+// Health probes every shard's /healthz and aggregates.
+func (r *Router) Health(ctx context.Context) (ok bool, shards []ShardHealth) {
+	replies := r.scatter(ctx, "GET", "/healthz", nil)
+	outs, errs := gatherInto[server.HealthResponse](replies)
+	ok = true
+	for i := range r.shards {
+		sh := ShardHealth{Index: i, Backend: r.shards[i].Backend.Name()}
+		if outs[i] != nil {
+			sh.OK = true
+			sh.Entities = outs[i].Entities
+			sh.Health = outs[i]
+		} else {
+			ok = false
+			sh.Error = errs[i]
+		}
+		shards = append(shards, sh)
+	}
+	return ok, shards
+}
+
+// VerifyShardIdentities probes every backend's /healthz and checks that a
+// backend reporting a shard identity actually serves the shard at its
+// position — catching a misordered -router-backends list, which would
+// otherwise misroute /evidence silently (scatters still work, so nothing
+// else complains). Unreachable backends and backends without shard
+// identity (in-process builds) are skipped; they cannot prove a mismatch.
+func (r *Router) VerifyShardIdentities(ctx context.Context) error {
+	_, shards := r.Health(ctx)
+	for i, sh := range shards {
+		if !sh.OK || sh.Health == nil || sh.Health.Snapshot == nil || sh.Health.Snapshot.Shard == nil {
+			continue
+		}
+		id := sh.Health.Snapshot.Shard
+		if id.Index != i {
+			return fmt.Errorf("router: backend %d (%s) serves shard %d — the backend list must follow manifest order",
+				i, r.shards[i].Backend.Name(), id.Index)
+		}
+		if id.Count != len(r.shards) {
+			return fmt.Errorf("router: backend %d (%s) belongs to a %d-shard build, this fleet has %d",
+				i, r.shards[i].Backend.Name(), id.Count, len(r.shards))
+		}
+	}
+	return nil
+}
+
+// Schema returns the fleet's schema (replicated state; first live shard
+// answers).
+func (r *Router) Schema(ctx context.Context) (*server.SchemaResponse, error) {
+	return firstSuccess[server.SchemaResponse](r, ctx, "schema", "/schema")
+}
+
+// queryEscape percent-encodes a query-string value.
+func queryEscape(s string) string { return url.QueryEscape(s) }

@@ -21,6 +21,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -44,6 +45,19 @@ type SnapshotInfo struct {
 	Extractions   int     `json:"extractions"`
 	FileBytes     int64   `json:"file_bytes"`
 	LoadMillis    float64 `json:"load_ms"`
+	// Shard identifies the entity partition when the process serves one
+	// shard of a sharded build; nil for a monolithic snapshot.
+	Shard *ShardInfo `json:"shard,omitempty"`
+}
+
+// ShardInfo is the shard identity reported by a shard replica's /healthz.
+type ShardInfo struct {
+	Index         int    `json:"index"`
+	Count         int    `json:"count"`
+	Entities      int    `json:"entities"`
+	TotalEntities int    `json:"total_entities"`
+	FirstEntity   string `json:"first_entity"`
+	LastEntity    string `json:"last_entity"`
 }
 
 // Options configure a Server.
@@ -72,20 +86,141 @@ type Server struct {
 // is accepting traffic; readers need no locking.
 func New(db *core.DB, opts Options) *Server {
 	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), started: time.Now()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/healthz", get(s.handleHealth))
+	s.mux.HandleFunc("/schema", get(s.handleSchema))
 	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/interpret", s.handleInterpret)
-	s.mux.HandleFunc("/evidence", s.handleEvidence)
-	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/interpret", get(s.handleInterpret))
+	s.mux.HandleFunc("/evidence", get(s.handleEvidence))
+	s.mux.HandleFunc("/topk", get(s.handleTopK))
+	// Unknown paths get the JSON error envelope too, not the mux's
+	// plain-text 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})
 	return s
+}
+
+// get wraps a read-only handler with a 405 + JSON envelope for every verb
+// other than GET and HEAD (HEAD stays allowed — net/http strips the body —
+// so load-balancer health probes keep working). Every response this
+// server writes — success or failure — is a JSON document with a status
+// code that matches it.
+func get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			WriteError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// DecodeJSONBody strictly decodes one JSON document into out: unknown
+// fields, syntax errors, wrong types and trailing garbage all yield a
+// descriptive error (handlers turn it into a 400 envelope) instead of a
+// silently half-parsed request.
+func DecodeJSONBody(r *http.Request, out interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON body")
+	}
+	return nil
+}
+
+// ErrQueryMethod is returned by DecodeQueryRequest for a verb other than
+// GET or POST; handlers map it to 405 with an Allow header.
+var ErrQueryMethod = errors.New("use GET or POST")
+
+// DecodeQueryRequest parses a /query request — strict-JSON POST body or
+// GET query parameters — including the missing-sql check. It is shared by
+// the shard server and the router so the two tiers accept and reject
+// exactly the same requests.
+func DecodeQueryRequest(r *http.Request) (QueryRequest, error) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := DecodeJSONBody(r, &req); err != nil {
+			return req, fmt.Errorf("bad request body: %v", err)
+		}
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("sql")
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			k, err := strconv.Atoi(ks)
+			if err != nil {
+				return req, fmt.Errorf("bad k: %v", err)
+			}
+			req.K = k
+		}
+	default:
+		return req, ErrQueryMethod
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		return req, fmt.Errorf("missing sql")
+	}
+	return req, nil
+}
+
+// DecodeTopKRequest parses /topk parameters: the repeatable predicate
+// plus k (defaultK when absent). Shared by the shard server and the
+// router so both tiers accept and reject exactly the same requests.
+func DecodeTopKRequest(r *http.Request, defaultK int) (predicates []string, k int, err error) {
+	predicates = r.URL.Query()["predicate"]
+	if len(predicates) == 0 {
+		return nil, 0, fmt.Errorf("missing predicate (repeatable)")
+	}
+	k = defaultK
+	if k <= 0 {
+		k = 10
+	}
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k <= 0 {
+			return nil, 0, fmt.Errorf("bad k")
+		}
+	}
+	return predicates, k, nil
+}
+
+// DecodeEvidenceRequest parses /evidence parameters. limit is -1 when the
+// request does not specify one (callers apply their default). Shared by
+// the shard server and the router.
+func DecodeEvidenceRequest(r *http.Request) (entity, attribute string, limit int, err error) {
+	entity = r.URL.Query().Get("entity")
+	attribute = r.URL.Query().Get("attribute")
+	if entity == "" || attribute == "" {
+		return "", "", 0, fmt.Errorf("missing entity or attribute")
+	}
+	limit = -1
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		l, lerr := strconv.Atoi(ls)
+		if lerr != nil || l < 0 {
+			return "", "", 0, fmt.Errorf("bad limit")
+		}
+		limit = l
+	}
+	return entity, attribute, limit, nil
+}
+
+// DecodeInterpretRequest parses /interpret's predicate parameter
+// (surrounding quotes tolerated). Shared by the shard server and the
+// router.
+func DecodeInterpretRequest(r *http.Request) (string, error) {
+	pred := strings.Trim(r.URL.Query().Get("predicate"), `"' `)
+	if pred == "" {
+		return "", fmt.Errorf("missing predicate")
+	}
+	return pred, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// writeJSON emits one JSON response.
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// WriteJSON emits one JSON response.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -93,9 +228,9 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits {"error": msg}.
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// WriteError emits {"error": msg}.
+func WriteError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // HealthResponse is the /healthz payload: liveness, database shape, and
@@ -120,7 +255,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Snapshot != nil {
 		source = "snapshot"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	WriteJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		Database:      s.db.Name,
 		Entities:      len(s.db.EntityIDs()),
@@ -166,7 +301,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Attributes = append(resp.Attributes, aj)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // QueryRequest is the POST /query body.
@@ -218,29 +353,14 @@ type QueryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
-	switch r.Method {
-	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
+	req, err := DecodeQueryRequest(r)
+	if err != nil {
+		if errors.Is(err, ErrQueryMethod) {
+			w.Header().Set("Allow", "GET, POST")
+			WriteError(w, http.StatusMethodNotAllowed, "%v", err)
+		} else {
+			WriteError(w, http.StatusBadRequest, "%v", err)
 		}
-	case http.MethodGet:
-		req.SQL = r.URL.Query().Get("sql")
-		if ks := r.URL.Query().Get("k"); ks != "" {
-			k, err := strconv.Atoi(ks)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, "bad k: %v", err)
-				return
-			}
-			req.K = k
-		}
-	default:
-		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
-		return
-	}
-	if strings.TrimSpace(req.SQL) == "" {
-		writeError(w, http.StatusBadRequest, "missing sql")
 		return
 	}
 	opts := core.DefaultQueryOptions()
@@ -253,7 +373,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.db.QueryWithOptions(req.SQL, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "query: %v", err)
+		WriteError(w, http.StatusBadRequest, "query: %v", err)
 		return
 	}
 	resp := QueryResponse{
@@ -272,7 +392,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, rj)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // InterpretResponse is the /interpret payload: the chosen interpretation
@@ -284,12 +404,12 @@ type InterpretResponse struct {
 }
 
 func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) {
-	pred := strings.Trim(r.URL.Query().Get("predicate"), `"' `)
-	if pred == "" {
-		writeError(w, http.StatusBadRequest, "missing predicate")
+	pred, err := DecodeInterpretRequest(r)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, InterpretResponse{
+	WriteJSON(w, http.StatusOK, InterpretResponse{
 		Chosen:      interpretationJSON(s.db.Interpret(pred)),
 		W2VOnly:     interpretationJSON(s.db.InterpretW2VOnly(pred)),
 		CooccurOnly: interpretationJSON(s.db.InterpretCooccurOnly(pred)),
@@ -324,30 +444,23 @@ type EvidenceResponse struct {
 }
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
-	entity := r.URL.Query().Get("entity")
-	attribute := r.URL.Query().Get("attribute")
-	if entity == "" || attribute == "" {
-		writeError(w, http.StatusBadRequest, "missing entity or attribute")
+	entity, attribute, limit, err := DecodeEvidenceRequest(r)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if limit < 0 {
+		limit = 3
 	}
 	attr := s.db.Attr(attribute)
 	if attr == nil {
-		writeError(w, http.StatusNotFound, "no attribute %q", attribute)
+		WriteError(w, http.StatusNotFound, "no attribute %q", attribute)
 		return
 	}
 	sum := s.db.Summary(attribute, entity)
 	if sum == nil {
-		writeError(w, http.StatusNotFound, "no summary for %s/%s", entity, attribute)
+		WriteError(w, http.StatusNotFound, "no summary for %s/%s", entity, attribute)
 		return
-	}
-	limit := 3
-	if ls := r.URL.Query().Get("limit"); ls != "" {
-		l, err := strconv.Atoi(ls)
-		if err != nil || l < 0 {
-			writeError(w, http.StatusBadRequest, "bad limit")
-			return
-		}
-		limit = l
 	}
 	resp := EvidenceResponse{EntityID: entity, Attribute: attribute, Total: sum.Total}
 	for i, m := range attr.Markers {
@@ -367,7 +480,7 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Markers = append(resp.Markers, em)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // TopKResponse is the /topk payload.
@@ -380,23 +493,17 @@ type TopKResponse struct {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	preds := r.URL.Query()["predicate"]
-	if len(preds) == 0 {
-		writeError(w, http.StatusBadRequest, "missing predicate (repeatable)")
+	// Same default as /query: the operator's -k flag, else 10 — so a
+	// shard, a monolith and the router answer a no-k request identically.
+	preds, k, err := DecodeTopKRequest(r, s.opts.DefaultTopK)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	k := 10
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		var err error
-		if k, err = strconv.Atoi(ks); err != nil || k <= 0 {
-			writeError(w, http.StatusBadRequest, "bad k")
-			return
-		}
 	}
 	start := time.Now()
 	rows, stats, err := s.db.TopKThreshold(preds, k)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "topk: %v", err)
+		WriteError(w, http.StatusBadRequest, "topk: %v", err)
 		return
 	}
 	resp := TopKResponse{
@@ -413,5 +520,5 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, rj)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }

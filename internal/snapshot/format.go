@@ -46,7 +46,9 @@ const Magic = "OPDBSNAP"
 
 // FormatVersion is the container version this package writes and the only
 // one it accepts; bump it on any incompatible layout or state change.
-const FormatVersion uint32 = 1
+// Version 2 added the optional "shard" section (horizontal sharding) and
+// the shard manifest format.
+const FormatVersion uint32 = 2
 
 // Typed errors for unusable snapshot files. Wrapped with context by the
 // parser; match with errors.Is.

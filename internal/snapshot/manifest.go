@@ -1,0 +1,245 @@
+package snapshot
+
+// The shard manifest ties a sharded build together: one JSON document
+// naming every per-shard snapshot with its entity range and content
+// digest, self-checksummed so a torn or hand-edited manifest is detected
+// before a router trusts it. opinedbb -shards writes it next to the shard
+// snapshots; opinedbd (shard or router mode) loads it, verifies it, and
+// verifies each snapshot file against its recorded digest before serving.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Typed manifest errors; match with errors.Is. Manifest loads can also
+// return fs.ErrNotExist for a missing file.
+var (
+	// ErrManifest: the manifest is structurally invalid (bad shard count,
+	// non-contiguous indices, missing fields, wrong version).
+	ErrManifest = errors.New("snapshot: invalid shard manifest")
+	// ErrManifestChecksum: the manifest's self-checksum does not match its
+	// contents.
+	ErrManifestChecksum = errors.New("snapshot: shard manifest checksum mismatch")
+	// ErrShardDigest: a shard snapshot file does not match the digest the
+	// manifest records for it.
+	ErrShardDigest = errors.New("snapshot: shard snapshot digest mismatch")
+)
+
+// ManifestShard describes one shard's snapshot artifact.
+type ManifestShard struct {
+	// Index is the shard's position in [0, Shards).
+	Index int `json:"index"`
+	// Path is the snapshot file, relative to the manifest's directory.
+	Path string `json:"path"`
+	// Entities is the number of entities the shard owns.
+	Entities int `json:"entities"`
+	// FirstEntity and LastEntity bound the shard's contiguous id range
+	// (inclusive).
+	FirstEntity string `json:"first_entity"`
+	LastEntity  string `json:"last_entity"`
+	// SnapshotSHA256 is the hex SHA-256 of the snapshot file.
+	SnapshotSHA256 string `json:"snapshot_sha256"`
+	// SnapshotBytes is the snapshot file size.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+// Manifest describes a complete sharded build.
+type Manifest struct {
+	// FormatVersion is the snapshot format version of the shard files.
+	FormatVersion uint32 `json:"format_version"`
+	// Name is the database name ("hotel", "restaurant").
+	Name string `json:"name"`
+	// BuildSeed is the Config.Seed of the build.
+	BuildSeed int64 `json:"build_seed"`
+	// Shards is the fleet size.
+	Shards int `json:"shards"`
+	// TotalEntities is the monolithic entity count (sum over shards).
+	TotalEntities int `json:"total_entities"`
+	// CreatedUnix is when the manifest was written (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// Shard lists the per-shard artifacts, ordered by index.
+	Shard []ManifestShard `json:"shard"`
+	// Checksum is the hex SHA-256 of the manifest's canonical JSON with
+	// this field empty; WriteManifest fills it, LoadManifest verifies it.
+	Checksum string `json:"checksum"`
+}
+
+// checksum computes the manifest's self-checksum: SHA-256 over the
+// canonical JSON encoding with the Checksum field blanked.
+func (m *Manifest) checksum() (string, error) {
+	cp := *m
+	cp.Checksum = ""
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: manifest checksum: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// validate checks structural integrity: version, shard count, contiguous
+// indices, entity accounting, and per-shard fields.
+func (m *Manifest) validate() error {
+	if m.FormatVersion != FormatVersion {
+		return fmt.Errorf("%w: format version %d, this build reads %d", ErrManifest, m.FormatVersion, FormatVersion)
+	}
+	if m.Shards <= 0 || len(m.Shard) != m.Shards {
+		return fmt.Errorf("%w: declares %d shards but lists %d", ErrManifest, m.Shards, len(m.Shard))
+	}
+	total := 0
+	for i, s := range m.Shard {
+		if s.Index != i {
+			return fmt.Errorf("%w: shard at position %d carries index %d", ErrManifest, i, s.Index)
+		}
+		if s.Path == "" {
+			return fmt.Errorf("%w: shard %d has no snapshot path", ErrManifest, i)
+		}
+		if s.SnapshotSHA256 == "" {
+			return fmt.Errorf("%w: shard %d has no snapshot digest", ErrManifest, i)
+		}
+		if s.Entities <= 0 {
+			return fmt.Errorf("%w: shard %d owns %d entities", ErrManifest, i, s.Entities)
+		}
+		total += s.Entities
+	}
+	if total != m.TotalEntities {
+		return fmt.Errorf("%w: shards account for %d of %d entities", ErrManifest, total, m.TotalEntities)
+	}
+	return nil
+}
+
+// WriteManifest validates m, fills its checksum, and writes it atomically
+// (temp file + rename, like Save) to path.
+func WriteManifest(path string, m *Manifest) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	sum, err := m.checksum()
+	if err != nil {
+		return err
+	}
+	m.Checksum = sum
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: write manifest: %w", err)
+	}
+	b = append(b, '\n')
+	f, err := os.CreateTemp(filepath.Dir(path), ".opinedb-manifest-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: write manifest: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(b)
+	if err == nil {
+		err = f.Chmod(0o644)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("snapshot: write manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads, checksum-verifies and validates a shard manifest.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: load manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifest, err)
+	}
+	want, err := m.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if m.Checksum != want {
+		return nil, fmt.Errorf("%w: stored %s, computed %s", ErrManifestChecksum, m.Checksum, want)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ShardPath resolves a shard's snapshot path relative to the manifest
+// file's location.
+func ShardPath(manifestPath string, s ManifestShard) string {
+	if filepath.IsAbs(s.Path) {
+		return s.Path
+	}
+	return filepath.Join(filepath.Dir(manifestPath), s.Path)
+}
+
+// FileDigest returns the hex SHA-256 of a file's contents.
+func FileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// LoadVerifiedShard loads shard index of a manifest with the full trust
+// chain every serving path must apply: the snapshot file is checked
+// against the manifest's digest, loaded, and required to carry the shard
+// identity the manifest assigns it. Both opinedbd's shard-replica role
+// and the in-process router fleet go through here.
+func LoadVerifiedShard(manifestPath string, m *Manifest, index int) (*core.DB, *Meta, error) {
+	if index < 0 || index >= len(m.Shard) {
+		return nil, nil, fmt.Errorf("%w: shard index %d of %d", ErrManifest, index, len(m.Shard))
+	}
+	ms := m.Shard[index]
+	if err := VerifyShardFile(manifestPath, ms); err != nil {
+		return nil, nil, err
+	}
+	path := ShardPath(manifestPath, ms)
+	db, meta, err := Load(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: shard %d: %w", index, err)
+	}
+	if meta.Shard == nil || meta.Shard.Index != index || meta.Shard.Count != m.Shards {
+		return nil, nil, fmt.Errorf("%w: snapshot %s does not identify as shard %d/%d",
+			ErrManifest, path, index, m.Shards)
+	}
+	return db, meta, nil
+}
+
+// VerifyShardFile checks one shard snapshot file against the digest the
+// manifest records for it.
+func VerifyShardFile(manifestPath string, s ManifestShard) error {
+	path := ShardPath(manifestPath, s)
+	got, err := FileDigest(path)
+	if err != nil {
+		return fmt.Errorf("snapshot: verify shard %d: %w", s.Index, err)
+	}
+	if got != s.SnapshotSHA256 {
+		return fmt.Errorf("%w: shard %d file %s has %s, manifest records %s",
+			ErrShardDigest, s.Index, path, got, s.SnapshotSHA256)
+	}
+	return nil
+}

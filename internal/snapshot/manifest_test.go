@@ -1,0 +1,172 @@
+package snapshot_test
+
+// Shard-manifest integrity: round-trip, self-checksum tamper detection,
+// structural validation, and snapshot digest verification.
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+func validManifest() *snapshot.Manifest {
+	return &snapshot.Manifest{
+		FormatVersion: snapshot.FormatVersion,
+		Name:          "hotel",
+		BuildSeed:     1,
+		Shards:        2,
+		TotalEntities: 45,
+		CreatedUnix:   1700000000,
+		Shard: []snapshot.ManifestShard{
+			{Index: 0, Path: "hotel-shard0.snap", Entities: 22, FirstEntity: "h0000", LastEntity: "h0021",
+				SnapshotSHA256: "aa", SnapshotBytes: 10},
+			{Index: 1, Path: "hotel-shard1.snap", Entities: 23, FirstEntity: "h0022", LastEntity: "h0044",
+				SnapshotSHA256: "bb", SnapshotBytes: 10},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := snapshot.WriteManifest(path, validManifest()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := snapshot.LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 2 || m.TotalEntities != 45 || m.Shard[1].FirstEntity != "h0022" {
+		t.Errorf("round trip lost data: %+v", m)
+	}
+	if m.Checksum == "" {
+		t.Error("checksum not recorded")
+	}
+}
+
+func TestManifestTamperDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := snapshot.WriteManifest(path, validManifest()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the entity range of shard 1 without updating the checksum.
+	tampered := strings.Replace(string(b), "h0022", "h0023", 1)
+	if tampered == string(b) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.LoadManifest(path); !errors.Is(err, snapshot.ErrManifestChecksum) {
+		t.Fatalf("got %v, want ErrManifestChecksum", err)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	for name, mutate := range map[string]func(*snapshot.Manifest){
+		"wrong version":     func(m *snapshot.Manifest) { m.FormatVersion = 99 },
+		"count mismatch":    func(m *snapshot.Manifest) { m.Shards = 3 },
+		"bad index":         func(m *snapshot.Manifest) { m.Shard[1].Index = 5 },
+		"missing path":      func(m *snapshot.Manifest) { m.Shard[0].Path = "" },
+		"missing digest":    func(m *snapshot.Manifest) { m.Shard[0].SnapshotSHA256 = "" },
+		"empty shard":       func(m *snapshot.Manifest) { m.Shard[0].Entities = 0 },
+		"entity accounting": func(m *snapshot.Manifest) { m.TotalEntities = 99 },
+	} {
+		m := validManifest()
+		mutate(m)
+		path := filepath.Join(dir, "bad.json")
+		if err := snapshot.WriteManifest(path, m); err == nil {
+			t.Errorf("%s: write accepted an invalid manifest", name)
+		} else if !errors.Is(err, snapshot.ErrManifest) {
+			t.Errorf("%s: got %v, want ErrManifest", name, err)
+		}
+	}
+}
+
+func TestManifestNotJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.LoadManifest(path); !errors.Is(err, snapshot.ErrManifest) {
+		t.Fatalf("got %v, want ErrManifest", err)
+	}
+}
+
+func TestManifestMissingFile(t *testing.T) {
+	if _, err := snapshot.LoadManifest(filepath.Join(t.TempDir(), "nope.json")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("got %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestVerifyShardFile(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "s0.snap")
+	if err := os.WriteFile(snapPath, []byte("shard bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := snapshot.FileDigest(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := snapshot.ManifestShard{Index: 0, Path: "s0.snap", SnapshotSHA256: digest}
+	manifestPath := filepath.Join(dir, "m.json")
+	if err := snapshot.VerifyShardFile(manifestPath, ms); err != nil {
+		t.Fatalf("valid digest rejected: %v", err)
+	}
+	if err := os.WriteFile(snapPath, []byte("shard bytes, corrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.VerifyShardFile(manifestPath, ms); !errors.Is(err, snapshot.ErrShardDigest) {
+		t.Fatalf("got %v, want ErrShardDigest", err)
+	}
+}
+
+// TestShardSectionRoundTrip checks the shard identity survives
+// save → load on a real database.
+func TestShardSectionRoundTrip(t *testing.T) {
+	_, db, _ := fixtures(t)
+	parts, err := db.PartitionEntities(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := map[string]bool{}
+	for _, id := range parts[0] {
+		keep[id] = true
+	}
+	shardDB, err := db.ShardDB(func(id string) bool { return keep[id] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shard0.snap")
+	sm := &snapshot.ShardMeta{
+		Index: 0, Count: 2,
+		Entities: len(parts[0]), TotalEntities: len(db.EntityIDs()),
+		FirstEntity: parts[0][0], LastEntity: parts[0][len(parts[0])-1],
+	}
+	if _, err := snapshot.SaveShard(path, shardDB, sm); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := snapshot.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Shard == nil {
+		t.Fatal("shard identity lost in round trip")
+	}
+	if *meta.Shard != *sm {
+		t.Errorf("shard meta %+v, want %+v", *meta.Shard, *sm)
+	}
+	if got, want := len(loaded.EntityIDs()), len(parts[0]); got != want {
+		t.Errorf("loaded shard serves %d entities, want %d", got, want)
+	}
+}

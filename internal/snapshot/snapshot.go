@@ -17,9 +17,10 @@ import (
 	"repro/internal/relstore"
 )
 
-// Section names of format version 1. SectionSubIndex is present only when
-// the database was built with the Appendix B substitution index; every
-// other section is required.
+// Section names of format version 2. SectionSubIndex is present only when
+// the database was built with the Appendix B substitution index, and
+// SectionShard only in per-shard snapshots written by a sharded build;
+// every other section is required.
 const (
 	SectionMeta        = "meta"
 	SectionRel         = "rel"
@@ -29,7 +30,27 @@ const (
 	SectionEntityIndex = "entityindex"
 	SectionExtractor   = "extractor"
 	SectionSubIndex    = "subindex"
+	SectionShard       = "shard"
 )
+
+// ShardMeta identifies one shard of a horizontally partitioned build: its
+// position in the fleet and the contiguous entity range it owns. It is
+// stored as the snapshot's "shard" section so a serving process can verify
+// it was handed the shard it was configured for.
+type ShardMeta struct {
+	// Index is this shard's position in [0, Count).
+	Index int
+	// Count is the fleet size the build was partitioned into.
+	Count int
+	// Entities is the number of entities this shard owns.
+	Entities int
+	// TotalEntities is the monolithic build's entity count.
+	TotalEntities int
+	// FirstEntity and LastEntity bound the shard's contiguous id range
+	// (inclusive, over the sorted entity id space).
+	FirstEntity string
+	LastEntity  string
+}
 
 // metaPayload is the stored form of the metadata section.
 type metaPayload struct {
@@ -80,6 +101,9 @@ type Meta struct {
 	Attributes  int
 	// CreatedUnix is when the snapshot was written (Unix seconds).
 	CreatedUnix int64
+	// Shard identifies the entity partition this snapshot carries; nil for
+	// a monolithic snapshot.
+	Shard *ShardMeta
 	// Sections lists the file's sections with payload sizes.
 	Sections []SectionInfo
 	// FileBytes is the total artifact size. Filled by Save and Load.
@@ -110,6 +134,13 @@ func decodeSection(s Section, out interface{}) error {
 // returns the written metadata, including the per-section layout
 // (FileBytes is left zero; Save fills it from the artifact).
 func Write(w io.Writer, db *core.DB) (*Meta, error) {
+	return WriteShard(w, db, nil)
+}
+
+// WriteShard is Write plus shard identity: a non-nil shard is stored as
+// the snapshot's "shard" section, marking the artifact as one partition
+// of a sharded build.
+func WriteShard(w io.Writer, db *core.DB, shard *ShardMeta) (*Meta, error) {
 	if db == nil {
 		return nil, fmt.Errorf("snapshot: nil database")
 	}
@@ -150,7 +181,18 @@ func Write(w io.Writer, db *core.DB) (*Meta, error) {
 	if db.SubIndex != nil {
 		sections = append(sections, Section{Name: SectionSubIndex, Payload: encodeSubIndexState(db.SubIndex.State())})
 	}
+	if shard != nil {
+		shardSec, err := encodeSection(SectionShard, *shard)
+		if err != nil {
+			return nil, err
+		}
+		sections = append(sections, shardSec)
+	}
 	meta := mp.toMeta()
+	if shard != nil {
+		cp := *shard
+		meta.Shard = &cp
+	}
 	for _, sec := range sections {
 		meta.Sections = append(meta.Sections, SectionInfo{Name: sec.Name, Bytes: len(sec.Payload)})
 	}
@@ -166,12 +208,17 @@ func Write(w io.Writer, db *core.DB) (*Meta, error) {
 // leave a half-written artifact where a server might mmap it. It returns
 // metadata describing the written file.
 func Save(path string, db *core.DB) (*Meta, error) {
+	return SaveShard(path, db, nil)
+}
+
+// SaveShard is Save plus shard identity (see WriteShard).
+func SaveShard(path string, db *core.DB, shard *ShardMeta) (*Meta, error) {
 	f, err := os.CreateTemp(filepath.Dir(path), ".opinedb-snap-*")
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: save: %w", err)
 	}
 	tmp := f.Name()
-	meta, err := Write(f, db)
+	meta, err := WriteShard(f, db, shard)
 	if err == nil {
 		// CreateTemp makes the file 0600; the artifact is meant to be read
 		// by serving processes running as other users.
@@ -288,6 +335,14 @@ func Load(path string) (*core.DB, *Meta, error) {
 		}
 		subState = &decoded
 	}
+	var shard *ShardMeta
+	if s, ok := byName[SectionShard]; ok {
+		var sm ShardMeta
+		if err := decodeSection(s, &sm); err != nil {
+			return nil, nil, err
+		}
+		shard = &sm
+	}
 
 	rel, err := relstore.FromState(relState)
 	if err != nil {
@@ -318,6 +373,7 @@ func Load(path string) (*core.DB, *Meta, error) {
 	}
 
 	meta := mp.toMeta()
+	meta.Shard = shard
 	meta.Sections = infos
 	meta.FileBytes = int64(len(data))
 	meta.LoadDuration = time.Since(start)

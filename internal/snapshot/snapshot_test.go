@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -369,6 +370,42 @@ func TestCorruptionTrailing(t *testing.T) {
 	bad := append(append([]byte(nil), raw...), "extra"...)
 	if _, _, err := snapshot.Load(writeSnap(t, bad)); !errors.Is(err, snapshot.ErrTrailingData) {
 		t.Fatalf("got %v, want ErrTrailingData", err)
+	}
+}
+
+// TestRandomMutationsReturnTypedErrors: single-byte mutations of a valid
+// snapshot at 300 seeded-random positions must every one surface as a
+// typed snapshot error — never a panic, never a silently loaded database.
+// (FuzzSnapshotLoad explores arbitrary inputs; this pins the specific
+// random-bit-rot contract deterministically in the regular suite.)
+func TestRandomMutationsReturnTypedErrors(t *testing.T) {
+	_, _, raw := fixtures(t)
+	rng := rand.New(rand.NewSource(42))
+	typed := []error{
+		snapshot.ErrBadMagic, snapshot.ErrVersion, snapshot.ErrTruncated,
+		snapshot.ErrChecksum, snapshot.ErrMissingSection, snapshot.ErrTrailingData,
+	}
+	bad := append([]byte(nil), raw...)
+	for trial := 0; trial < 300; trial++ {
+		pos := rng.Intn(len(bad))
+		old := bad[pos]
+		flip := byte(1 + rng.Intn(255))
+		bad[pos] = old ^ flip
+		_, _, err := snapshot.Load(writeSnap(t, bad))
+		bad[pos] = old // restore for the next independent trial
+		if err == nil {
+			t.Fatalf("mutation at offset %d (^%02x) loaded successfully", pos, flip)
+		}
+		isTyped := false
+		for _, want := range typed {
+			if errors.Is(err, want) {
+				isTyped = true
+				break
+			}
+		}
+		if !isTyped {
+			t.Fatalf("mutation at offset %d (^%02x): untyped error %v", pos, flip, err)
+		}
 	}
 }
 
