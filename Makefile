@@ -1,19 +1,20 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke compact
 
 verify: fmtcheck
 	go vet ./...
 	go build ./...
 	go test -race ./...
 
-# Coverage floor: internal/core + internal/snapshot own the correctness
-# contracts (byte-identical serving, typed corruption errors), so their
-# combined statement coverage must stay at or above 75%.
+# Coverage floor: internal/core + internal/snapshot + internal/journal
+# own the correctness contracts (byte-identical serving, typed corruption
+# errors, crash-safe replay), so their combined statement coverage must
+# stay at or above 75%.
 COVER_FLOOR := 75
 cover:
-	go test -coverprofile=cover.out ./internal/core ./internal/snapshot
+	go test -coverprofile=cover.out ./internal/core ./internal/snapshot ./internal/journal
 	@go tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_FLOOR)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_FLOOR); exit 1 } \
 		else { printf "coverage %.1f%% (floor $(COVER_FLOOR)%%)\n", $$3 } }'
@@ -24,6 +25,7 @@ FUZZTIME := 10s
 fuzz-smoke:
 	go test -run xxx -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/sqlparse
 	go test -run xxx -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) ./internal/snapshot
+	go test -run xxx -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/journal
 
 # gofmt cleanliness: fail listing any file that gofmt would rewrite.
 fmtcheck:
@@ -64,3 +66,16 @@ snapshot-smoke:
 # answers byte-identically to the monolith.
 shard-smoke:
 	go run ./cmd/opinedbb -small -shards 4 -verify -o /tmp/opinedb-shard-smoke.snap
+
+# Journal crash-recovery smoke test: build a small corpus, snapshot it,
+# ingest review deltas from a child process, SIGKILL it mid-write, then
+# reload snapshot+journal and check the replayed state fingerprints
+# byte-identically to direct application (and survives compaction).
+journal-smoke:
+	go run ./cmd/opinedbb -small -journal-smoke -o /tmp/opinedb-journal-smoke.snap
+
+# Fold a served snapshot's review journal back into a fresh artifact:
+#   make compact SNAP=opinedb.snap     (or SNAP=hotel.manifest.json)
+SNAP := opinedb.snap
+compact:
+	go run ./cmd/opinedbb -compact $(SNAP)

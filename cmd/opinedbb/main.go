@@ -46,7 +46,28 @@ func main() {
 	subindex := flag.Bool("subindex", true, "build the Appendix B substitution index into the snapshot")
 	shards := flag.Int("shards", 1, "partition the entity space into N per-shard snapshots plus a manifest (1 = monolithic)")
 	verify := flag.Bool("verify", false, "after writing, reload the artifact(s) and check query equivalence against the in-memory build")
+	compact := flag.String("compact", "", "fold a review journal back into a fresh snapshot instead of building: pass a snapshot path (compacted in place, or to -o when -o is set) or a shard manifest (*.json: every shard journal is folded and the manifest digests refreshed)")
+	journalSmoke := flag.Bool("journal-smoke", false, "crash-recovery smoke test: build → snapshot → ingest from a child process → SIGKILL it mid-write → reload snapshot+journal → fingerprint check against direct application")
 	flag.Parse()
+
+	if os.Getenv(smokeChildEnv) != "" {
+		journalSmokeChild()
+		return
+	}
+	if *compact != "" {
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "o" {
+				outSet = true
+			}
+		})
+		runCompact(*compact, *out, outSet)
+		return
+	}
+	if *journalSmoke {
+		runJournalSmoke(*domain, *seed, *out)
+		return
+	}
 
 	log.Printf("generating %s corpus and building subjective database...", *domain)
 	start := time.Now()
@@ -133,17 +154,16 @@ func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, seed i
 		if err != nil {
 			log.Fatalf("shard %d: save: %v", i, err)
 		}
-		digest, err := snapshot.FileDigest(path)
-		if err != nil {
-			log.Fatalf("shard %d: digest: %v", i, err)
-		}
+		// The digest was computed while the snapshot streamed out
+		// (snapshot.SaveShard hashes through io.MultiWriter), so the
+		// builder never re-reads the artifact it just wrote.
 		manifest.Shard = append(manifest.Shard, snapshot.ManifestShard{
 			Index:          i,
 			Path:           filepath.Base(path),
 			Entities:       len(ids),
 			FirstEntity:    ids[0],
 			LastEntity:     ids[len(ids)-1],
-			SnapshotSHA256: digest,
+			SnapshotSHA256: meta.SHA256,
 			SnapshotBytes:  meta.FileBytes,
 		})
 		log.Printf("wrote %s: %.2f MB, entities [%s .. %s] (%d)",

@@ -12,6 +12,14 @@
 //     -router-backends, or every shard loaded in process when the flag is
 //     empty (single-binary sharded serving).
 //
+// Every role supports live incremental enrichment: POST /reviews appends
+// the delta to a durable journal next to the served snapshot
+// (-journal, default auto) and applies it under the server's writer
+// lock. Load order is snapshot → journal replay → serve, so a crash
+// mid-ingest loses at most the unfsynced tail (-journal-sync-every) and
+// never serves corrupt state. `opinedbb -compact` folds a journal back
+// into a fresh snapshot.
+//
 // Examples:
 //
 //	opinedbb -domain hotel -o hotel.snap && opinedbd -snapshot hotel.snap
@@ -20,23 +28,27 @@
 //	opinedbd -addr :8080 -router hotel.manifest.json -router-backends http://h1:8081,http://h2:8081,http://h3:8081,http://h4:8081
 //	curl 'localhost:8080/query?sql=select+*+from+Hotels+where+"has+really+clean+rooms"&k=5'
 //	curl 'localhost:8080/healthz'   # router mode aggregates per-shard health
+//	curl -X POST localhost:8080/reviews -d '{"id":"r-new","entity":"h0012","reviewer":"ada","day":4200,"text":"The room was spotless."}'
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"io/fs"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/snapshot"
@@ -45,6 +57,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapPath := flag.String("snapshot", "", "snapshot artifact to serve (written by opinedbb); falls back to an in-process build when the file does not exist")
+	journalMode := flag.String("journal", "auto", "review journal for live ingestion: 'auto' opens <snapshot>.journal next to the served artifact (replayed on load), 'off' serves read-only, any other value is an explicit journal directory")
+	journalSync := flag.Int("journal-sync-every", 1, "fsync the journal after every Nth ingested review (1 = every write is durable before it is acknowledged)")
 	shardManifest := flag.String("shard-manifest", "", "shard manifest (written by opinedbb -shards); serve the single shard selected by -shard-index")
 	shardIndex := flag.Int("shard-index", -1, "which shard of -shard-manifest to serve")
 	routerManifest := flag.String("router", "", "shard manifest; act as the scatter-gather router over the fleet")
@@ -62,18 +76,72 @@ func main() {
 	var handler http.Handler
 	switch {
 	case *routerManifest != "":
-		handler = routerHandler(*routerManifest, *routerBackends, *topK)
+		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, *journalSync)
 	case *shardManifest != "":
-		handler = shardHandler(*shardManifest, *shardIndex, *topK)
+		handler = shardHandler(*shardManifest, *shardIndex, *topK, *journalMode, *journalSync)
 	default:
-		handler = monolithHandler(*snapPath, *domain, *small, *seed, *workers, *tagged, *labels, *subindex, *topK)
+		handler = monolithHandler(*snapPath, *domain, *small, *seed, *workers, *tagged, *labels, *subindex, *topK, *journalMode, *journalSync)
 	}
 	serve(*addr, handler)
 }
 
+// journalDir resolves the -journal flag against the served artifact:
+// "auto" puts the journal next to the snapshot ("<artifact>.journal"),
+// "off" disables it, anything else is an explicit directory.
+func journalDir(mode, artifactPath string) string {
+	switch mode {
+	case "off":
+		return ""
+	case "auto":
+		if artifactPath == "" {
+			return ""
+		}
+		return journal.Dir(artifactPath)
+	default:
+		return mode
+	}
+}
+
+// attachJournal is the serving side of the snapshot+journal lifecycle:
+// open the journal (crash recovery truncates a torn tail), replay every
+// surviving delta into the freshly loaded database, and return ingest
+// options whose Append feeds the same journal — so load order is always
+// snapshot → replay → serve. An empty dir enables volatile (unjournaled)
+// ingestion.
+func attachJournal(db *core.DB, dir string, syncEvery int, acceptUnowned bool) *server.IngestOptions {
+	if dir == "" {
+		log.Printf("ingestion enabled without a journal; reviews ingested live will NOT survive a restart")
+		return &server.IngestOptions{AcceptUnowned: acceptUnowned}
+	}
+	j, err := journal.Open(dir, journal.Options{SyncEvery: syncEvery})
+	if err != nil {
+		log.Fatalf("journal %s: %v", dir, err)
+	}
+	if rec := j.Recovery(); rec.Err != nil {
+		log.Printf("journal %s: crash recovery dropped %d torn tail bytes (%v)", dir, rec.DroppedBytes, rec.Err)
+	}
+	st, err := journal.ApplyAll(db, dir)
+	if err != nil {
+		log.Fatalf("journal %s: replay: %v", dir, err)
+	}
+	if st.Records > 0 {
+		log.Printf("journal %s: replayed %d reviews through seq %d (%d applied, %d already in the snapshot)",
+			dir, st.Records, st.LastSeq, st.Applied, st.Skipped)
+	}
+	return &server.IngestOptions{
+		AcceptUnowned: acceptUnowned,
+		Append: func(rv core.ReviewData) (uint64, error) {
+			return j.Append(journal.Review{
+				ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
+				Day: rv.Day, Text: rv.Text,
+			})
+		},
+	}
+}
+
 // monolithHandler is the original single-database role: load a snapshot
 // or build in process.
-func monolithHandler(snapPath, domain string, small bool, seed int64, workers, tagged, labels int, subindex bool, topK int) http.Handler {
+func monolithHandler(snapPath, domain string, small bool, seed int64, workers, tagged, labels int, subindex bool, topK int, journalMode string, journalSync int) http.Handler {
 	var (
 		db       *core.DB
 		snapInfo *server.SnapshotInfo
@@ -118,15 +186,20 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 			time.Since(start).Seconds())
 	}
 
+	// Load order: snapshot → journal replay → serve. The journal lives
+	// next to the snapshot even when the replica fell back to an
+	// in-process build, so a fleet's ingestion layout is uniform.
+	ingest := attachJournal(db, journalDir(journalMode, snapPath), journalSync, false)
 	return server.New(db, server.Options{
 		DefaultTopK: topK,
 		EntityName:  entityNamer(db),
 		Snapshot:    snapInfo,
+		Ingest:      ingest,
 	})
 }
 
 // shardHandler serves one digest-verified shard of a sharded build.
-func shardHandler(manifestPath string, index, topK int) http.Handler {
+func shardHandler(manifestPath string, index, topK int, journalMode string, journalSync int) http.Handler {
 	m, err := snapshot.LoadManifest(manifestPath)
 	if err != nil {
 		log.Fatalf("shard manifest %s: %v", manifestPath, err)
@@ -135,28 +208,42 @@ func shardHandler(manifestPath string, index, topK int) http.Handler {
 	if err != nil {
 		log.Fatalf("shard %d of %s: %v", index, manifestPath, err)
 	}
-	info := snapshotInfo(snapshot.ShardPath(manifestPath, m.Shard[index]), meta)
+	shardPath := snapshot.ShardPath(manifestPath, m.Shard[index])
+	info := snapshotInfo(shardPath, meta)
 	log.Printf("serving shard %d/%d of %s: %d entities [%s .. %s] (%.1fms load)",
 		index, m.Shards, m.Name, meta.Shard.Entities, meta.Shard.FirstEntity, meta.Shard.LastEntity, info.LoadMillis)
+	// AcceptUnowned: a shard journals and absorbs replicated writes for
+	// entities other shards own (corpus-global state must not drift).
+	ingest := attachJournal(db, journalDir(journalMode, shardPath), journalSync, true)
 	return server.New(db, server.Options{
 		DefaultTopK: topK,
 		EntityName:  entityNamer(db),
 		Snapshot:    info,
+		Ingest:      ingest,
 	})
 }
 
 // routerHandler assembles the scatter-gather router: remote backends when
 // -router-backends is given, otherwise every shard loaded in process.
-func routerHandler(manifestPath, backendList string, topK int) http.Handler {
+func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int) http.Handler {
 	opts := router.Options{DefaultTopK: topK}
 	if backendList == "" {
 		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
 			Options: opts,
 			ShardServer: func(index int, path string, db *core.DB, meta *snapshot.Meta) server.Options {
+				// Each in-process shard needs its own journal chain: with an
+				// explicit -journal dir, derive a per-shard subdirectory (a
+				// shared chain would interleave two writers' sequences; the
+				// journal's directory lock refuses it outright).
+				dir := journalDir(journalMode, path)
+				if journalMode != "auto" && journalMode != "off" {
+					dir = filepath.Join(journalMode, fmt.Sprintf("shard-%d", index))
+				}
 				return server.Options{
 					DefaultTopK: topK,
 					EntityName:  entityNamer(db),
 					Snapshot:    snapshotInfo(path, meta),
+					Ingest:      attachJournal(db, dir, journalSync, true),
 				}
 			},
 		})

@@ -100,15 +100,51 @@ func (db *DB) RestoreSummaries(summaries map[string]map[string]*MarkerSummary) {
 	db.degreeLists.reset()
 }
 
-// AddReview ingests one new review end-to-end at query-serving time:
+// AddReview ingests one new review; it is ApplyReview under its original
+// name, kept for callers that predate the journaled delta path.
+func (db *DB) AddReview(rv ReviewData) error { return db.ApplyReview(rv) }
+
+// HasReview reports whether a review id has already been ingested (at
+// build time or through ApplyReview). Journal replay uses it to stay
+// idempotent when a crash leaves a delta both folded into the snapshot
+// and still present in the journal.
+func (db *DB) HasReview(reviewID string) bool {
+	_, ok := db.ReviewSentiments[reviewID]
+	return ok
+}
+
+// ServesEntity reports whether this database instance serves the entity —
+// true for every known entity on a monolith, and only for the owned
+// contiguous range on a shard (the Entities relation is the partitioned
+// state; see ShardDB).
+func (db *DB) ServesEntity(entityID string) bool {
+	i := sort.SearchStrings(db.entityIDs, entityID)
+	return i < len(db.entityIDs) && db.entityIDs[i] == entityID
+}
+
+// ApplyReview ingests one new review end-to-end at query-serving time:
 // extraction, attribute classification via marker matching, summary
 // update, index update — the incremental maintenance path of §4.2.2
-// ("the marker summaries can be incrementally computed").
+// ("the marker summaries can be incrementally computed"). It is the
+// single deterministic delta operation of the journaled enrichment path:
+// applying the same reviews in the same order to equal databases yields
+// byte-identical query state, whether the database was freshly built or
+// loaded from a snapshot, so a journal replay reconstructs exactly the
+// state the live writer reached.
 //
 // The embedding model and markers are NOT retrained — exactly like the
 // production behaviour of the paper's system, where schema and models
 // are rebuilt offline while summaries track new reviews online.
-func (db *DB) AddReview(rv ReviewData) error {
+//
+// Corpus-global state (the Reviews relation, review BM25 index, sentiment
+// and co-occurrence statistics, the extraction relation and its access
+// paths) is always updated; the per-entity marker summary is materialized
+// only when this instance serves the entity (ServesEntity). On a shard
+// that replicates a write for another shard's entity, the global update
+// keeps interpretations byte-identical fleet-wide while the owner alone
+// carries the summary — mirroring the replicated/partitioned split of
+// ShardDB.
+func (db *DB) ApplyReview(rv ReviewData) error {
 	if rv.ID == "" || rv.EntityID == "" {
 		return fmt.Errorf("core: review needs ID and EntityID")
 	}
@@ -127,6 +163,7 @@ func (db *DB) AddReview(rv ReviewData) error {
 		return err
 	}
 
+	owned := db.ServesEntity(rv.EntityID)
 	toks := textproc.Tokenize(rv.Text)
 	senti := sentiment.ScoreTokens(toks)
 	db.ReviewSentiments[rv.ID] = senti
@@ -176,7 +213,7 @@ func (db *DB) AddReview(rv ReviewData) error {
 			}); err != nil {
 				return err
 			}
-			db.addIncremental(attr, ext)
+			db.addIncremental(attr, ext, owned)
 		}
 	}
 	// Interpretations and precomputed degree lists may shift with new
@@ -206,25 +243,28 @@ func (db *DB) nearestDomainVariation(phrase string) (*SubjectiveAttribute, int, 
 	return bestAttr, bestMarker, bestSim
 }
 
-// addIncremental folds one new extraction into the live summary,
-// maintaining the finalized centroids in place.
-func (db *DB) addIncremental(attr *SubjectiveAttribute, ext Extraction) {
-	byEntity := db.Summaries[attr.Name]
-	s, ok := byEntity[ext.EntityID]
-	if !ok {
-		s = newMarkerSummary(len(attr.Markers), db.Embed.Dim())
-		s.finalize()
-		byEntity[ext.EntityID] = s
-	}
-	vec := db.Embed.Rep(ext.Phrase)
-	s.add(ext.Marker, ext.Sentiment, vec, ext.ID)
-	// Refresh the finalized centroid of the touched marker only.
-	if s.centroids != nil {
-		c := s.VecSum[ext.Marker].Clone()
-		if s.Counts[ext.Marker] > 0 {
-			c.Scale(1 / s.Counts[ext.Marker])
+// addIncremental folds one new extraction into the live summary (when
+// this instance serves the entity), maintaining the finalized centroids
+// in place, and into the corpus-global extraction access paths (always).
+func (db *DB) addIncremental(attr *SubjectiveAttribute, ext Extraction, owned bool) {
+	if owned {
+		byEntity := db.Summaries[attr.Name]
+		s, ok := byEntity[ext.EntityID]
+		if !ok {
+			s = newMarkerSummary(len(attr.Markers), db.Embed.Dim())
+			s.finalize()
+			byEntity[ext.EntityID] = s
 		}
-		s.centroids[ext.Marker] = c
+		vec := db.Embed.Rep(ext.Phrase)
+		s.add(ext.Marker, ext.Sentiment, vec, ext.ID)
+		// Refresh the finalized centroid of the touched marker only.
+		if s.centroids != nil {
+			c := s.VecSum[ext.Marker].Clone()
+			if s.Counts[ext.Marker] > 0 {
+				c.Scale(1 / s.Counts[ext.Marker])
+			}
+			s.centroids[ext.Marker] = c
+		}
 	}
 	// Maintain the extraction access paths.
 	if db.extIndex[attr.Name] == nil {

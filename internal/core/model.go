@@ -12,12 +12,13 @@
 // deterministic derived values (interpretations, phrase representations,
 // TA degree lists) in sharded RWMutex caches (cache.go), so a warm cache
 // costs one shard-local read lock per lookup and results are identical to
-// a sequential run. Mutations — Build-time helpers aside, AddReview,
-// RebuildSummaries, RestoreSummaries, SetFuzzyVariant and
-// SetW2VThreshold — are NOT safe concurrently with readers or each other;
-// callers that mutate a live database must provide their own
-// writer-exclusion (e.g. a stop-the-world RWMutex around the writer).
-// The relational layer underneath is independently goroutine-safe.
+// a sequential run. Mutations — Build-time helpers aside, ApplyReview
+// (and its AddReview alias), RebuildSummaries, RestoreSummaries,
+// SetFuzzyVariant and SetW2VThreshold — are NOT safe concurrently with
+// readers or each other; callers that mutate a live database must provide
+// their own writer-exclusion (internal/server holds a stop-the-world
+// RWMutex around POST /reviews for exactly this reason). The relational
+// layer underneath is independently goroutine-safe.
 //
 // Relations: queries reference a single relation (§2 assumes one
 // select-from-where block); the engine binds any FROM name to the

@@ -1,0 +1,451 @@
+// Package journal is the durable delta log of the incremental-enrichment
+// path: a checksummed, length-prefixed, append-only record of AddReview
+// deltas written next to a snapshot artifact. The snapshot is the *base*;
+// the journal is everything ingested since it was built. A serving
+// process loads snapshot → replays journal → serves, so the expensive
+// §4 construction pipeline runs offline while the database keeps
+// absorbing new experiential data online (the crowdsourced-KB direction
+// of Meng et al.), and a crash mid-ingest loses at most the
+// unfsynced tail — never a loadable-but-corrupt state.
+//
+// # On-disk format (journal version 1)
+//
+// A journal is a directory of segment files named <firstSeq>.wal with
+// zero-padded decimal sequence numbers. All integers are little-endian.
+//
+//	segment header (20 bytes):
+//	  offset 0   magic "OPDBWAL1" (8 bytes)
+//	  offset 8   uint32 journal format version
+//	  offset 12  uint64 sequence number of the segment's first record
+//	records, concatenated:
+//	  uint32 payload length
+//	  uint32 CRC-32 (IEEE) over seq bytes + payload
+//	  uint64 seq (consecutive, starting at the header's firstSeq)
+//	  payload (opcode byte + body; see record.go)
+//
+// Records are fsynced in batches (Options.SyncEvery): an append is
+// acknowledged when written to the OS, and durable once the batch
+// syncs. Segments roll at Options.SegmentMaxBytes so compaction and
+// recovery never rescan unbounded files.
+//
+// # Crash recovery
+//
+// Damage is classified with typed errors — ErrTornRecord (framing cut
+// short: a truncated header, length prefix, or a record extending past
+// EOF), ErrJournalChecksum (a record's CRC does not match its bytes) and
+// ErrJournalFormat (bad magic/version or a broken sequence chain). A
+// damaged *tail* of the final segment is the expected crash signature —
+// a torn write can only affect the last record ever written, so tail
+// means framing that runs out of file, or a checksum mismatch on a
+// record that ends exactly at EOF. Open truncates such a tail away and
+// keeps serving (the loss is bounded by the sync batch); Replay skips it
+// and reports it in ReplayStats. The same damage anywhere else — an
+// earlier segment, or a record with durable bytes after it — means
+// previously-synced data was corrupted, which is never silently dropped:
+// it surfaces as a hard typed error.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SegmentMagic identifies a journal segment file; it is the first 8 bytes.
+const SegmentMagic = "OPDBWAL1"
+
+// FormatVersion is the journal format this package writes and the only
+// one it accepts.
+const FormatVersion uint32 = 1
+
+const (
+	segmentHeaderLen = 20
+	recordHeaderLen  = 16 // uint32 len + uint32 crc + uint64 seq
+	// maxRecordBytes bounds a record's declared payload so a corrupt
+	// length prefix cannot drive a huge allocation.
+	maxRecordBytes = 1 << 24
+	// DefaultSegmentMaxBytes rolls segments at 4 MiB.
+	DefaultSegmentMaxBytes = 4 << 20
+)
+
+// Typed errors for damaged journals; match with errors.Is.
+var (
+	// ErrTornRecord: a segment ends mid-record (truncated header, length
+	// prefix, or payload) — the signature of a torn write.
+	ErrTornRecord = errors.New("journal: torn record")
+	// ErrJournalChecksum: a record's payload does not match its stored CRC.
+	ErrJournalChecksum = errors.New("journal: record checksum mismatch")
+	// ErrJournalFormat: a segment has a bad magic/version or the sequence
+	// chain across records or segments is broken.
+	ErrJournalFormat = errors.New("journal: invalid segment format")
+)
+
+// Options configure a Journal opened for appending.
+type Options struct {
+	// SyncEvery fsyncs the active segment after every Nth append; values
+	// <= 1 sync every append (fully durable acknowledgements). Larger
+	// batches trade the crash-loss window for throughput; replayed state
+	// is byte-identical for every batch size.
+	SyncEvery int
+	// SegmentMaxBytes rolls to a new segment file once the active one
+	// exceeds this size. 0 means DefaultSegmentMaxBytes.
+	SegmentMaxBytes int64
+}
+
+// RecoveryInfo describes what Open found (and removed) at the tail of the
+// final segment.
+type RecoveryInfo struct {
+	// DroppedBytes is how many trailing bytes were truncated away.
+	DroppedBytes int64
+	// Err is the typed reason the tail was unusable (ErrTornRecord or
+	// ErrJournalChecksum), nil when the journal was clean.
+	Err error
+}
+
+// Journal is an append-only review log opened on a directory. Appends are
+// serialized internally; Append/Sync/Close are safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes written to the active segment
+	nextSeq  uint64
+	synced   uint64 // highest sequence number known durable
+	unsynced int    // appends since the last fsync
+	recovery RecoveryInfo
+	// broken is set when a failed append left bytes of indeterminate
+	// shape in the active segment that could not be truncated away;
+	// appending after them would bury durable records behind mid-file
+	// damage, so the journal refuses further writes instead.
+	broken error
+	// lock holds the exclusive directory lock (lockDir) for the life of
+	// the journal.
+	lock *os.File
+}
+
+// segPath names the segment whose first record is seq.
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d.wal", seq))
+}
+
+// listSegments returns the journal's segment paths sorted by first
+// sequence number (the zero-padded name sorts correctly, but the parsed
+// value is what orders and validates them).
+func listSegments(dir string) ([]string, []uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var paths []string
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: segment name %q is not a sequence number", ErrJournalFormat, name)
+		}
+		paths = append(paths, filepath.Join(dir, name))
+		seqs = append(seqs, seq)
+	}
+	sort.Sort(&segmentSort{paths: paths, seqs: seqs})
+	return paths, seqs, nil
+}
+
+type segmentSort struct {
+	paths []string
+	seqs  []uint64
+}
+
+func (s *segmentSort) Len() int           { return len(s.paths) }
+func (s *segmentSort) Less(i, j int) bool { return s.seqs[i] < s.seqs[j] }
+func (s *segmentSort) Swap(i, j int) {
+	s.paths[i], s.paths[j] = s.paths[j], s.paths[i]
+	s.seqs[i], s.seqs[j] = s.seqs[j], s.seqs[i]
+}
+
+// Open opens (creating if needed) a journal directory for appending. Every
+// segment is scanned: damage at the tail of the final segment is
+// truncated away (crash recovery; see Recovery), damage anywhere else is
+// a hard typed error. The next append continues the sequence where the
+// recovered journal ends.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok && lock != nil {
+			lock.Close()
+		}
+	}()
+	j := &Journal{dir: dir, opts: opts, nextSeq: 1, lock: lock}
+
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	for i, path := range paths {
+		last := i == len(paths)-1
+		res, err := scanSegmentFile(path, seqs[i], j.nextSeq, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.tailErr != nil && !last {
+			// Damage followed by a whole later segment is not a crash tail.
+			return nil, fmt.Errorf("journal: segment %s: %w", filepath.Base(path), res.tailErr)
+		}
+		if res.tailErr != nil {
+			if res.goodBytes == 0 && res.records == 0 && res.headerBad {
+				// A torn segment header (crash during roll): no acknowledged
+				// record can live here, drop the file entirely.
+				fi, _ := os.Stat(path)
+				if fi != nil {
+					j.recovery.DroppedBytes += fi.Size()
+				}
+				if err := os.Remove(path); err != nil {
+					return nil, fmt.Errorf("journal: open: drop torn segment: %w", err)
+				}
+				j.recovery.Err = res.tailErr
+				paths = paths[:i]
+				seqs = seqs[:i]
+				break
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				return nil, fmt.Errorf("journal: open: %w", err)
+			}
+			j.recovery.DroppedBytes += fi.Size() - res.goodBytes
+			j.recovery.Err = res.tailErr
+			if err := os.Truncate(path, res.goodBytes); err != nil {
+				return nil, fmt.Errorf("journal: open: truncate torn tail: %w", err)
+			}
+		}
+		j.nextSeq += uint64(res.records)
+	}
+
+	if len(paths) == 0 {
+		if err := j.rollLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Reopen the final segment for appending.
+		active := paths[len(paths)-1]
+		f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: open: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: open: %w", err)
+		}
+		j.f = f
+		j.size = fi.Size()
+	}
+	j.synced = j.nextSeq - 1 // everything on disk at open time is durable
+	ok = true
+	return j, nil
+}
+
+// Recovery reports what Open had to drop from the journal's tail.
+func (j *Journal) Recovery() RecoveryInfo { return j.recovery }
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// NextSeq returns the sequence number the next append will get.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
+}
+
+// SyncedSeq returns the highest sequence number known durable (fsynced).
+func (j *Journal) SyncedSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.synced
+}
+
+// rollLocked syncs and closes the active segment and starts the next one.
+// The new segment's header is written and fsynced (file and directory)
+// before any record lands in it, so a crash during the roll leaves either
+// a complete header or a torn one that recovery drops wholesale.
+func (j *Journal) rollLocked() error {
+	if j.f != nil {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+		if err := j.f.Close(); err != nil {
+			return fmt.Errorf("journal: roll: %w", err)
+		}
+		j.f = nil
+	}
+	path := segPath(j.dir, j.nextSeq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: roll: %w", err)
+	}
+	var hdr [segmentHeaderLen]byte
+	copy(hdr[:8], SegmentMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], j.nextSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: roll: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: roll: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		f.Close()
+		return err
+	}
+	j.f = f
+	j.size = segmentHeaderLen
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created segment files survive a
+// crash of the containing filesystem metadata.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append writes one review delta and returns its sequence number. The
+// record is acknowledged once in the OS; it is durable after the current
+// sync batch completes (SyncEvery appends, an explicit Sync, or Close).
+func (j *Journal) Append(rv Review) (uint64, error) {
+	payload, err := encodeReview(rv)
+	if err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("journal: append on closed journal")
+	}
+	if j.broken != nil {
+		return 0, fmt.Errorf("journal: refusing append after unrecovered write failure: %w", j.broken)
+	}
+	recLen := int64(recordHeaderLen + len(payload))
+	if j.size+recLen > j.opts.SegmentMaxBytes && j.size > segmentHeaderLen {
+		if err := j.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := j.nextSeq
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	var seqBytes [8]byte
+	binary.LittleEndian.PutUint64(seqBytes[:], seq)
+	crc := crc32.NewIEEE()
+	crc.Write(seqBytes[:])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc.Sum32())
+	copy(hdr[8:], seqBytes[:])
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return 0, j.abortAppendLocked(err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return 0, j.abortAppendLocked(err)
+	}
+	j.size += recLen
+	j.nextSeq++
+	j.unsynced++
+	if j.unsynced >= j.opts.SyncEvery {
+		if err := j.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// abortAppendLocked handles a failed record write (short write, ENOSPC):
+// the segment may now carry a partial record that a later append would
+// bury behind itself, turning recoverable tail damage into hard mid-file
+// damage at the next open. Truncating back to the last good offset
+// restores the invariant; if even that fails, the journal marks itself
+// broken and refuses further appends.
+func (j *Journal) abortAppendLocked(cause error) error {
+	if terr := j.f.Truncate(j.size); terr != nil {
+		j.broken = fmt.Errorf("append failed (%v) and truncate to %d failed (%v)", cause, j.size, terr)
+		return fmt.Errorf("journal: append: %w (journal now read-only: %v)", cause, terr)
+	}
+	return fmt.Errorf("journal: append: %w", cause)
+}
+
+// Sync flushes every acknowledged append to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.f == nil {
+		return fmt.Errorf("journal: sync on closed journal")
+	}
+	if j.unsynced == 0 && j.synced == j.nextSeq-1 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.synced = j.nextSeq - 1
+	j.unsynced = 0
+	return nil
+}
+
+// Close syncs and closes the active segment and releases the directory
+// lock. The journal cannot append afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if j.lock != nil {
+		if cerr := j.lock.Close(); err == nil {
+			err = cerr
+		}
+		j.lock = nil
+	}
+	return err
+}

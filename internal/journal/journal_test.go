@@ -1,0 +1,310 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testReview builds the i-th deterministic review.
+func testReview(i int) Review {
+	return Review{
+		ID:       fmt.Sprintf("r-%04d", i),
+		EntityID: fmt.Sprintf("e-%03d", i%7),
+		Reviewer: fmt.Sprintf("rev%02d", i%5),
+		Day:      3000 + i,
+		Text:     fmt.Sprintf("The room %d was very clean — résumé №%d.", i, i),
+	}
+}
+
+// appendN appends n test reviews and returns them.
+func appendN(t *testing.T, j *Journal, start, n int) []Review {
+	t.Helper()
+	out := make([]Review, 0, n)
+	for i := start; i < start+n; i++ {
+		rv := testReview(i)
+		seq, err := j.Append(rv)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); seq != want {
+			t.Fatalf("append %d got seq %d, want %d", i, seq, want)
+		}
+		out = append(out, rv)
+	}
+	return out
+}
+
+// replayAll replays dir and returns the records with the stats.
+func replayAll(t *testing.T, dir string) ([]Review, ReplayStats) {
+	t.Helper()
+	var got []Review
+	stats, err := Replay(dir, func(seq uint64, rv Review) error {
+		if want := uint64(len(got) + 1); seq != want {
+			t.Fatalf("replay delivered seq %d, want %d", seq, want)
+		}
+		got = append(got, rv)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.Records != len(got) {
+		t.Fatalf("stats.Records = %d, delivered %d", stats.Records, len(got))
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, j, 0, 10)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, dir)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %+v,\nwant %+v", got, want)
+	}
+	if stats.TailErr != nil || stats.DroppedBytes != 0 {
+		t.Fatalf("clean journal reported damage: %+v", stats)
+	}
+	if stats.LastSeq != 10 {
+		t.Fatalf("LastSeq = %d, want 10", stats.LastSeq)
+	}
+
+	// Reopen continues the sequence; replay sees both generations.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.NextSeq() != 11 {
+		t.Fatalf("reopened NextSeq = %d, want 11", j2.NextSeq())
+	}
+	if rec := j2.Recovery(); rec.Err != nil {
+		t.Fatalf("clean reopen reported recovery: %+v", rec)
+	}
+	want = append(want, appendN(t, j2, 10, 5)...)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = replayAll(t, dir)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reopen: replayed %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, j, 0, 40)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected several segments at 256-byte cap, got %d", len(paths))
+	}
+	if seqs[0] != 1 {
+		t.Fatalf("first segment starts at seq %d", seqs[0])
+	}
+	got, stats := replayAll(t, dir)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rolling journal replayed %d records, want %d", len(got), len(want))
+	}
+	if stats.Segments != len(paths) {
+		t.Fatalf("stats.Segments = %d, want %d", stats.Segments, len(paths))
+	}
+}
+
+// TestSyncBatchSizeInvariant: the on-disk bytes — and therefore the
+// replayed state — are identical for every fsync batch size; batching
+// changes only the durability horizon, never the contents.
+func TestSyncBatchSizeInvariant(t *testing.T) {
+	var first []byte
+	for _, syncEvery := range []int{1, 4, 1000} {
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("j%d", syncEvery))
+		j, err := Open(dir, Options{SyncEvery: syncEvery, SegmentMaxBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, j, 0, 25)
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths, _, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for _, p := range paths {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, b...)
+		}
+		if first == nil {
+			first = all
+		} else if !bytes.Equal(first, all) {
+			t.Fatalf("SyncEvery=%d produced different journal bytes", syncEvery)
+		}
+	}
+}
+
+func TestSyncedSeqTracksBatches(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{SyncEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 2)
+	if got := j.SyncedSeq(); got != 0 {
+		t.Fatalf("SyncedSeq after 2 of 3 batched appends = %d, want 0", got)
+	}
+	appendN(t, j, 2, 1)
+	if got := j.SyncedSeq(); got != 3 {
+		t.Fatalf("SyncedSeq after full batch = %d, want 3", got)
+	}
+	appendN(t, j, 3, 1)
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SyncedSeq(); got != 4 {
+		t.Fatalf("SyncedSeq after explicit Sync = %d, want 4", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	stats, err := Replay(filepath.Join(t.TempDir(), "nope"), func(uint64, Review) error {
+		t.Fatal("delivered a record from a missing journal")
+		return nil
+	})
+	if err != nil || stats.Records != 0 {
+		t.Fatalf("missing dir: stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := j.Append(Review{Text: "no ids"}); err == nil {
+		t.Error("append without ids should fail")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(testReview(0)); err == nil {
+		t.Error("append on closed journal should fail")
+	}
+	if err := j.Sync(); err == nil {
+		t.Error("sync on closed journal should fail")
+	}
+}
+
+func TestReviewCodec(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		rv := testReview(i)
+		rv.Day = -rv.Day // negative days must survive
+		b, err := encodeReview(rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeReview(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rv {
+			t.Fatalf("codec round trip: %+v != %+v", got, rv)
+		}
+	}
+	// Structural damage decodes to typed format errors.
+	good, _ := encodeReview(testReview(1))
+	for name, bad := range map[string][]byte{
+		"empty":          {},
+		"unknown opcode": {99, 0},
+		"truncated":      good[:len(good)/2],
+		"trailing":       append(append([]byte{}, good...), 0xff),
+	} {
+		if _, err := decodeReview(bad); !errors.Is(err, ErrJournalFormat) {
+			t.Errorf("%s: err = %v, want ErrJournalFormat", name, err)
+		}
+	}
+}
+
+func TestStrayFileAndBadSegmentName(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 3)
+	j.Close()
+	// Non-.wal files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 3 {
+		t.Fatalf("stray file changed replay: %d records", len(got))
+	}
+	// A .wal file with a non-numeric name is a format error.
+	if err := os.WriteFile(filepath.Join(dir, "bogus.wal"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, nil); !errors.Is(err, ErrJournalFormat) {
+		t.Fatalf("bogus segment name: err = %v, want ErrJournalFormat", err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrJournalFormat) {
+		t.Fatalf("open with bogus segment name: err = %v, want ErrJournalFormat", err)
+	}
+}
+
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 3)
+	j.Close()
+	boom := errors.New("boom")
+	if _, err := Replay(dir, func(seq uint64, rv Review) error {
+		if seq == 2 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("callback error = %v, want boom", err)
+	}
+}
+
+func TestDirConvention(t *testing.T) {
+	if got := Dir("/x/hotel.snap"); got != "/x/hotel.snap.journal" {
+		t.Fatalf("Dir = %q", got)
+	}
+	if !strings.HasSuffix(segPath("/j", 7), string(filepath.Separator)+"00000000000000000007.wal") {
+		t.Fatalf("segPath = %q", segPath("/j", 7))
+	}
+}

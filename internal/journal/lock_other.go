@@ -1,0 +1,9 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics; single-writer
+// discipline is the operator's responsibility there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

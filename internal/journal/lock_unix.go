@@ -1,0 +1,28 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the journal directory (a
+// LOCK file inside it), so two processes — or two in-process shards
+// misconfigured onto one directory — can never interleave appends into
+// the same segment chain, which would corrupt the sequence ordering for
+// both. The lock is held for the life of the returned file and released
+// by closing it.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: directory %s is already locked by another writer: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,87 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Review is one journaled AddReview delta — the journal's own stable copy
+// of core.ReviewData, so the on-disk format cannot drift when the live
+// type grows fields (new fields get new opcodes or payload versions).
+type Review struct {
+	ID       string
+	EntityID string
+	Reviewer string
+	Day      int
+	Text     string
+}
+
+// opAddReview is the only record opcode of format version 1.
+const opAddReview = byte(1)
+
+// encodeReview serializes a review delta: opcode, then each string
+// uvarint-length-prefixed, then the day as a varint.
+func encodeReview(rv Review) ([]byte, error) {
+	if rv.ID == "" || rv.EntityID == "" {
+		return nil, fmt.Errorf("journal: review needs ID and EntityID")
+	}
+	n := 1 + len(rv.ID) + len(rv.EntityID) + len(rv.Reviewer) + len(rv.Text) + 5*binary.MaxVarintLen64
+	buf := make([]byte, 0, n)
+	buf = append(buf, opAddReview)
+	for _, s := range []string{rv.ID, rv.EntityID, rv.Reviewer, rv.Text} {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendVarint(buf, int64(rv.Day))
+	if len(buf) > maxRecordBytes {
+		return nil, fmt.Errorf("journal: review %s encodes to %d bytes (limit %d)", rv.ID, len(buf), maxRecordBytes)
+	}
+	return buf, nil
+}
+
+// decodeReview parses an opAddReview payload. Any structural damage maps
+// to ErrJournalChecksum-adjacent corruption, but decode errors should be
+// unreachable behind a matching CRC; they are reported as format errors.
+func decodeReview(payload []byte) (Review, error) {
+	var rv Review
+	if len(payload) == 0 {
+		return rv, fmt.Errorf("%w: empty record payload", ErrJournalFormat)
+	}
+	if payload[0] != opAddReview {
+		return rv, fmt.Errorf("%w: unknown record opcode %d", ErrJournalFormat, payload[0])
+	}
+	rest := payload[1:]
+	readString := func() (string, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n > uint64(len(rest)-used) {
+			return "", fmt.Errorf("%w: truncated string in record payload", ErrJournalFormat)
+		}
+		s := string(rest[used : used+int(n)])
+		rest = rest[used+int(n):]
+		return s, nil
+	}
+	var err error
+	if rv.ID, err = readString(); err != nil {
+		return rv, err
+	}
+	if rv.EntityID, err = readString(); err != nil {
+		return rv, err
+	}
+	if rv.Reviewer, err = readString(); err != nil {
+		return rv, err
+	}
+	if rv.Text, err = readString(); err != nil {
+		return rv, err
+	}
+	day, used := binary.Varint(rest)
+	if used <= 0 || day < math.MinInt32 || day > math.MaxInt32 {
+		return rv, fmt.Errorf("%w: bad day in record payload", ErrJournalFormat)
+	}
+	rest = rest[used:]
+	if len(rest) != 0 {
+		return rv, fmt.Errorf("%w: %d trailing bytes in record payload", ErrJournalFormat, len(rest))
+	}
+	rv.Day = int(day)
+	return rv, nil
+}

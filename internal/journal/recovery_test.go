@@ -1,0 +1,427 @@
+package journal
+
+// Crash-recovery matrix: every way a segment can be damaged — truncation
+// at and around every record boundary (torn writes), and a bit flip in
+// every region of a record (length, CRC, seq, payload) and the segment
+// header — asserting the typed-error contract: damage at the tail of the
+// final segment recovers cleanly to the longest intact prefix, damage
+// over durable data is a hard typed error, and recovery is physical (a
+// reopened journal accepts new appends after truncating the tail).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildJournal writes n reviews into a fresh journal under dir and
+// returns the sorted segment paths.
+func buildJournal(t *testing.T, dir string, n int, segMax int64) []string {
+	t.Helper()
+	j, err := Open(dir, Options{SegmentMaxBytes: segMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, n)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// copyJournal clones a journal directory into a fresh temp dir.
+func copyJournal(t *testing.T, src string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "j")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// recordBoundaries returns the byte offsets of every record boundary in a
+// segment file (starting after the header, ending at EOF), plus the
+// record count before each boundary.
+func recordBoundaries(t *testing.T, path string) []int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int{segmentHeaderLen}
+	off := segmentHeaderLen
+	for off < len(data) {
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		off += recordHeaderLen + payloadLen
+		if off > len(data) {
+			t.Fatalf("segment %s is already damaged", path)
+		}
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+// TestTruncationMatrix cuts the final segment at every record boundary
+// ± 1 byte and asserts prefix recovery with the right typed error.
+func TestTruncationMatrix(t *testing.T) {
+	pristine := filepath.Join(t.TempDir(), "pristine")
+	paths := buildJournal(t, pristine, 24, 512)
+	if len(paths) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(paths))
+	}
+	last := paths[len(paths)-1]
+	bounds := recordBoundaries(t, last)
+	if len(bounds) < 3 {
+		t.Fatalf("final segment has %d records; matrix needs at least 2", len(bounds)-1)
+	}
+	// Records living in the earlier segments all survive any damage to
+	// the final one.
+	priorRecords := 0
+	for _, p := range paths[:len(paths)-1] {
+		priorRecords += len(recordBoundaries(t, p)) - 1
+	}
+
+	for bi, bound := range bounds {
+		for _, delta := range []int{-1, 0, +1} {
+			cut := bound + delta
+			if cut < segmentHeaderLen || cut > bounds[len(bounds)-1] {
+				continue // before the header or past EOF: not a truncation
+			}
+			name := fmt.Sprintf("boundary%d%+d", bi, delta)
+			t.Run(name, func(t *testing.T) {
+				dir := copyJournal(t, pristine)
+				target := filepath.Join(dir, filepath.Base(last))
+				if err := os.Truncate(target, int64(cut)); err != nil {
+					t.Fatal(err)
+				}
+				// Survivors: every record fully before the cut.
+				wantRecords := priorRecords + bi
+				if delta == -1 {
+					wantRecords = priorRecords + bi - 1
+				}
+				wantDamage := delta != 0
+
+				got, stats := replayAll(t, dir)
+				if len(got) != wantRecords {
+					t.Fatalf("replayed %d records, want %d", len(got), wantRecords)
+				}
+				for i, rv := range got {
+					if rv != testReview(i) {
+						t.Fatalf("record %d diverged after truncation", i)
+					}
+				}
+				if wantDamage {
+					if !errors.Is(stats.TailErr, ErrTornRecord) {
+						t.Fatalf("TailErr = %v, want ErrTornRecord", stats.TailErr)
+					}
+					if stats.DroppedBytes <= 0 {
+						t.Fatalf("DroppedBytes = %d after a torn cut", stats.DroppedBytes)
+					}
+				} else if stats.TailErr != nil {
+					t.Fatalf("boundary cut reported damage: %v", stats.TailErr)
+				}
+
+				// Open performs physical recovery and keeps accepting writes.
+				j, err := Open(dir, Options{})
+				if err != nil {
+					t.Fatalf("open after truncation: %v", err)
+				}
+				if wantDamage && !errors.Is(j.Recovery().Err, ErrTornRecord) {
+					t.Fatalf("recovery err = %v, want ErrTornRecord", j.Recovery().Err)
+				}
+				if got := j.NextSeq(); got != uint64(wantRecords+1) {
+					t.Fatalf("recovered NextSeq = %d, want %d", got, wantRecords+1)
+				}
+				if _, err := j.Append(testReview(999)); err != nil {
+					t.Fatalf("append after recovery: %v", err)
+				}
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				reGot, reStats := replayAll(t, dir)
+				if len(reGot) != wantRecords+1 || reStats.TailErr != nil {
+					t.Fatalf("after recovery+append: %d records (tail %v), want %d clean",
+						len(reGot), reStats.TailErr, wantRecords+1)
+				}
+			})
+		}
+	}
+}
+
+// flipByte flips one bit of the byte at off in path.
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitFlipMatrix corrupts one byte in every structural region of the
+// final segment's second record and checks the typed classification and
+// prefix recovery.
+func TestBitFlipMatrix(t *testing.T) {
+	pristine := filepath.Join(t.TempDir(), "pristine")
+	paths := buildJournal(t, pristine, 24, 512)
+	last := paths[len(paths)-1]
+	bounds := recordBoundaries(t, last)
+	if len(bounds) < 3 {
+		t.Fatalf("final segment has %d records; need at least 2", len(bounds)-1)
+	}
+	priorRecords := 0
+	for _, p := range paths[:len(paths)-1] {
+		priorRecords += len(recordBoundaries(t, p)) - 1
+	}
+	rec := bounds[1]                 // second record of the final segment (durable bytes follow)
+	lastRec := bounds[len(bounds)-2] // final record (ends at EOF)
+	finalRecords := len(bounds) - 1
+
+	// Damage to a record with durable bytes after it can never be a torn
+	// write, so it must be a hard typed error — never a silent drop of
+	// the records behind it. (A flipped length is the one ambiguous case:
+	// if it makes the record run past EOF it is indistinguishable from a
+	// torn write and recovers; if it stays in-file the checksum catches
+	// it as hard mid-file damage.)
+	midCases := []struct {
+		name string
+		off  int
+	}{
+		{"crc", rec + 4},
+		{"seq", rec + 8},
+		{"payload", rec + recordHeaderLen + 2},
+	}
+	for _, tc := range midCases {
+		t.Run("durable "+tc.name, func(t *testing.T) {
+			dir := copyJournal(t, pristine)
+			flipByte(t, filepath.Join(dir, filepath.Base(last)), tc.off)
+			if _, err := Replay(dir, nil); !errors.Is(err, ErrJournalChecksum) {
+				t.Fatalf("replay err = %v, want hard ErrJournalChecksum", err)
+			}
+			if _, err := Open(dir, Options{}); !errors.Is(err, ErrJournalChecksum) {
+				t.Fatalf("open err = %v, want hard ErrJournalChecksum", err)
+			}
+		})
+	}
+
+	t.Run("durable length", func(t *testing.T) {
+		dir := copyJournal(t, pristine)
+		flipByte(t, filepath.Join(dir, filepath.Base(last)), rec+0)
+		_, err := Replay(dir, nil)
+		switch {
+		case err != nil && errors.Is(err, ErrJournalChecksum):
+			// Flip landed in-file: hard damage, Open must refuse too.
+			if _, err := Open(dir, Options{}); !errors.Is(err, ErrJournalChecksum) {
+				t.Fatalf("open err = %v, want ErrJournalChecksum", err)
+			}
+		case err == nil:
+			// Flip declared past EOF: indistinguishable from a torn write.
+			got, stats := replayAll(t, dir)
+			if len(got) != priorRecords+1 || !errors.Is(stats.TailErr, ErrTornRecord) {
+				t.Fatalf("torn-shaped length flip: %d records, tail %v", len(got), stats.TailErr)
+			}
+		default:
+			t.Fatalf("replay err = %v", err)
+		}
+	})
+
+	// Damage to the final record — the only one a real torn write can
+	// touch — recovers cleanly to the prefix.
+	t.Run("final record payload", func(t *testing.T) {
+		dir := copyJournal(t, pristine)
+		flipByte(t, filepath.Join(dir, filepath.Base(last)), lastRec+recordHeaderLen+2)
+		got, stats := replayAll(t, dir)
+		if want := priorRecords + finalRecords - 1; len(got) != want {
+			t.Fatalf("replayed %d records, want %d", len(got), want)
+		}
+		if !errors.Is(stats.TailErr, ErrJournalChecksum) {
+			t.Fatalf("TailErr = %v, want ErrJournalChecksum", stats.TailErr)
+		}
+		j, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("open after final-record flip: %v", err)
+		}
+		if got := j.NextSeq(); got != uint64(priorRecords+finalRecords) {
+			t.Fatalf("NextSeq = %d, want %d", got, priorRecords+finalRecords)
+		}
+		j.Close()
+	})
+
+	t.Run("header magic", func(t *testing.T) {
+		dir := copyJournal(t, pristine)
+		flipByte(t, filepath.Join(dir, filepath.Base(last)), 3)
+		if _, err := Replay(dir, nil); !errors.Is(err, ErrJournalFormat) {
+			t.Fatalf("flipped magic: err = %v, want ErrJournalFormat", err)
+		}
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrJournalFormat) {
+			t.Fatalf("open with flipped magic: err = %v, want ErrJournalFormat", err)
+		}
+	})
+
+	t.Run("non-final segment is hard damage", func(t *testing.T) {
+		dir := copyJournal(t, pristine)
+		firstBounds := recordBoundaries(t, filepath.Join(dir, filepath.Base(paths[0])))
+		flipByte(t, filepath.Join(dir, filepath.Base(paths[0])), firstBounds[0]+recordHeaderLen+1)
+		if _, err := Replay(dir, nil); !errors.Is(err, ErrJournalChecksum) {
+			t.Fatalf("durable-position damage: err = %v, want ErrJournalChecksum", err)
+		}
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrJournalChecksum) {
+			t.Fatalf("open over durable damage: err = %v, want ErrJournalChecksum", err)
+		}
+		// Truncating a non-final segment is equally hard damage.
+		dir2 := copyJournal(t, pristine)
+		b2 := recordBoundaries(t, filepath.Join(dir2, filepath.Base(paths[0])))
+		if err := os.Truncate(filepath.Join(dir2, filepath.Base(paths[0])), int64(b2[len(b2)-1]-3)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(dir2, nil); !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("truncated non-final segment: err = %v, want ErrTornRecord", err)
+		}
+	})
+
+	t.Run("torn segment header is recoverable", func(t *testing.T) {
+		// A crash during segment roll leaves a short header in the newest
+		// file; no acknowledged record can live there, so recovery drops
+		// the file and keeps appending into the chain.
+		dir := copyJournal(t, pristine)
+		allRecords := priorRecords + len(bounds) - 1
+		torn := segPath(dir, uint64(allRecords+1))
+		if err := os.WriteFile(torn, []byte(SegmentMagic[:5]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, stats := replayAll(t, dir)
+		if len(got) != allRecords || !errors.Is(stats.TailErr, ErrTornRecord) {
+			t.Fatalf("torn roll: %d records (tail %v), want %d with ErrTornRecord", len(got), stats.TailErr, allRecords)
+		}
+		j, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("open after torn roll: %v", err)
+		}
+		if _, err := os.Stat(torn); !os.IsNotExist(err) {
+			t.Fatalf("torn segment file not dropped: %v", err)
+		}
+		if got := j.NextSeq(); got != uint64(allRecords+1) {
+			t.Fatalf("NextSeq = %d, want %d", got, allRecords+1)
+		}
+		j.Close()
+	})
+}
+
+// TestSIGKILLDuringAppend crash-kills a real ingestion process mid-write
+// (re-executing this test binary as the worker) and asserts the recovery
+// contract: no load error, and every acknowledged append survives as a
+// contiguous prefix — a process SIGKILL cannot unwrite bytes the OS
+// already accepted; only the in-flight record may tear.
+func TestSIGKILLDuringAppend(t *testing.T) {
+	if dir := os.Getenv("JOURNAL_CRASH_CHILD_DIR"); dir != "" {
+		crashChild(dir)
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash drill skipped in -short")
+	}
+	dir := filepath.Join(t.TempDir(), "j")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestSIGKILLDuringAppend")
+	cmd.Env = append(os.Environ(), "JOURNAL_CRASH_CHILD_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var lastAcked uint64
+	sc := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() {
+		if s, ok := strings.CutPrefix(sc.Text(), "acked "); ok {
+			if seq, err := strconv.ParseUint(s, 10, 64); err == nil {
+				lastAcked = seq
+			}
+		}
+		if lastAcked >= 64 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	_ = cmd.Wait()
+	if lastAcked < 64 {
+		t.Fatalf("worker only acknowledged %d appends", lastAcked)
+	}
+
+	got, stats := replayAll(t, dir)
+	if uint64(len(got)) < lastAcked {
+		t.Fatalf("recovered %d records, %d were acknowledged", len(got), lastAcked)
+	}
+	for i, rv := range got {
+		if rv != testReview(i) {
+			t.Fatalf("recovered record %d diverged", i)
+		}
+	}
+	if stats.TailErr != nil {
+		t.Logf("torn tail dropped: %d bytes (%v)", stats.DroppedBytes, stats.TailErr)
+	}
+	// The journal keeps working after the crash.
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after SIGKILL: %v", err)
+	}
+	if _, err := j.Append(testReview(len(got))); err != nil {
+		t.Fatalf("append after SIGKILL recovery: %v", err)
+	}
+	j.Close()
+}
+
+// crashChild is the worker half of TestSIGKILLDuringAppend.
+func crashChild(dir string) {
+	j, err := Open(dir, Options{SyncEvery: 4, SegmentMaxBytes: 4 << 10})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for i := 0; ; i++ {
+		seq, err := j.Append(testReview(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crash child append:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "acked %d\n", seq)
+		w.Flush()
+	}
+}

@@ -99,14 +99,10 @@ func buildE2EFleet() error {
 		if err != nil {
 			return fmt.Errorf("shard %d save: %w", i, err)
 		}
-		digest, err := snapshot.FileDigest(path)
-		if err != nil {
-			return err
-		}
 		manifest.Shard = append(manifest.Shard, snapshot.ManifestShard{
 			Index: i, Path: filepath.Base(path),
 			Entities: len(ids), FirstEntity: ids[0], LastEntity: ids[len(ids)-1],
-			SnapshotSHA256: digest, SnapshotBytes: meta.FileBytes,
+			SnapshotSHA256: meta.SHA256, SnapshotBytes: meta.FileBytes,
 		})
 	}
 	e2eManifest = filepath.Join(dir, "hotel.manifest.json")
@@ -114,18 +110,16 @@ func buildE2EFleet() error {
 		return err
 	}
 
-	// Reload every shard from disk (digest-verified) and serve it over
-	// real HTTP — the exact opinedbd -shard-manifest path.
-	for _, ms := range manifest.Shard {
-		if err := snapshot.VerifyShardFile(e2eManifest, ms); err != nil {
-			return err
-		}
-		sdb, meta, err := snapshot.Load(snapshot.ShardPath(e2eManifest, ms))
+	// Reload every shard from disk (digest-verified, single read) and
+	// serve it over real HTTP — the exact opinedbd -shard-manifest path.
+	loaded, err := snapshot.LoadManifest(e2eManifest)
+	if err != nil {
+		return err
+	}
+	for _, ms := range loaded.Shard {
+		sdb, _, err := snapshot.LoadVerifiedShard(e2eManifest, loaded, ms.Index)
 		if err != nil {
 			return fmt.Errorf("shard %d load: %w", ms.Index, err)
-		}
-		if meta.Shard == nil || meta.Shard.Index != ms.Index {
-			return fmt.Errorf("shard %d snapshot misidentifies itself: %+v", ms.Index, meta.Shard)
 		}
 		srv := httptest.NewServer(server.New(sdb, server.Options{}))
 		e2eURLs = append(e2eURLs, srv.URL)

@@ -7,6 +7,7 @@ package router
 // fleet.
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
 	"strings"
@@ -29,6 +30,7 @@ func NewHandler(r *Router) *Handler {
 	h.mux.HandleFunc("/interpret", h.handleInterpret)
 	h.mux.HandleFunc("/evidence", h.handleEvidence)
 	h.mux.HandleFunc("/topk", h.handleTopK)
+	h.mux.HandleFunc("/reviews", h.handleReviews)
 	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
@@ -155,6 +157,50 @@ func (h *Handler) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(res.Status)
 	_, _ = w.Write(res.Body)
+}
+
+// handleReviews is the fleet's write front door: decode exactly as a
+// shard would, route owner-first with replication (Router.AddReview), and
+// pass deliberate shard rejections through verbatim.
+func (h *Handler) handleReviews(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	req, err := server.DecodeReviewRequest(r)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := h.r.AddReview(r.Context(), req)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Heal != nil {
+				// A duplicate write's retry doubles as replication healing;
+				// merge the fan-out outcome into the rejection envelope so
+				// the client can tell convergence from continued partiality.
+				var env map[string]interface{}
+				if json.Unmarshal(se.Body, &env) != nil || env == nil {
+					env = map[string]interface{}{}
+				}
+				env["owner_shard"] = se.Heal.OwnerShard
+				env["replicated"] = se.Heal.Replicated
+				if se.Heal.Partial {
+					env["partial"] = true
+					env["shard_errors"] = se.Heal.ShardErrors
+				}
+				server.WriteJSON(w, se.Status, env)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(se.Status)
+			_, _ = w.Write(se.Body)
+			return
+		}
+		server.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, res)
 }
 
 func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {

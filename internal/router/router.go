@@ -75,6 +75,9 @@ type Router struct {
 	shards   []Shard
 	timeout  time.Duration
 	defaultK int
+	// writeMu serializes routed writes into one fleet-wide total order
+	// (see write.go).
+	writeMu sync.Mutex
 }
 
 // New builds a router over the given shards (ordered by shard index).

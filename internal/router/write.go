@@ -1,0 +1,185 @@
+package router
+
+// Write path: the router scatter-routes POST /reviews over the fleet.
+// Per-entity state lives on exactly one shard (the manifest-range owner),
+// but corpus-global model state — the review BM25 index, sentiment and
+// co-occurrence statistics — is REPLICATED, and a write must reach every
+// replica of it or interpretations would diverge across shards. So a
+// routed write is owner-first (the owner validates and journals the
+// authoritative copy; its rejection aborts the write fleet-wide with
+// nothing mutated), then replicated to every other shard, which absorbs
+// the global half of the delta and journals it for its own recovery.
+//
+// Writes are serialized fleet-wide by the router's write mutex: every
+// shard journals and applies reviews in one total order, which is what
+// keeps the floating-point accumulations of the marker summaries — and
+// therefore the whole query fingerprint — byte-identical between a
+// monolith and any sharded deployment ingesting the same sequence.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// StatusError carries a shard's deliberate HTTP rejection through the
+// router so the front door can pass status and JSON envelope to the
+// client verbatim (a 409 duplicate or 404 unknown entity is a valid
+// routed answer, not a fleet failure).
+type StatusError struct {
+	Status int
+	Body   []byte
+	// Shard is the shard index that rejected.
+	Shard int
+	// Heal carries the replica fan-out outcome of a 409 duplicate (a
+	// retry's purpose is healing a previously partial replication); nil
+	// for every other rejection. The handler merges it into the response
+	// so a client can see whether its retry actually converged the fleet
+	// or must be retried again.
+	Heal *ReviewResult
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(e.Body, &env) == nil && env.Error != "" {
+		return fmt.Sprintf("router: shard %d rejected write: status %d: %s", e.Shard, e.Status, env.Error)
+	}
+	return fmt.Sprintf("router: shard %d rejected write: status %d", e.Shard, e.Status)
+}
+
+// ReviewResult is the router's answer to a routed write: the owning
+// shard's acknowledgement plus how replication to the rest of the fleet
+// went.
+type ReviewResult struct {
+	server.ReviewResponse
+	// OwnerShard is the manifest-range owner that materialized the
+	// per-entity state.
+	OwnerShard int `json:"owner_shard"`
+	// Replicated counts the other shards that absorbed the write's
+	// corpus-global state.
+	Replicated int `json:"replicated"`
+	// Partial is true when at least one replica failed to absorb the
+	// write; its interpretations may drift until it recovers or is
+	// re-synced by compaction. ShardErrors names the failures.
+	Partial     bool           `json:"partial,omitempty"`
+	ShardErrors map[int]string `json:"shard_errors,omitempty"`
+}
+
+// writeBody renders the shard-API request body for one review; replica
+// marks the fan-out copies so non-owning shards absorb the global state
+// (a non-replica write for an unserved entity is rejected by every
+// shard, which is how the range owner vetoes ghost entities before
+// anything mutates).
+func writeBody(req server.ReviewRequest, replica bool) ([]byte, error) {
+	req.Replica = replica
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("router: encode review: %w", err)
+	}
+	return b, nil
+}
+
+// AddReview routes one review write through the fleet: owner-first, then
+// replication (see the file comment for why every shard sees the write).
+// The owner's deliberate rejections come back as *StatusError so the HTTP
+// layer can pass them through; transport failures are plain errors.
+func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*ReviewResult, error) {
+	owner := r.ownerOf(req.EntityID)
+	if owner < 0 {
+		body, _ := json.Marshal(map[string]string{
+			"error": fmt.Sprintf("no shard owns entity %q (write routing needs manifest entity ranges)", req.EntityID),
+		})
+		return nil, &StatusError{Status: http.StatusNotFound, Body: body, Shard: -1}
+	}
+	body, err := writeBody(req, false)
+	if err != nil {
+		return nil, err
+	}
+	replicaBody, err := writeBody(req, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// One total write order across the fleet; see the file comment.
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+
+	ownerCtx, cancel := context.WithTimeout(ctx, r.timeout)
+	status, respBody, err := r.shards[owner].Backend.Do(ownerCtx, "POST", "/reviews", body)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("router: write: owner shard %d (%s): %w", owner, r.shards[owner].Backend.Name(), err)
+	}
+	if status == http.StatusConflict {
+		// The owner already committed this review — the signature of a
+		// client retry after a partial replication failure. The retry's
+		// purpose is healing, so run the replica fan-out anyway (replicas
+		// that have the review answer 409 and are counted replicated;
+		// ones that missed it backfill now) and report the outcome with
+		// the duplicate so the client knows whether the fleet converged.
+		heal := &ReviewResult{OwnerShard: owner}
+		r.replicate(ctx, owner, replicaBody, heal)
+		heal.Partial = len(heal.ShardErrors) > 0
+		return nil, &StatusError{Status: status, Body: respBody, Shard: owner, Heal: heal}
+	}
+	if status != http.StatusOK {
+		return nil, &StatusError{Status: status, Body: respBody, Shard: owner}
+	}
+	var ack server.ReviewResponse
+	if err := json.Unmarshal(respBody, &ack); err != nil {
+		return nil, fmt.Errorf("router: write: owner shard %d: bad response: %v", owner, err)
+	}
+
+	res := &ReviewResult{ReviewResponse: ack, OwnerShard: owner}
+	r.replicate(ctx, owner, replicaBody, res)
+	res.Partial = len(res.ShardErrors) > 0
+	return res, nil
+}
+
+// replicate fans the global half of a committed write out to every
+// non-owner shard, accumulating the outcome into res. The fan-out is
+// concurrent — replicas commute for a single review, and the write mutex
+// already orders distinct reviews.
+func (r *Router) replicate(ctx context.Context, owner int, replicaBody []byte, res *ReviewResult) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := range r.shards {
+		if i == owner {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			repCtx, cancel := context.WithTimeout(ctx, r.timeout)
+			defer cancel()
+			status, b, err := r.shards[i].Backend.Do(repCtx, "POST", "/reviews", replicaBody)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				if res.ShardErrors == nil {
+					res.ShardErrors = map[int]string{}
+				}
+				res.ShardErrors[i] = err.Error()
+			case status == http.StatusOK, status == http.StatusConflict:
+				// 409 means the replica already journaled this review (a
+				// retried write after a partial failure); that is the
+				// desired end state, not an error.
+				res.Replicated++
+			default:
+				if res.ShardErrors == nil {
+					res.ShardErrors = map[int]string{}
+				}
+				res.ShardErrors[i] = replyError(shardReply{status: status, body: b})
+			}
+		}(i)
+	}
+	wg.Wait()
+}

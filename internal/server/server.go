@@ -14,18 +14,21 @@
 //	GET  /interpret?predicate=...       Figure 5 interpretation chain
 //	GET  /evidence?entity=&attribute=   marker summary with provenance
 //	GET  /topk?predicate=...&k=...      Threshold-Algorithm top-k
+//	POST /reviews                       ingest one review (journaled live enrichment)
 //
 // Every response is JSON; errors are {"error": "..."} with a 4xx/5xx
 // status.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +63,26 @@ type ShardInfo struct {
 	LastEntity    string `json:"last_entity"`
 }
 
+// IngestOptions enable the POST /reviews write endpoint: live incremental
+// enrichment of a serving database (§4.2.2's "the marker summaries can be
+// incrementally computed", journaled for durability).
+type IngestOptions struct {
+	// Append durably records a review delta before it is applied — the
+	// journal's append-then-apply contract: once the client is acked, a
+	// crash replays the delta from the journal. It returns the journal
+	// sequence number. nil ingests without journaling (volatile: test and
+	// in-process-build servers).
+	Append func(rv core.ReviewData) (seq uint64, err error)
+	// AcceptUnowned accepts router-replicated writes (ReviewRequest.
+	// Replica) for entities this instance does not serve. Shard replicas
+	// set it: a replicated write for another shard's entity still updates
+	// the corpus-global model state (review index, sentiment and
+	// co-occurrence statistics) that keeps interpretations byte-identical
+	// fleet-wide. Direct writes for unserved entities are 404 regardless,
+	// so ghosts are rejected by the range owner before anything mutates.
+	AcceptUnowned bool
+}
+
 // Options configure a Server.
 type Options struct {
 	// EntityName, when non-nil, resolves an entity id to a display name
@@ -71,33 +94,103 @@ type Options struct {
 	// Snapshot, when non-nil, records that the database was loaded from a
 	// snapshot artifact rather than built in process; /healthz reports it.
 	Snapshot *SnapshotInfo
+	// Ingest, when non-nil, enables POST /reviews. Without it the server
+	// is read-only and /reviews answers 403.
+	Ingest *IngestOptions
 }
 
 // Server is an http.Handler serving one built subjective database.
+//
+// Locking: the engine's read path needs no coordination, but live
+// ingestion mutates the database, so the server holds a stop-the-world
+// RWMutex — every read handler runs under RLock and the /reviews writer
+// takes the exclusive lock for its append-then-apply critical section.
+// With ingestion disabled the RLocks are uncontended and the server
+// behaves exactly as the lock-free reader it used to be.
 type Server struct {
 	db      *core.DB
 	opts    Options
 	mux     *http.ServeMux
 	started time.Time
+	// mu is the reader/writer exclusion around db. See the type comment.
+	mu sync.RWMutex
 }
 
 // New wraps a built database in an HTTP serving surface. The database
-// must not be mutated (AddReview, RebuildSummaries, ...) while the server
-// is accepting traffic; readers need no locking.
+// must not be mutated by anyone else (ApplyReview, RebuildSummaries, ...)
+// while the server is accepting traffic; the only supported mutation path
+// is the server's own /reviews endpoint, which serializes against every
+// reader through the server's lock.
 func New(db *core.DB, opts Options) *Server {
 	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), started: time.Now()}
-	s.mux.HandleFunc("/healthz", get(s.handleHealth))
-	s.mux.HandleFunc("/schema", get(s.handleSchema))
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/interpret", get(s.handleInterpret))
-	s.mux.HandleFunc("/evidence", get(s.handleEvidence))
-	s.mux.HandleFunc("/topk", get(s.handleTopK))
+	s.mux.HandleFunc("/healthz", s.read(get(s.handleHealth)))
+	s.mux.HandleFunc("/schema", s.read(get(s.handleSchema)))
+	s.mux.HandleFunc("/query", s.read(s.handleQuery))
+	s.mux.HandleFunc("/interpret", s.read(get(s.handleInterpret)))
+	s.mux.HandleFunc("/evidence", s.read(get(s.handleEvidence)))
+	s.mux.HandleFunc("/topk", s.read(get(s.handleTopK)))
+	s.mux.HandleFunc("/reviews", buffered(s.handleReviews))
 	// Unknown paths get the JSON error envelope too, not the mux's
 	// plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
 	return s
+}
+
+// read runs a handler under the reader half of the server's lock.
+func (s *Server) read(h http.HandlerFunc) http.HandlerFunc {
+	return buffered(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		h(w, r)
+	})
+}
+
+// buffered composes a handler's response in memory and flushes it to the
+// client only after the handler — and therefore any lock it holds —
+// returns. Without it, a handler holding (R)Lock across a write to a
+// slow client would stall the lock: sync.RWMutex blocks new readers once
+// a writer waits, so one stalled connection plus one pending ingest
+// would freeze every endpoint, health probes included.
+func buffered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		buf := &bufferedResponse{header: http.Header{}}
+		h(buf, r)
+		dst := w.Header()
+		for k, v := range buf.header {
+			dst[k] = v
+		}
+		w.WriteHeader(buf.status())
+		_, _ = w.Write(buf.buf.Bytes())
+	}
+}
+
+// bufferedResponse is a minimal in-memory http.ResponseWriter backing
+// read()'s compose-under-lock, flush-after-unlock split.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+func (b *bufferedResponse) WriteHeader(c int) {
+	if b.code == 0 {
+		b.code = c
+	}
+}
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	return b.buf.Write(p)
+}
+func (b *bufferedResponse) status() int {
+	if b.code == 0 {
+		return http.StatusOK
+	}
+	return b.code
 }
 
 // get wraps a read-only handler with a 405 + JSON envelope for every verb
@@ -521,4 +614,110 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, rj)
 	}
 	WriteJSON(w, http.StatusOK, resp)
+}
+
+// ReviewRequest is the POST /reviews body: one raw review to ingest.
+type ReviewRequest struct {
+	ID       string `json:"id"`
+	EntityID string `json:"entity"`
+	Reviewer string `json:"reviewer"`
+	Day      int    `json:"day"`
+	Text     string `json:"text"`
+	// Replica marks a router-replicated write: the receiving shard should
+	// absorb the corpus-global state even though it does not serve the
+	// entity. Only honored when the server was configured with
+	// IngestOptions.AcceptUnowned; a direct (non-replica) write for an
+	// unserved entity is always a 404, so a client cannot bypass the
+	// router's owner-first ordering and ghost-entity rejection.
+	Replica bool `json:"replica,omitempty"`
+}
+
+// ReviewResponse acknowledges one ingested review.
+type ReviewResponse struct {
+	ReviewID string `json:"review_id"`
+	EntityID string `json:"entity_id"`
+	// Owned is true when this instance serves the entity and therefore
+	// materialized its marker-summary update; false on a shard replica
+	// that only absorbed the corpus-global state of a replicated write.
+	Owned bool `json:"owned"`
+	// Extractions is how many opinions the extractor materialized from
+	// the review on this instance.
+	Extractions int `json:"extractions"`
+	// Seq is the journal sequence number; 0 when the server ingests
+	// without a journal.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// DecodeReviewRequest parses a POST /reviews body with the missing-field
+// checks. Shared by the shard server and the router so both tiers accept
+// and reject exactly the same requests.
+func DecodeReviewRequest(r *http.Request) (ReviewRequest, error) {
+	var req ReviewRequest
+	if err := DecodeJSONBody(r, &req); err != nil {
+		return req, fmt.Errorf("bad request body: %v", err)
+	}
+	if strings.TrimSpace(req.ID) == "" || strings.TrimSpace(req.EntityID) == "" {
+		return req, fmt.Errorf("missing id or entity")
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		return req, fmt.Errorf("missing text")
+	}
+	return req, nil
+}
+
+// handleReviews is the live-enrichment write path: append the delta to
+// the journal, then apply it to the serving database, both under the
+// exclusive half of the server's lock so readers never observe a
+// half-applied review. Append-before-apply is what makes a crash safe —
+// an acknowledged review is either in the served state or replayed from
+// the journal at the next load.
+func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		WriteError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.opts.Ingest == nil {
+		WriteError(w, http.StatusForbidden, "read-only server: ingestion is not enabled (serve with a journal)")
+		return
+	}
+	req, err := DecodeReviewRequest(r)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rv := core.ReviewData{ID: req.ID, EntityID: req.EntityID, Reviewer: req.Reviewer, Day: req.Day, Text: req.Text}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.db.HasReview(rv.ID) {
+		WriteError(w, http.StatusConflict, "review %q already ingested", rv.ID)
+		return
+	}
+	owned := s.db.ServesEntity(rv.EntityID)
+	if !owned && !(req.Replica && s.opts.Ingest.AcceptUnowned) {
+		WriteError(w, http.StatusNotFound, "no entity %q served here", rv.EntityID)
+		return
+	}
+	var seq uint64
+	if s.opts.Ingest.Append != nil {
+		if seq, err = s.opts.Ingest.Append(rv); err != nil {
+			WriteError(w, http.StatusInternalServerError, "journal append: %v", err)
+			return
+		}
+	}
+	before := len(s.db.Extractions)
+	if err := s.db.ApplyReview(rv); err != nil {
+		// The delta is journaled but not applied; the next load replays it.
+		// Surfacing the inconsistency beats hiding it.
+		WriteError(w, http.StatusInternalServerError, "apply (journaled at seq %d): %v", seq, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, ReviewResponse{
+		ReviewID:    rv.ID,
+		EntityID:    rv.EntityID,
+		Owned:       owned,
+		Extractions: len(s.db.Extractions) - before,
+		Seq:         seq,
+	})
 }

@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 
@@ -190,36 +189,25 @@ func ShardPath(manifestPath string, s ManifestShard) string {
 	return filepath.Join(filepath.Dir(manifestPath), s.Path)
 }
 
-// FileDigest returns the hex SHA-256 of a file's contents.
-func FileDigest(path string) (string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return "", err
-	}
-	defer f.Close()
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		return "", err
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
-}
-
 // LoadVerifiedShard loads shard index of a manifest with the full trust
 // chain every serving path must apply: the snapshot file is checked
 // against the manifest's digest, loaded, and required to carry the shard
 // identity the manifest assigns it. Both opinedbd's shard-replica role
-// and the in-process router fleet go through here.
+// and the in-process router fleet go through here. Digest verification
+// happens over the bytes the loader already mapped (LoadVerified), so
+// fleet bring-up reads every snapshot exactly once instead of streaming
+// each file twice.
 func LoadVerifiedShard(manifestPath string, m *Manifest, index int) (*core.DB, *Meta, error) {
 	if index < 0 || index >= len(m.Shard) {
 		return nil, nil, fmt.Errorf("%w: shard index %d of %d", ErrManifest, index, len(m.Shard))
 	}
 	ms := m.Shard[index]
-	if err := VerifyShardFile(manifestPath, ms); err != nil {
-		return nil, nil, err
-	}
 	path := ShardPath(manifestPath, ms)
-	db, meta, err := Load(path)
+	db, meta, err := LoadVerified(path, ms.SnapshotSHA256)
 	if err != nil {
+		if errors.Is(err, ErrShardDigest) {
+			return nil, nil, fmt.Errorf("%w (shard %d, manifest %s)", err, index, manifestPath)
+		}
 		return nil, nil, fmt.Errorf("snapshot: shard %d: %w", index, err)
 	}
 	if meta.Shard == nil || meta.Shard.Index != index || meta.Shard.Count != m.Shards {
@@ -227,19 +215,4 @@ func LoadVerifiedShard(manifestPath string, m *Manifest, index int) (*core.DB, *
 			ErrManifest, path, index, m.Shards)
 	}
 	return db, meta, nil
-}
-
-// VerifyShardFile checks one shard snapshot file against the digest the
-// manifest records for it.
-func VerifyShardFile(manifestPath string, s ManifestShard) error {
-	path := ShardPath(manifestPath, s)
-	got, err := FileDigest(path)
-	if err != nil {
-		return fmt.Errorf("snapshot: verify shard %d: %w", s.Index, err)
-	}
-	if got != s.SnapshotSHA256 {
-		return fmt.Errorf("%w: shard %d file %s has %s, manifest records %s",
-			ErrShardDigest, s.Index, path, got, s.SnapshotSHA256)
-	}
-	return nil
 }

@@ -4,6 +4,8 @@ package snapshot_test
 // structural validation, and snapshot digest verification.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"io/fs"
 	"os"
@@ -108,26 +110,26 @@ func TestManifestMissingFile(t *testing.T) {
 	}
 }
 
-func TestVerifyShardFile(t *testing.T) {
+func TestLoadVerifiedDigest(t *testing.T) {
 	dir := t.TempDir()
 	snapPath := filepath.Join(dir, "s0.snap")
-	if err := os.WriteFile(snapPath, []byte("shard bytes"), 0o644); err != nil {
+	if err := os.WriteFile(snapPath, []byte("not a real snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	digest, err := snapshot.FileDigest(snapPath)
+	raw, err := os.ReadFile(snapPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms := snapshot.ManifestShard{Index: 0, Path: "s0.snap", SnapshotSHA256: digest}
-	manifestPath := filepath.Join(dir, "m.json")
-	if err := snapshot.VerifyShardFile(manifestPath, ms); err != nil {
-		t.Fatalf("valid digest rejected: %v", err)
-	}
-	if err := os.WriteFile(snapPath, []byte("shard bytes, corrupted"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := snapshot.VerifyShardFile(manifestPath, ms); !errors.Is(err, snapshot.ErrShardDigest) {
+	sum := sha256.Sum256(raw)
+	digest := hex.EncodeToString(sum[:])
+	// The digest gate runs before any decoding: a wrong digest is
+	// ErrShardDigest, a right digest proceeds into the parser (which
+	// rejects this non-snapshot with ErrBadMagic).
+	if _, _, err := snapshot.LoadVerified(snapPath, "0badd1ge5t"); !errors.Is(err, snapshot.ErrShardDigest) {
 		t.Fatalf("got %v, want ErrShardDigest", err)
+	}
+	if _, _, err := snapshot.LoadVerified(snapPath, digest); !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic past the digest gate", err)
 	}
 }
 

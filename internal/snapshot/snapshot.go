@@ -2,7 +2,9 @@ package snapshot
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -101,6 +103,12 @@ type Meta struct {
 	Attributes  int
 	// CreatedUnix is when the snapshot was written (Unix seconds).
 	CreatedUnix int64
+	// SHA256 is the hex content digest of the whole artifact. Save fills
+	// it from a hash computed while writing (io.MultiWriter — the file is
+	// never re-read); Load fills it from the already-mapped bytes, so
+	// digest-verified serving (LoadVerified) reads each snapshot exactly
+	// once.
+	SHA256 string
 	// Shard identifies the entity partition this snapshot carries; nil for
 	// a monolithic snapshot.
 	Shard *ShardMeta
@@ -211,14 +219,21 @@ func Save(path string, db *core.DB) (*Meta, error) {
 	return SaveShard(path, db, nil)
 }
 
-// SaveShard is Save plus shard identity (see WriteShard).
+// SaveShard is Save plus shard identity (see WriteShard). The artifact's
+// SHA-256 is computed while the bytes stream out (io.MultiWriter), so
+// builders get the digest the shard manifest records without re-reading
+// the file they just wrote.
 func SaveShard(path string, db *core.DB, shard *ShardMeta) (*Meta, error) {
 	f, err := os.CreateTemp(filepath.Dir(path), ".opinedb-snap-*")
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: save: %w", err)
 	}
 	tmp := f.Name()
-	meta, err := WriteShard(f, db, shard)
+	h := sha256.New()
+	meta, err := WriteShard(io.MultiWriter(f, h), db, shard)
+	if err == nil {
+		meta.SHA256 = hex.EncodeToString(h.Sum(nil))
+	}
 	if err == nil {
 		// CreateTemp makes the file 0600; the artifact is meant to be read
 		// by serving processes running as other users.
@@ -253,12 +268,33 @@ func SaveShard(path string, db *core.DB, shard *ShardMeta) (*Meta, error) {
 // package's typed errors; a missing file returns an error satisfying
 // errors.Is(err, fs.ErrNotExist).
 func Load(path string) (*core.DB, *Meta, error) {
+	return LoadVerified(path, "")
+}
+
+// LoadVerified is Load plus content verification: when wantSHA256 is
+// non-empty, the artifact's digest — computed over the already-mapped
+// bytes, so the file is still read exactly once — must match it or the
+// load fails with ErrShardDigest before any decoding happens; the
+// computed digest is then reported in Meta.SHA256. An empty wantSHA256
+// skips hashing entirely (plain Load): unverified cold starts should not
+// pay an extra pass over the artifact for a digest nobody reads.
+func LoadVerified(path, wantSHA256 string) (*core.DB, *Meta, error) {
 	start := time.Now()
 	data, cleanup, err := readSnapshotFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("snapshot: load: %w", err)
 	}
 	defer cleanup()
+
+	var digest string
+	if wantSHA256 != "" {
+		sum := sha256.Sum256(data)
+		digest = hex.EncodeToString(sum[:])
+		if digest != wantSHA256 {
+			return nil, nil, fmt.Errorf("%w: file %s has %s, caller expects %s",
+				ErrShardDigest, path, digest, wantSHA256)
+		}
+	}
 
 	sections, err := parseContainer(data)
 	if err != nil {
@@ -376,6 +412,7 @@ func Load(path string) (*core.DB, *Meta, error) {
 	meta.Shard = shard
 	meta.Sections = infos
 	meta.FileBytes = int64(len(data))
+	meta.SHA256 = digest
 	meta.LoadDuration = time.Since(start)
 	return db, meta, nil
 }
