@@ -1,20 +1,20 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke compact
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke compact rebalance
 
 verify: fmtcheck
 	go vet ./...
 	go build ./...
 	go test -race ./...
 
-# Coverage floor: internal/core + internal/snapshot + internal/journal
-# own the correctness contracts (byte-identical serving, typed corruption
-# errors, crash-safe replay), so their combined statement coverage must
-# stay at or above 75%.
+# Coverage floor: internal/core + internal/snapshot + internal/journal +
+# internal/fleet own the correctness contracts (byte-identical serving,
+# typed corruption errors, crash-safe replay, fleet convergence), so
+# their combined statement coverage must stay at or above 75%.
 COVER_FLOOR := 75
 cover:
-	go test -coverprofile=cover.out ./internal/core ./internal/snapshot ./internal/journal
+	go test -coverprofile=cover.out ./internal/core ./internal/snapshot ./internal/journal ./internal/fleet
 	@go tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(COVER_FLOOR)) { printf "coverage %.1f%% is below the %d%% floor\n", $$3, $(COVER_FLOOR); exit 1 } \
 		else { printf "coverage %.1f%% (floor $(COVER_FLOOR)%%)\n", $$3 } }'
@@ -74,8 +74,22 @@ shard-smoke:
 journal-smoke:
 	go run ./cmd/opinedbb -small -journal-smoke -o /tmp/opinedb-journal-smoke.snap
 
+# Rebalancing smoke test: build a 4-shard fleet, ingest review deltas
+# through the router (journaled, fleet-ordered), rebalance to 2 and then
+# to 8 shards without a rebuild, and check each fleet answers
+# byte-identically to the enriched monolith.
+rebalance-smoke:
+	go run ./cmd/opinedbb -rebalance-smoke
+
 # Fold a served snapshot's review journal back into a fresh artifact:
 #   make compact SNAP=opinedb.snap     (or SNAP=hotel.manifest.json)
 SNAP := opinedb.snap
 compact:
 	go run ./cmd/opinedbb -compact $(SNAP)
+
+# Re-partition a stopped fleet to N shards without a rebuild:
+#   make rebalance MANIFEST=hotel.manifest.json SHARDS=8
+MANIFEST := opinedb.manifest.json
+SHARDS := 2
+rebalance:
+	go run ./cmd/opinedbb -rebalance $(SHARDS) -manifest $(MANIFEST)

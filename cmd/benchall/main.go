@@ -24,7 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -135,6 +135,10 @@ func main() {
 	if run("sharding") {
 		fmt.Println("running sharding (scatter-gather router vs monolith)...")
 		fmt.Println(harness.FormatSharding(harness.RunSharding(*seed + 800)))
+	}
+	if run("rebalance") {
+		fmt.Println("running rebalance (online N→M re-partitioning vs full rebuild)...")
+		fmt.Println(harness.FormatRebalance(harness.RunRebalance(*seed + 900)))
 	}
 
 	fmt.Printf("total time: %.1fs\n", time.Since(start).Seconds())

@@ -48,6 +48,9 @@ func main() {
 	verify := flag.Bool("verify", false, "after writing, reload the artifact(s) and check query equivalence against the in-memory build")
 	compact := flag.String("compact", "", "fold a review journal back into a fresh snapshot instead of building: pass a snapshot path (compacted in place, or to -o when -o is set) or a shard manifest (*.json: every shard journal is folded and the manifest digests refreshed)")
 	journalSmoke := flag.Bool("journal-smoke", false, "crash-recovery smoke test: build → snapshot → ingest from a child process → SIGKILL it mid-write → reload snapshot+journal → fingerprint check against direct application")
+	rebalance := flag.Int("rebalance", 0, "rebalance the stopped fleet described by -manifest to N shards without a rebuild: merge the loaded shards (snapshots + journals), re-partition, and commit a fresh snapshot set + manifest crash-safely")
+	manifestFlag := flag.String("manifest", "", "shard manifest path for -rebalance")
+	rebalanceSmoke := flag.Bool("rebalance-smoke", false, "rebalancing smoke test: build a 4-shard fleet → ingest through the router → rebalance to 2 and to 8 → fingerprint check against the enriched monolith")
 	flag.Parse()
 
 	if os.Getenv(smokeChildEnv) != "" {
@@ -66,6 +69,14 @@ func main() {
 	}
 	if *journalSmoke {
 		runJournalSmoke(*domain, *seed, *out)
+		return
+	}
+	if *rebalance > 0 {
+		runRebalance(*manifestFlag, *rebalance)
+		return
+	}
+	if *rebalanceSmoke {
+		runRebalanceSmoke(*seed)
 		return
 	}
 

@@ -1,0 +1,35 @@
+package main
+
+// The -rebalance subcommand: online N→M shard rebalancing of a stopped
+// fleet (internal/fleet). The shards' snapshots and journals are merged
+// back into the monolith-equivalent database, re-partitioned, and
+// committed as a fresh snapshot set + manifest — no corpus rebuild, and
+// crash-safe (re-running after a crash converges).
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func runRebalance(manifestPath string, m int) {
+	if manifestPath == "" {
+		log.Fatalf("rebalance: -manifest is required (the fleet's shard manifest)")
+	}
+	start := time.Now()
+	report, err := fleet.Rebalance(manifestPath, m, fleet.RebalanceOptions{})
+	if err != nil {
+		log.Fatalf("rebalance: %v", err)
+	}
+	log.Printf("rebalanced %s: %d → %d shards, %d entities, %d journal records folded (%.2fs)",
+		manifestPath, report.FromShards, report.ToShards, report.Entities,
+		report.ReplayedRecords, time.Since(start).Seconds())
+	for _, s := range report.Manifest.Shard {
+		log.Printf("  shard %d: %s, entities [%s .. %s] (%d)",
+			s.Index, s.Path, s.FirstEntity, s.LastEntity, s.Entities)
+	}
+	fmt.Printf("rebalance OK: %d → %d shards in %.2fs\n",
+		report.FromShards, report.ToShards, time.Since(start).Seconds())
+}

@@ -20,6 +20,13 @@
 // never serves corrupt state. `opinedbb -compact` folds a journal back
 // into a fresh snapshot.
 //
+// The fleet control plane (internal/fleet) rides on the journal: every
+// node reports its position (/journal/status, /healthz) and the router
+// heals replicas that missed replicated writes — automatically after a
+// partial write, on demand via POST /repair, and periodically with
+// -repair-interval. `opinedbb -rebalance M -manifest f.manifest.json`
+// re-partitions a stopped fleet to M shards without a rebuild.
+//
 // Examples:
 //
 //	opinedbb -domain hotel -o hotel.snap && opinedbd -snapshot hotel.snap
@@ -63,6 +70,7 @@ func main() {
 	shardIndex := flag.Int("shard-index", -1, "which shard of -shard-manifest to serve")
 	routerManifest := flag.String("router", "", "shard manifest; act as the scatter-gather router over the fleet")
 	routerBackends := flag.String("router-backends", "", "comma-separated shard base URLs for -router, ordered by shard index; empty loads every shard in process")
+	repairEvery := flag.Duration("repair-interval", 0, "router role: run a fleet-wide anti-entropy write-repair pass on this interval (0 disables; POST /repair triggers one on demand, and partial writes always heal automatically)")
 	domain := flag.String("domain", "hotel", "corpus domain for the in-process build: hotel or restaurant")
 	seed := flag.Int64("seed", 1, "corpus and build seed (in-process build)")
 	small := flag.Bool("small", false, "build a small corpus (faster startup; in-process build)")
@@ -76,7 +84,7 @@ func main() {
 	var handler http.Handler
 	switch {
 	case *routerManifest != "":
-		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, *journalSync)
+		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, *journalSync, *repairEvery)
 	case *shardManifest != "":
 		handler = shardHandler(*shardManifest, *shardIndex, *topK, *journalMode, *journalSync)
 	default:
@@ -130,6 +138,11 @@ func attachJournal(db *core.DB, dir string, syncEvery int, acceptUnowned bool) *
 	}
 	return &server.IngestOptions{
 		AcceptUnowned: acceptUnowned,
+		// The journal introspection surface (/journal/status, /journal/
+		// records, the /healthz position) is what the fleet's anti-entropy
+		// repair reads.
+		JournalDir:     dir,
+		JournalLastSeq: j.NextSeq() - 1,
 		Append: func(rv core.ReviewData) (uint64, error) {
 			return j.Append(journal.Review{
 				ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
@@ -225,7 +238,8 @@ func shardHandler(manifestPath string, index, topK int, journalMode string, jour
 
 // routerHandler assembles the scatter-gather router: remote backends when
 // -router-backends is given, otherwise every shard loaded in process.
-func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int) http.Handler {
+// repairEvery > 0 starts a background anti-entropy loop over the fleet.
+func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int, repairEvery time.Duration) http.Handler {
 	opts := router.Options{DefaultTopK: topK}
 	if backendList == "" {
 		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
@@ -251,6 +265,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 			log.Fatalf("router: %v", err)
 		}
 		log.Printf("routing %s over %d in-process shards", m.Name, m.Shards)
+		startRepairLoop(rt, repairEvery)
 		return router.NewHandler(rt)
 	}
 	m, err := snapshot.LoadManifest(manifestPath)
@@ -282,7 +297,40 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 		log.Fatalf("%v", err)
 	}
 	log.Printf("routing %s over %d remote shards", m.Name, m.Shards)
+	startRepairLoop(rt, repairEvery)
 	return router.NewHandler(rt)
+}
+
+// startRepairLoop runs periodic fleet-wide anti-entropy passes: diff
+// journal positions across the shards, backfill laggards through the
+// replica-write path, log what converged. Partial writes already heal
+// inline; the loop catches replicas that come back between writes.
+func startRepairLoop(rt *router.Router, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for range ticker.C {
+			ctx, cancel := context.WithTimeout(context.Background(), every)
+			report, err := rt.RunRepair(ctx)
+			cancel()
+			switch {
+			case err != nil:
+				log.Printf("repair: %v", err)
+			case report.InSync:
+				// Quiet when healthy.
+			default:
+				for _, n := range report.Nodes {
+					if n.Backfilled > 0 || n.ReverseBackfilled > 0 || n.Err != "" {
+						log.Printf("repair: node %d (%s): backfilled %d (seq %d→%d), reverse %d, full_sync=%v err=%q",
+							n.Index, n.Name, n.Backfilled, n.Before, n.After, n.ReverseBackfilled, n.FullSync, n.Err)
+					}
+				}
+			}
+		}
+	}()
 }
 
 // snapshotInfo converts load metadata to the /healthz report.

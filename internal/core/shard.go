@@ -133,6 +133,123 @@ func (db *DB) ShardDB(keep func(entityID string) bool) (*DB, error) {
 	return shard, nil
 }
 
+// MergeShards is ShardDB's inverse: it reconstructs the monolith-
+// equivalent database from a complete fleet of shard databases ordered
+// by shard index. Corpus-global model state is REPLICATED across shards
+// and byte-identical on every healthy replica (the sharding contract),
+// so the merge takes it from shard 0 after verifying the fleet has not
+// drifted (equal extraction and review counts everywhere — a shard that
+// missed replicated writes fails here and needs an anti-entropy repair
+// pass first). The PARTITIONED state — the Entities relation and the
+// marker summaries — is the union over shards, with shard order
+// restoring the original contiguous-range concatenation. The shards
+// share read-only structures with the merged database afterwards; treat
+// all of them as frozen (the same rule as ShardDB).
+//
+// This is what makes online N→M rebalancing (internal/fleet) possible
+// without a full corpus rebuild: merge the N loaded shards, then
+// re-partition the merged database M ways.
+func MergeShards(shards []*DB) (*DB, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: merge of zero shards")
+	}
+	base := shards[0]
+	tagger, ok := base.Extractor.Tagger.(*extract.PerceptronTagger)
+	if !ok {
+		return nil, fmt.Errorf("core: MergeShards supports the perceptron tagger, not %T", base.Extractor.Tagger)
+	}
+	st := base.State()
+	merged := &DBState{
+		Name:             st.Name,
+		Cfg:              st.Cfg,
+		Attrs:            st.Attrs,
+		Extractions:      st.Extractions,
+		ReviewSentiments: st.ReviewSentiments,
+		Membership:       st.Membership,
+		Summaries:        make(map[string]map[string]*MarkerSummary, len(st.Summaries)),
+	}
+	for attr := range st.Summaries {
+		merged.Summaries[attr] = map[string]*MarkerSummary{}
+	}
+
+	prevLast := ""
+	for i, sh := range shards {
+		if sh.Name != base.Name {
+			return nil, fmt.Errorf("core: shard %d is database %q, shard 0 is %q", i, sh.Name, base.Name)
+		}
+		// Drift gate: replicated state must have seen the same writes.
+		if len(sh.Extractions) != len(base.Extractions) || len(sh.ReviewSentiments) != len(base.ReviewSentiments) {
+			return nil, fmt.Errorf("core: shard %d replicated state diverges (%d extractions / %d reviews, shard 0 has %d / %d) — run write-repair before merging",
+				i, len(sh.Extractions), len(sh.ReviewSentiments), len(base.Extractions), len(base.ReviewSentiments))
+		}
+		ids := sh.EntityIDs()
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("core: shard %d serves no entities", i)
+		}
+		if i > 0 && ids[0] <= prevLast {
+			return nil, fmt.Errorf("core: shard %d range starts at %q, not after shard %d's last entity %q — shards must be ordered by index",
+				i, ids[0], i-1, prevLast)
+		}
+		prevLast = ids[len(ids)-1]
+		for attr, byEntity := range sh.State().Summaries {
+			dst := merged.Summaries[attr]
+			if dst == nil {
+				dst = map[string]*MarkerSummary{}
+				merged.Summaries[attr] = dst
+			}
+			for id, s := range byEntity {
+				if _, dup := dst[id]; dup {
+					return nil, fmt.Errorf("core: entity %s carries a %s summary on two shards", id, attr)
+				}
+				dst[id] = s
+			}
+		}
+	}
+
+	rel, err := mergeEntityRows(shards)
+	if err != nil {
+		return nil, err
+	}
+	var subState *kdtree.SubstitutionIndexState
+	if base.SubIndex != nil {
+		s := base.SubIndex.State()
+		subState = &s
+	}
+	db, err := FromState(merged, Components{
+		Rel:         rel,
+		Embed:       base.Embed,
+		ReviewIndex: base.ReviewIndex,
+		EntityIndex: base.EntityIndex,
+		Tagger:      tagger,
+		SubIndex:    subState,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: merge reconstruction: %w", err)
+	}
+	return db, nil
+}
+
+// mergeEntityRows rebuilds the relational layer with the Entities table
+// as the concatenation of every shard's rows in shard order (contiguous
+// ascending ranges, so the result restores the pre-partition row set);
+// every other table comes from shard 0, where it is already complete.
+func mergeEntityRows(shards []*DB) (*relstore.DB, error) {
+	st := shards[0].Rel.State()
+	var rows []relstore.Row
+	for _, sh := range shards {
+		rows = append(rows, sh.Rel.State().Rows["Entities"]...)
+	}
+	// Copy the rows map so the shard databases' relational states stay
+	// untouched.
+	merged := st
+	merged.Rows = make(map[string][]relstore.Row, len(st.Rows))
+	for name, r := range st.Rows {
+		merged.Rows[name] = r
+	}
+	merged.Rows["Entities"] = rows
+	return relstore.FromState(merged)
+}
+
 // restrictEntities rebuilds the relational layer with the Entities table
 // limited to kept ids; Reviews and Extractions stay complete (reviewer
 // counts and co-occurrence statistics are corpus-global).

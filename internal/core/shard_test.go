@@ -142,3 +142,98 @@ func TestShardDBRejectsBadInput(t *testing.T) {
 		t.Error("nil keep predicate should fail")
 	}
 }
+
+// TestMergeShardsRestoresMonolith is the rebalancing seam's round trip:
+// partition → merge must reproduce the monolith's answers bit for bit,
+// and a re-partition of the merged database must equal a direct
+// partition of the original.
+func TestMergeShardsRestoresMonolith(t *testing.T) {
+	d, db := testDB(t)
+	shards, _, err := db.Shards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := core.MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.EntityIDs(), db.EntityIDs(); len(got) != len(want) {
+		t.Fatalf("merged serves %d entities, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merged entity %d is %s, want %s", i, got[i], want[i])
+			}
+		}
+	}
+
+	var preds []string
+	for _, p := range d.Predicates {
+		if p.Kind == corpus.KindMarker || p.Kind == corpus.KindParaphrase {
+			preds = append(preds, p.Text)
+			if len(preds) == 4 {
+				break
+			}
+		}
+	}
+	opts := core.DefaultQueryOptions()
+	opts.TopK = 0
+	for _, p := range preds {
+		if got, want := merged.Interpret(p).String(), db.Interpret(p).String(); got != want {
+			t.Fatalf("merged interprets %q as %s, monolith %s", p, got, want)
+		}
+		mres, err := merged.RankPredicates([]string{p}, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := db.RankPredicates([]string{p}, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mres.Rows) != len(dres.Rows) {
+			t.Fatalf("%q: merged ranks %d rows, monolith %d", p, len(mres.Rows), len(dres.Rows))
+		}
+		for i := range dres.Rows {
+			if mres.Rows[i].EntityID != dres.Rows[i].EntityID || mres.Rows[i].Score != dres.Rows[i].Score {
+				t.Fatalf("%q row %d: merged %s=%s, monolith %s=%s (bit-exactness broken)", p, i,
+					mres.Rows[i].EntityID, strconv.FormatFloat(mres.Rows[i].Score, 'x', -1, 64),
+					dres.Rows[i].EntityID, strconv.FormatFloat(dres.Rows[i].Score, 'x', -1, 64))
+			}
+		}
+	}
+
+	// Re-partitioning the merged database matches partitioning the
+	// original — the core property behind N→M rebalancing.
+	mparts, err := merged.PartitionEntities(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dparts, err := db.PartitionEntities(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dparts {
+		if len(mparts[i]) != len(dparts[i]) || mparts[i][0] != dparts[i][0] {
+			t.Fatalf("re-partition shard %d diverges", i)
+		}
+	}
+}
+
+func TestMergeShardsRejectsDrift(t *testing.T) {
+	_, db := testDB(t)
+	shards, _, err := db.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.MergeShards(nil); err == nil {
+		t.Error("empty merge should fail")
+	}
+	// Out-of-order shards are a misconfigured fleet.
+	if _, err := core.MergeShards([]*core.DB{shards[1], shards[0]}); err == nil {
+		t.Error("misordered shards should fail")
+	}
+	// The drifted-replica gate (a shard that missed replicated writes
+	// refuses to merge) is exercised with isolated clones in
+	// internal/fleet's tests — mutating a ShardDB here would write through
+	// its shared global state into the package fixture.
+}

@@ -1,0 +1,345 @@
+package fleet
+
+// Online N→M shard rebalancing. The snapshot is the sharding substrate
+// (ROADMAP, PR 3): a shard's replicated global state is byte-identical
+// to the monolith's and its partitioned state is a contiguous slice of
+// the entity space. Rebalance therefore never rebuilds the corpus — it
+// loads the N shards (snapshot → journal replay, exactly the serving
+// cold-start path), merges them back into the monolith-equivalent
+// database (core.MergeShards), re-partitions M ways (core.Shards), and
+// writes a fresh M-shard snapshot set + manifest. The journals are
+// folded into the new snapshots, so the new fleet starts with empty
+// delta logs.
+//
+// # Crash safety
+//
+// The commit point is the atomic manifest rename; everything before it
+// is invisible to a loader, everything after it is cleanup. The steps:
+//
+//  1. Sweep: if a cleanup-intent sidecar from a crashed run exists,
+//     remove every listed path the *current* manifest does not
+//     reference, then the sidecar.
+//  2. Load + gate: every shard loads digest-verified, its journal locked
+//     (a live server makes rebalancing fail fast), and the fleet's
+//     journals must agree (record count + prefix hash) — a drifted
+//     replica needs an anti-entropy Repair pass first.
+//  3. Stage: the M new snapshots are written into a temp dir with
+//     generation-tagged names — g<hash(source manifest, M)> — so they
+//     can never collide with a name any manifest references.
+//  4. Intent: the sidecar is written listing every path that must not
+//     outlive the run: the old shard files, their journals, the new
+//     files, and the temp dir. "Referenced by the current manifest"
+//     decides keep-vs-remove at sweep time, which is what makes the
+//     sidecar correct on both sides of the commit point.
+//  5. Publish: the staged files rename into the manifest's directory,
+//     then the manifest itself is rewritten atomically — the commit.
+//  6. Cleanup: old shard files + journals, the temp dir and the sidecar
+//     are removed.
+//
+// A crash anywhere leaves either the old fleet or the new fleet fully
+// loadable, and re-running Rebalance (with any target M) first sweeps
+// the leftovers. Replays are idempotent (reviews skip by id), so even
+// the stale-journal window — crash after the manifest rename, before
+// journal removal — is absorbed.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/snapshot"
+)
+
+// RebalanceOptions configure Rebalance.
+type RebalanceOptions struct {
+	// Failpoint, when non-nil, is called at the protocol's named stages —
+	// "staged" (new snapshots written to the temp dir), "published" (new
+	// snapshots renamed next to the manifest, commit not yet written) and
+	// "committed" (manifest renamed, cleanup not yet run) — and aborts the
+	// run as a simulated crash when it returns an error. It exists for
+	// crash drills (the e2e suite proves a retry after any failpoint
+	// converges); production callers leave it nil.
+	Failpoint func(stage string) error
+}
+
+// RebalanceReport describes a completed rebalance.
+type RebalanceReport struct {
+	FromShards, ToShards int
+	Entities             int
+	// ReplayedRecords is how many journal records each source shard
+	// carried (the fleet-consistency gate guarantees they are equal).
+	ReplayedRecords int
+	// Manifest is the committed M-shard manifest.
+	Manifest *snapshot.Manifest
+	// NewPaths and RemovedPaths list the published artifacts and the old
+	// generation's files that were cleaned up.
+	NewPaths     []string
+	RemovedPaths []string
+}
+
+// cleanupSidecar is the crash-recovery intent log written next to the
+// manifest before anything renames.
+type cleanupSidecar struct {
+	// Remove lists paths (relative to the manifest directory) that must
+	// not survive the rebalance; the sweep keeps any that the current
+	// manifest still references.
+	Remove []string `json:"remove"`
+}
+
+func sidecarPath(manifestPath string) string { return manifestPath + ".rebalance-cleanup.json" }
+
+// manifestBase strips the manifest naming convention: hotel.manifest.json
+// → hotel.
+func manifestBase(manifestPath string) string {
+	name := filepath.Base(manifestPath)
+	if strings.HasSuffix(name, ".manifest.json") {
+		return strings.TrimSuffix(name, ".manifest.json")
+	}
+	return strings.TrimSuffix(name, filepath.Ext(name))
+}
+
+// generation derives the deterministic tag new artifacts carry: a hash
+// of the source manifest's checksum and the target shard count. A retry
+// of the same rebalance overwrites its own staging output; a rebalance
+// from a *different* source (including the committed result of a crashed
+// run) can never collide with referenced names, because committing
+// changes the manifest checksum.
+func generation(sourceChecksum string, m int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s:%d", sourceChecksum, m)))
+	return hex.EncodeToString(sum[:])[:10]
+}
+
+// sweepSidecar applies a crashed run's cleanup intent: every listed path
+// not referenced by the current manifest is removed.
+func sweepSidecar(manifestPath string, m *snapshot.Manifest) ([]string, error) {
+	b, err := os.ReadFile(sidecarPath(manifestPath))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: rebalance sweep: %w", err)
+	}
+	var sc cleanupSidecar
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return nil, fmt.Errorf("fleet: rebalance sweep: bad sidecar: %v", err)
+	}
+	referenced := map[string]bool{}
+	for _, s := range m.Shard {
+		p := snapshot.ShardPath(manifestPath, s)
+		referenced[p] = true
+		referenced[journal.Dir(p)] = true
+	}
+	dir := filepath.Dir(manifestPath)
+	var removed []string
+	for _, rel := range sc.Remove {
+		p := filepath.Join(dir, rel)
+		if referenced[p] {
+			continue
+		}
+		if err := os.RemoveAll(p); err != nil {
+			return removed, fmt.Errorf("fleet: rebalance sweep: %w", err)
+		}
+		removed = append(removed, p)
+	}
+	if err := os.Remove(sidecarPath(manifestPath)); err != nil {
+		return removed, fmt.Errorf("fleet: rebalance sweep: %w", err)
+	}
+	return removed, nil
+}
+
+// writeSidecar atomically writes the cleanup intent.
+func writeSidecar(manifestPath string, sc cleanupSidecar) error {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: rebalance: encode sidecar: %w", err)
+	}
+	tmp := sidecarPath(manifestPath) + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("fleet: rebalance: write sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, sidecarPath(manifestPath)); err != nil {
+		return fmt.Errorf("fleet: rebalance: write sidecar: %w", err)
+	}
+	return nil
+}
+
+// Rebalance derives an M-shard fleet from the N-shard fleet described by
+// manifestPath, in place (the new manifest replaces the old at the same
+// path). See the file comment for the crash-safety protocol. It returns
+// a report naming the published and removed artifacts.
+func Rebalance(manifestPath string, m int, opts RebalanceOptions) (*RebalanceReport, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("fleet: rebalance to %d shards", m)
+	}
+	hook := opts.Failpoint
+	if hook == nil {
+		hook = func(string) error { return nil }
+	}
+	src, err := snapshot.LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sweepSidecar(manifestPath, src); err != nil {
+		return nil, err
+	}
+	// Stale staging dirs from runs that crashed before writing their
+	// sidecar are always unpublished; sweep the whole namespace.
+	if stale, err := filepath.Glob(filepath.Join(filepath.Dir(manifestPath), ".rebalance-*.tmp")); err == nil {
+		for _, p := range stale {
+			_ = os.RemoveAll(p)
+		}
+	}
+
+	report := &RebalanceReport{FromShards: src.Shards, ToShards: m}
+
+	// Load every shard (digest-verified) and replay its journal, holding
+	// each journal's exclusive lock for the duration — a live fleet must
+	// be stopped before its artifacts are rewritten under it.
+	dbs := make([]*core.DB, 0, src.Shards)
+	var wantStat *journal.Stat
+	for i := range src.Shard {
+		shardPath := snapshot.ShardPath(manifestPath, src.Shard[i])
+		release, err := journal.ExclusiveLock(journal.Dir(shardPath))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rebalance: shard %d: is a server still serving this journal? %w", i, err)
+		}
+		defer release()
+		st, err := journal.StatDir(journal.Dir(shardPath))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rebalance: shard %d journal: %w", i, err)
+		}
+		if wantStat == nil {
+			wantStat = &st
+			report.ReplayedRecords = st.Records
+		} else if st.Records != wantStat.Records || st.PrefixHash != wantStat.PrefixHash {
+			return nil, fmt.Errorf("fleet: rebalance: shard %d journal diverges from shard 0 (%d records vs %d, or differing prefix) — run an anti-entropy repair pass first",
+				i, st.Records, wantStat.Records)
+		}
+		db, _, err := snapshot.LoadVerifiedShard(manifestPath, src, i)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rebalance: %w", err)
+		}
+		if _, err := journal.ApplyAll(db, journal.Dir(shardPath)); err != nil {
+			return nil, fmt.Errorf("fleet: rebalance: shard %d replay: %w", i, err)
+		}
+		dbs = append(dbs, db)
+	}
+
+	merged, err := core.MergeShards(dbs)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: rebalance: %w", err)
+	}
+	report.Entities = len(merged.EntityIDs())
+	if report.Entities != src.TotalEntities {
+		return nil, fmt.Errorf("fleet: rebalance: merged fleet serves %d entities, manifest says %d",
+			report.Entities, src.TotalEntities)
+	}
+
+	newDBs, parts, err := merged.Shards(m)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: rebalance: %w", err)
+	}
+
+	// Stage the new generation in a temp dir.
+	dir := filepath.Dir(manifestPath)
+	gen := generation(src.Checksum, m)
+	base := manifestBase(manifestPath)
+	tmpDir := filepath.Join(dir, fmt.Sprintf(".rebalance-%s.tmp", gen))
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return nil, fmt.Errorf("fleet: rebalance: %w", err)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: rebalance: %w", err)
+	}
+	next := &snapshot.Manifest{
+		FormatVersion: snapshot.FormatVersion,
+		Name:          merged.Name,
+		BuildSeed:     src.BuildSeed,
+		Shards:        m,
+		TotalEntities: report.Entities,
+		CreatedUnix:   time.Now().Unix(),
+	}
+	names := make([]string, 0, m)
+	for i, sdb := range newDBs {
+		ids := parts[i]
+		name := fmt.Sprintf("%s-g%s-shard%d.snap", base, gen, i)
+		meta, err := snapshot.SaveShard(filepath.Join(tmpDir, name), sdb, &snapshot.ShardMeta{
+			Index:         i,
+			Count:         m,
+			Entities:      len(ids),
+			TotalEntities: report.Entities,
+			FirstEntity:   ids[0],
+			LastEntity:    ids[len(ids)-1],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rebalance: stage shard %d: %w", i, err)
+		}
+		next.Shard = append(next.Shard, snapshot.ManifestShard{
+			Index:          i,
+			Path:           name,
+			Entities:       len(ids),
+			FirstEntity:    ids[0],
+			LastEntity:     ids[len(ids)-1],
+			SnapshotSHA256: meta.SHA256,
+			SnapshotBytes:  meta.FileBytes,
+		})
+		names = append(names, name)
+	}
+	if err := hook("staged"); err != nil {
+		return nil, err
+	}
+
+	// Intent: everything this run must not leak, old generation and new.
+	sc := cleanupSidecar{}
+	for _, s := range src.Shard {
+		sc.Remove = append(sc.Remove, s.Path, filepath.Base(journal.Dir(snapshot.ShardPath(manifestPath, s))))
+	}
+	sc.Remove = append(sc.Remove, names...)
+	sc.Remove = append(sc.Remove, filepath.Base(tmpDir))
+	if err := writeSidecar(manifestPath, sc); err != nil {
+		return nil, err
+	}
+
+	// Publish: rename the staged files next to the manifest, then commit.
+	for _, name := range names {
+		if err := os.Rename(filepath.Join(tmpDir, name), filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("fleet: rebalance: publish %s: %w", name, err)
+		}
+		report.NewPaths = append(report.NewPaths, filepath.Join(dir, name))
+	}
+	if err := hook("published"); err != nil {
+		return nil, err
+	}
+	if err := snapshot.WriteManifest(manifestPath, next); err != nil {
+		return nil, fmt.Errorf("fleet: rebalance: commit: %w", err)
+	}
+	report.Manifest = next
+	if err := hook("committed"); err != nil {
+		return report, err
+	}
+
+	// Cleanup the old generation (crash-safe: the sidecar re-runs this).
+	for _, s := range src.Shard {
+		old := snapshot.ShardPath(manifestPath, s)
+		for _, p := range []string{old, journal.Dir(old)} {
+			if err := os.RemoveAll(p); err != nil {
+				return report, fmt.Errorf("fleet: rebalance: cleanup: %w", err)
+			}
+			report.RemovedPaths = append(report.RemovedPaths, p)
+		}
+	}
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return report, fmt.Errorf("fleet: rebalance: cleanup: %w", err)
+	}
+	if err := os.Remove(sidecarPath(manifestPath)); err != nil {
+		return report, fmt.Errorf("fleet: rebalance: cleanup: %w", err)
+	}
+	return report, nil
+}

@@ -1,0 +1,285 @@
+package fleet
+
+// Anti-entropy write-repair. Every node of a routed fleet journals every
+// replicated write in one fleet-wide order, so a healthy fleet's
+// journals are byte-identical record sequences. A node that was down (or
+// dropped requests) holds a strict prefix of that sequence; the repair
+// pass proves the prefix relationship with a hash chain and backfills
+// the missing suffix through the ordinary replica-write path, so the
+// laggard journals and applies exactly the deltas it missed, in fleet
+// order — converging it to byte-identical interpretation state.
+//
+// When a node's journal is NOT a prefix of the reference's (transient
+// per-request faults carved a mid-stream gap, and no repair ran before
+// later writes landed), the pass falls back to a full sync: every
+// reference record is offered to the node (duplicates answer 409 and
+// cost nothing), and records the reference itself is missing are pushed
+// back from the divergent node. That converges the fleet's review *set*
+// in one pass; the divergent node's apply order then differs from fleet
+// order, which the report surfaces as FullSync so an operator knows a
+// compaction or restart is what restores byte-level provenance ordering.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// ErrNoJournalSurface reports a fleet whose nodes all answered 404 for
+// /journal/status — volatile (unjournaled) ingestion. Such a fleet has
+// no anti-entropy substrate: there is no fleet-ordered log to diff or
+// backfill from, so callers should stop scheduling repair passes
+// (the router disables its auto-heal hook on this error).
+var ErrNoJournalSurface = errors.New("fleet: nodes have no journal surface (volatile ingestion)")
+
+// RepairOptions configure a Repair pass.
+type RepairOptions struct {
+	// Only restricts which node indexes may be backfilled (the reference
+	// and status collection still span every node). nil repairs every
+	// lagging node — the standalone anti-entropy pass. The router's
+	// post-partial-write hook passes just the shards whose replication
+	// failed.
+	Only map[int]bool
+	// PageSize bounds one /journal/records fetch. 0 means 256.
+	PageSize int
+}
+
+// NodeRepair reports one node's outcome in a repair pass.
+type NodeRepair struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Before and After are the node's journal last-sequences around the
+	// pass.
+	Before uint64 `json:"before"`
+	After  uint64 `json:"after"`
+	// Backfilled counts records the node accepted; AlreadyPresent counts
+	// records it answered 409 for (it had them all along); Failed counts
+	// records it rejected or could not receive.
+	Backfilled     int `json:"backfilled"`
+	AlreadyPresent int `json:"already_present,omitempty"`
+	Failed         int `json:"failed,omitempty"`
+	// FullSync is true when the node's journal had diverged beyond a pure
+	// prefix and the pass fell back to offering the full record set;
+	// ReverseBackfilled counts records this node pushed back INTO the
+	// reference during that sync (the reference was missing them).
+	FullSync          bool `json:"full_sync,omitempty"`
+	ReverseBackfilled int  `json:"reverse_backfilled,omitempty"`
+	// InSync is true when the node needed nothing.
+	InSync bool `json:"in_sync,omitempty"`
+	// Err is the terminal failure that stopped this node's repair, "" on
+	// success.
+	Err string `json:"error,omitempty"`
+}
+
+// RepairReport is the outcome of one anti-entropy pass.
+type RepairReport struct {
+	// Reference is the node whose journal served as the backfill source
+	// (the longest journal; ties break to the lowest index).
+	Reference    int    `json:"reference"`
+	ReferenceSeq uint64 `json:"reference_seq"`
+	// InSync is true when every probed node already matched the reference.
+	InSync bool `json:"in_sync"`
+	// Nodes reports per-node outcomes, ordered by node index.
+	Nodes []NodeRepair `json:"nodes"`
+}
+
+// Healed returns the indexes of nodes this pass actually converged: they
+// needed repair (or were dirty) and finished without failures.
+func (r *RepairReport) Healed() []int {
+	var out []int
+	for _, n := range r.Nodes {
+		if n.Err == "" && n.Failed == 0 && !n.InSync {
+			out = append(out, n.Index)
+		}
+	}
+	return out
+}
+
+// Converged reports whether node idx ended the pass in a known-good
+// state: in sync already, or repaired without failures.
+func (r *RepairReport) Converged(idx int) bool {
+	for _, n := range r.Nodes {
+		if n.Index == idx {
+			return n.Err == "" && n.Failed == 0
+		}
+	}
+	return false
+}
+
+// Repair runs one anti-entropy pass over the fleet's nodes. It never
+// mutates the reference's choice of order: laggards are driven toward
+// the longest journal. The caller is responsible for serializing the
+// pass against routed writes (the router runs it under its write mutex)
+// — concurrent writes would interleave with the backfill and the healed
+// order would no longer be the fleet order.
+func Repair(ctx context.Context, nodes []Backend, opts RepairOptions) (*RepairReport, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: repair over zero nodes")
+	}
+	pageSize := opts.PageSize
+	if pageSize <= 0 {
+		pageSize = 256
+	}
+
+	// Probe every node concurrently (like the router's own fan-outs): a
+	// pass often runs under the router's write mutex, so it should cost
+	// the slowest probe, not the sum.
+	statuses := make([]server.JournalStatusResponse, len(nodes))
+	statusErr := make([]error, len(nodes))
+	httpStatus := make([]int, len(nodes))
+	var wg sync.WaitGroup
+	for i, b := range nodes {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			statuses[i], httpStatus[i], statusErr[i] = journalStatus(ctx, b, 0)
+		}(i, b)
+	}
+	wg.Wait()
+	noJournal := 0
+	for i := range nodes {
+		if statusErr[i] != nil && httpStatus[i] == http.StatusNotFound {
+			noJournal++
+		}
+	}
+	if noJournal == len(nodes) {
+		return nil, ErrNoJournalSurface
+	}
+	ref := -1
+	for i := range nodes {
+		if statusErr[i] != nil {
+			continue
+		}
+		if ref < 0 || statuses[i].LastSeq > statuses[ref].LastSeq {
+			ref = i
+		}
+	}
+	if ref < 0 {
+		return nil, fmt.Errorf("fleet: repair: no node answered /journal/status (first error: %v)", statusErr[0])
+	}
+	report := &RepairReport{Reference: ref, ReferenceSeq: statuses[ref].LastSeq, InSync: true}
+
+	for i, b := range nodes {
+		nr := NodeRepair{Index: i, Name: b.Name()}
+		switch {
+		case statusErr[i] != nil:
+			nr.Err = statusErr[i].Error()
+			report.InSync = false
+		case statuses[i].LastAppliedSeq < statuses[i].LastSeq:
+			// The append-without-apply window: the record is durable in the
+			// node's journal (so journal diffing sees nothing to backfill)
+			// but its serving state is behind. A backfill POST cannot heal
+			// this without duplicating the journaled record; a restart
+			// replays the journal and converges. Never report such a node
+			// in sync — drift must not hide.
+			nr.Before, nr.After = statuses[i].LastSeq, statuses[i].LastSeq
+			nr.Err = fmt.Sprintf("applied state (seq %d) is behind the journal (seq %d): an append succeeded but its apply failed; restart the node to replay",
+				statuses[i].LastAppliedSeq, statuses[i].LastSeq)
+			report.InSync = false
+		case i == ref:
+			nr.InSync = true
+			nr.Before, nr.After = statuses[i].LastSeq, statuses[i].LastSeq
+		case statuses[i].LastSeq == statuses[ref].LastSeq && statuses[i].PrefixHash == statuses[ref].PrefixHash:
+			nr.InSync = true
+			nr.Before, nr.After = statuses[i].LastSeq, statuses[i].LastSeq
+		case opts.Only != nil && !opts.Only[i]:
+			// Lagging but out of scope for this pass.
+			nr.Before, nr.After = statuses[i].LastSeq, statuses[i].LastSeq
+			report.InSync = false
+		default:
+			nr = repairNode(ctx, nodes, ref, i, statuses, pageSize)
+			report.InSync = false
+		}
+		report.Nodes = append(report.Nodes, nr)
+	}
+	return report, nil
+}
+
+// repairNode converges one lagging node toward the reference.
+func repairNode(ctx context.Context, nodes []Backend, ref, idx int, statuses []server.JournalStatusResponse, pageSize int) NodeRepair {
+	b := nodes[idx]
+	nr := NodeRepair{Index: idx, Name: b.Name(), Before: statuses[idx].LastSeq}
+	nr.After = nr.Before
+
+	// Prefix proof: the laggard's whole journal must hash like the
+	// reference's first lastSeq records.
+	prefix := statuses[idx].LastSeq <= statuses[ref].LastSeq
+	if prefix && statuses[idx].LastSeq > 0 {
+		refAt, _, err := journalStatus(ctx, nodes[ref], statuses[idx].LastSeq)
+		if err != nil {
+			nr.Err = fmt.Sprintf("reference prefix hash: %v", err)
+			return nr
+		}
+		prefix = refAt.PrefixHash == statuses[idx].PrefixHash
+	}
+
+	from := statuses[idx].LastSeq + 1
+	if !prefix {
+		// Divergence: offer everything; 409s absorb the overlap.
+		nr.FullSync = true
+		from = 1
+	}
+	if err := streamInto(ctx, nodes[ref], b, from, pageSize, &nr); err != nil {
+		nr.Err = err.Error()
+		return nr
+	}
+	if nr.FullSync {
+		// The reference may itself be missing records the divergent node
+		// holds (disjoint transient faults); push them back so the pass
+		// converges the union, not just the reference's view.
+		back := NodeRepair{}
+		if err := streamInto(ctx, b, nodes[ref], 1, pageSize, &back); err != nil {
+			nr.Err = fmt.Sprintf("reverse sync into reference: %v", err)
+			return nr
+		}
+		nr.Failed += back.Failed
+		nr.ReverseBackfilled = back.Backfilled
+	}
+	if st, _, err := journalStatus(ctx, b, 0); err == nil {
+		nr.After = st.LastSeq
+	}
+	return nr
+}
+
+// streamInto pages src's journal records from seq `from` and offers each
+// to dst through the replica-write path, accumulating counts into nr.
+func streamInto(ctx context.Context, src, dst Backend, from uint64, pageSize int, nr *NodeRepair) error {
+	for {
+		page, err := journalRecords(ctx, src, from, pageSize)
+		if err != nil {
+			return fmt.Errorf("read source journal: %v", err)
+		}
+		for _, rec := range page.Records {
+			body, err := json.Marshal(server.ReviewRequest{
+				ID: rec.ID, EntityID: rec.EntityID, Reviewer: rec.Reviewer,
+				Day: rec.Day, Text: rec.Text, Replica: true,
+			})
+			if err != nil {
+				return fmt.Errorf("encode record seq %d: %v", rec.Seq, err)
+			}
+			status, _, err := dst.Do(ctx, "POST", "/reviews", body)
+			switch {
+			case err != nil:
+				return fmt.Errorf("backfill seq %d: %v", rec.Seq, err)
+			case status == http.StatusOK:
+				nr.Backfilled++
+			case status == http.StatusConflict:
+				nr.AlreadyPresent++
+			default:
+				// A deliberate rejection (e.g. a ghost entity this node will
+				// never accept) is counted, not fatal: the rest of the tail
+				// may still land.
+				nr.Failed++
+			}
+			from = rec.Seq + 1
+		}
+		if !page.More || len(page.Records) == 0 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package journal_test
+
+// Error-path and crash-window tests of the fleet compaction's manifest
+// digest refresh (CompactManifest): a missing shard artifact, corrupt
+// shard bytes, the crash window where a shard snapshot was replaced but
+// the manifest digest was not yet refreshed, and a retry after a crash
+// that folded only part of the fleet. The happy path lives in
+// internal/router/ingest_e2e_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/snapshot"
+)
+
+// shardedFixture derives a fresh 2-shard fleet (snapshots + manifest)
+// from the package fixture's base snapshot and appends every delta to
+// each shard's journal — the state a replicating fleet holds before
+// compaction.
+func shardedFixture(t *testing.T) (manifestPath string, m *snapshot.Manifest) {
+	t.Helper()
+	_, deltas, baseSnap := e2eFixture(t)
+	base, _, err := snapshot.Load(baseSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardDBs, parts, err := base.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	m = &snapshot.Manifest{
+		FormatVersion: snapshot.FormatVersion,
+		Name:          base.Name,
+		BuildSeed:     1,
+		Shards:        2,
+		TotalEntities: len(base.EntityIDs()),
+		CreatedUnix:   1,
+	}
+	for i, sdb := range shardDBs {
+		ids := parts[i]
+		path := filepath.Join(dir, fmt.Sprintf("hotel-shard%d.snap", i))
+		meta, err := snapshot.SaveShard(path, sdb, &snapshot.ShardMeta{
+			Index: i, Count: 2,
+			Entities: len(ids), TotalEntities: len(base.EntityIDs()),
+			FirstEntity: ids[0], LastEntity: ids[len(ids)-1],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Shard = append(m.Shard, snapshot.ManifestShard{
+			Index: i, Path: filepath.Base(path),
+			Entities: len(ids), FirstEntity: ids[0], LastEntity: ids[len(ids)-1],
+			SnapshotSHA256: meta.SHA256, SnapshotBytes: meta.FileBytes,
+		})
+		j, err := journal.Open(journal.Dir(path), journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rv := range deltas {
+			if _, err := j.Append(journal.Review{
+				ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer, Day: rv.Day, Text: rv.Text,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manifestPath = filepath.Join(dir, "hotel.manifest.json")
+	if err := snapshot.WriteManifest(manifestPath, m); err != nil {
+		t.Fatal(err)
+	}
+	return manifestPath, m
+}
+
+func TestCompactManifestMissingShardFile(t *testing.T) {
+	manifestPath, m := shardedFixture(t)
+	if err := os.Remove(snapshot.ShardPath(manifestPath, m.Shard[1])); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := journal.CompactManifest(manifestPath)
+	if err == nil {
+		t.Fatal("compaction of a fleet with a missing shard file should fail")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("error %v does not wrap fs.ErrNotExist", err)
+	}
+	// Shard 0 may already be folded (per-shard commit), but the manifest
+	// must still load — the failure never leaves a torn manifest behind.
+	if _, err := snapshot.LoadManifest(manifestPath); err != nil {
+		t.Fatalf("manifest unusable after failed compaction: %v", err)
+	}
+}
+
+func TestCompactManifestCorruptShardBytes(t *testing.T) {
+	manifestPath, m := shardedFixture(t)
+	path := snapshot.ShardPath(manifestPath, m.Shard[0])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = journal.CompactManifest(manifestPath)
+	if err == nil {
+		t.Fatal("compaction over corrupt shard bytes should fail")
+	}
+	// The journal is untouched: nothing was folded away on the failure.
+	st, serr := journal.StatDir(journal.Dir(path))
+	if serr != nil || st.Records != e2eDeltaCount {
+		t.Fatalf("journal after failed compaction: %+v (%v), want %d records intact", st, serr, e2eDeltaCount)
+	}
+}
+
+// TestCompactManifestStaleDigestRetry exercises the documented crash
+// window: a shard snapshot was replaced by its folded successor, but the
+// process died before the manifest digest refresh. The manifest now
+// records a stale digest — digest-verified serving refuses the shard —
+// and re-running CompactManifest heals it (compaction *produces*
+// digests, so it loads without demanding they already match, and replay
+// skips the already-folded reviews by id).
+func TestCompactManifestStaleDigestRetry(t *testing.T) {
+	manifestPath, m := shardedFixture(t)
+	shardPath := snapshot.ShardPath(manifestPath, m.Shard[0])
+
+	// Simulate the crash: fold shard 0 in place (journal kept, manifest
+	// not refreshed).
+	db, meta, err := snapshot.Load(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := journal.ApplyAll(db, journal.Dir(shardPath)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.SaveShard(shardPath, db, meta.Shard); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := snapshot.LoadVerifiedShard(manifestPath, m, 0); !errors.Is(err, snapshot.ErrShardDigest) {
+		t.Fatalf("stale digest not detected: %v", err)
+	}
+
+	m2, folded, err := journal.CompactManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("retry after stale-digest crash: %v", err)
+	}
+	if len(folded) != 2 {
+		t.Fatalf("folded %d shards, want 2", len(folded))
+	}
+	for _, s := range folded {
+		if s.Index == 0 {
+			// Every delta was already in the crashed fold's snapshot.
+			if s.Applied != 0 || s.Skipped != e2eDeltaCount {
+				t.Fatalf("shard 0 retry folded %+v, want all %d skipped", s, e2eDeltaCount)
+			}
+		} else if s.Applied != e2eDeltaCount {
+			t.Fatalf("shard 1 folded %+v, want %d applied", s, e2eDeltaCount)
+		}
+	}
+	// The refreshed manifest verifies end to end and the journals are
+	// gone.
+	for i := range m2.Shard {
+		if _, _, err := snapshot.LoadVerifiedShard(manifestPath, m2, i); err != nil {
+			t.Fatalf("shard %d after retry: %v", i, err)
+		}
+		if _, err := os.Stat(journal.Dir(snapshot.ShardPath(manifestPath, m2.Shard[i]))); !os.IsNotExist(err) {
+			t.Fatalf("shard %d journal survived the retry", i)
+		}
+	}
+}
+
+// TestCompactManifestPartialFleetRetry: a crash after shard 0 was fully
+// folded (snapshot replaced, manifest refreshed, journal removed) leaves
+// a half-compacted fleet; the retry folds only the remaining shard.
+func TestCompactManifestPartialFleetRetry(t *testing.T) {
+	manifestPath, m := shardedFixture(t)
+	shardPath := snapshot.ShardPath(manifestPath, m.Shard[0])
+
+	// Fold shard 0 completely, exactly as CompactManifest would.
+	db, meta, err := snapshot.Load(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := journal.ApplyAll(db, journal.Dir(shardPath)); err != nil {
+		t.Fatal(err)
+	}
+	newMeta, err := snapshot.SaveShard(shardPath, db, meta.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Shard[0].SnapshotSHA256 = newMeta.SHA256
+	m.Shard[0].SnapshotBytes = newMeta.FileBytes
+	if err := snapshot.WriteManifest(manifestPath, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(journal.Dir(shardPath)); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, folded, err := journal.CompactManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("retry on half-compacted fleet: %v", err)
+	}
+	if len(folded) != 1 || folded[0].Index != 1 || folded[0].Applied != e2eDeltaCount {
+		t.Fatalf("retry folded %+v, want only shard 1's %d deltas", folded, e2eDeltaCount)
+	}
+	for i := range m2.Shard {
+		if _, _, err := snapshot.LoadVerifiedShard(manifestPath, m2, i); err != nil {
+			t.Fatalf("shard %d after retry: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package journal
+
+// Fleet introspection: the primitives the anti-entropy control plane
+// (internal/fleet) builds on. Every node in a routed fleet journals every
+// replicated write in one fleet-wide order, so two healthy journals hold
+// byte-identical record sequences — which makes "how far did this node
+// get" (Stat), "is this node a pure prefix of that one" (PrefixHashAt)
+// and "stream me everything after seq K" (ReplayFrom) sufficient to
+// detect and heal a replica that missed writes.
+//
+// The prefix hash is a SHA-256 chain over the canonical record encodings
+// in sequence order: equal hashes at equal sequence numbers mean
+// byte-identical record prefixes, so a lagging replica whose full-journal
+// hash matches the reference's hash at the same sequence needs only the
+// reference's tail.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Stat summarizes a journal directory for the control plane.
+type Stat struct {
+	// Records is the number of intact records; LastSeq the sequence number
+	// of the last one (0 when empty).
+	Records int
+	LastSeq uint64
+	// Segments is the number of segment files.
+	Segments int
+	// PrefixHash is the hex SHA-256 chain over records 1..LastSeq (the
+	// hash of the empty journal for Records == 0).
+	PrefixHash string
+	// TailErr reports skipped tail damage on the final segment, exactly as
+	// ReplayStats.TailErr does; nil for a clean journal.
+	TailErr error
+}
+
+// errStopScan is the internal sentinel a prefix scan returns through the
+// record callback to stop cleanly at its upper bound.
+var errStopScan = errors.New("journal: stop scan")
+
+// scanPrefix walks the journal like Replay, delivering each record's
+// sequence number and canonical payload bytes to each, stopping after
+// upTo (0 means no bound). Tail damage on the final segment is skipped
+// and reported; structural damage is a hard error.
+func scanPrefix(dir string, upTo uint64, each func(seq uint64, payload []byte) error) (Stat, error) {
+	var st Stat
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) || isNotDir(err) {
+			return st, nil
+		}
+		return st, fmt.Errorf("journal: stat: %w", err)
+	}
+	st.Segments = len(paths)
+	next := uint64(1)
+	for i, path := range paths {
+		last := i == len(paths)-1
+		res, err := scanSegmentFile(path, seqs[i], next, func(seq uint64, rv Review) error {
+			if upTo > 0 && seq > upTo {
+				return errStopScan
+			}
+			payload, err := encodeReview(rv)
+			if err != nil {
+				return err
+			}
+			if err := each(seq, payload); err != nil {
+				return err
+			}
+			st.Records++
+			st.LastSeq = seq
+			return nil
+		})
+		if errors.Is(err, errStopScan) {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		if res.tailErr != nil && !last {
+			return st, fmt.Errorf("journal: segment %s: %w", filepath.Base(path), res.tailErr)
+		}
+		next += uint64(res.records)
+		if res.tailErr != nil {
+			st.TailErr = res.tailErr
+			break
+		}
+	}
+	return st, nil
+}
+
+// StatDir reports a journal directory's record count, last sequence,
+// segment count and full prefix hash. A missing directory is the empty
+// journal.
+func StatDir(dir string) (Stat, error) {
+	return statUpTo(dir, 0)
+}
+
+// PrefixHashAt hashes the journal's records up to and including sequence
+// upTo (or the whole journal when it is shorter), returning the hash and
+// the last sequence actually covered. Two journals whose PrefixHashAt
+// agree at the same sequence hold byte-identical record prefixes.
+func PrefixHashAt(dir string, upTo uint64) (hash string, lastSeq uint64, err error) {
+	st, err := statUpTo(dir, upTo)
+	if err != nil {
+		return "", 0, err
+	}
+	return st.PrefixHash, st.LastSeq, nil
+}
+
+// statUpTo is the shared scan of StatDir and PrefixHashAt.
+func statUpTo(dir string, upTo uint64) (Stat, error) {
+	h := sha256.New()
+	var lenBuf [4]byte
+	st, err := scanPrefix(dir, upTo, func(seq uint64, payload []byte) error {
+		// Length-prefix each payload so the chain is injective over record
+		// sequences, not just over their concatenation.
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		h.Write(lenBuf[:])
+		h.Write(payload)
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	st.PrefixHash = hex.EncodeToString(h.Sum(nil))
+	return st, nil
+}
+
+// TailInfo reports a journal's last sequence number and segment count
+// without scanning (or hashing) the whole directory: only the final
+// segment — bounded by SegmentMaxBytes — is read. It is the cheap
+// sibling of StatDir for callers that do not need the prefix hash (the
+// /healthz position, pagination bookkeeping). A missing directory is the
+// empty journal.
+func TailInfo(dir string) (lastSeq uint64, segments int, err error) {
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) || isNotDir(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("journal: tail info: %w", err)
+	}
+	if len(paths) == 0 {
+		return 0, 0, nil
+	}
+	last := len(paths) - 1
+	res, err := scanSegmentFile(paths[last], seqs[last], seqs[last], nil)
+	if err != nil {
+		return 0, len(paths), err
+	}
+	// The final segment's header names the sequence of its first record;
+	// an empty (or fully torn) final segment means the journal ends just
+	// before it.
+	return seqs[last] + uint64(res.records) - 1, len(paths), nil
+}
+
+// ReplayFrom streams every intact record with sequence number >= from to
+// fn in order — the tail-read of the anti-entropy backfill. Segments that
+// end before from are skipped without being read. Tail damage on the
+// final segment is skipped and reported in the stats (same contract as
+// Replay); ReplayStats.Records counts only delivered records.
+func ReplayFrom(dir string, from uint64, fn func(seq uint64, rv Review) error) (ReplayStats, error) {
+	var stats ReplayStats
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) || isNotDir(err) {
+			return stats, nil
+		}
+		return stats, fmt.Errorf("journal: replay from %d: %w", from, err)
+	}
+	// Skip whole segments whose records all precede from: segment i covers
+	// [seqs[i], seqs[i+1]), so it is skippable when the next segment still
+	// starts at or before from.
+	start := 0
+	for start+1 < len(paths) && seqs[start+1] <= from {
+		start++
+	}
+	// The first scanned segment's start is taken from its (validated)
+	// header — the skipped segments' record counts are unknown; from there
+	// the cross-segment chain is checked exactly as Replay checks it.
+	next := seqs[start]
+	for i := start; i < len(paths); i++ {
+		last := i == len(paths)-1
+		res, err := scanSegmentFile(paths[i], seqs[i], next, func(seq uint64, rv Review) error {
+			if seq < from {
+				return nil
+			}
+			if fn != nil {
+				if err := fn(seq, rv); err != nil {
+					return err
+				}
+			}
+			stats.Records++
+			stats.LastSeq = seq
+			return nil
+		})
+		if err != nil {
+			return stats, err
+		}
+		if res.tailErr != nil && !last {
+			return stats, fmt.Errorf("journal: segment %s: %w", filepath.Base(paths[i]), res.tailErr)
+		}
+		stats.Segments++
+		next += uint64(res.records)
+		if res.tailErr != nil {
+			fi, statErr := os.Stat(paths[i])
+			if statErr == nil {
+				stats.DroppedBytes = fi.Size() - res.goodBytes
+			}
+			stats.TailErr = res.tailErr
+			break
+		}
+	}
+	return stats, nil
+}
+
+// ExclusiveLock takes the journal directory's exclusive lock — the same
+// lock a serving Journal holds — and returns its release. Control-plane
+// operations that fold or replace a journal (compaction, rebalancing)
+// hold it so a live writer cannot keep acknowledging appends into
+// segments that are about to be deleted. A missing directory needs no
+// lock; a held lock is a hard error telling the operator to stop the
+// server first.
+func ExclusiveLock(dir string) (release func(), err error) {
+	return lockForCompaction(dir)
+}

@@ -1,0 +1,193 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tailFixture appends n reviews to a fresh journal with small segments so
+// the scan paths cross segment boundaries.
+func tailFixture(t *testing.T, n int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, err := Open(dir, Options{SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < n; i++ {
+		if _, err := j.Append(tailReview(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func tailReview(i int) Review {
+	return Review{
+		ID:       fmt.Sprintf("r-%04d", i),
+		EntityID: fmt.Sprintf("e-%04d", i%7),
+		Reviewer: "tail",
+		Day:      i,
+		Text:     fmt.Sprintf("review number %d with some text to fill the record", i),
+	}
+}
+
+func TestStatDir(t *testing.T) {
+	dir := tailFixture(t, 25)
+	st, err := StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 25 || st.LastSeq != 25 {
+		t.Fatalf("stat = %+v, want 25 records through seq 25", st)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("fixture should roll segments, got %d", st.Segments)
+	}
+	if st.PrefixHash == "" || st.TailErr != nil {
+		t.Fatalf("stat = %+v, want hash and clean tail", st)
+	}
+
+	// The hash chain is injective over prefixes: every prefix differs.
+	seen := map[string]uint64{}
+	for k := uint64(1); k <= 25; k++ {
+		h, last, err := PrefixHashAt(dir, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != k {
+			t.Fatalf("PrefixHashAt(%d) covered seq %d", k, last)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("prefix hash at %d collides with %d", k, prev)
+		}
+		seen[h] = k
+	}
+	// The full hash equals the bounded hash at the last sequence and at
+	// any bound beyond it.
+	full, last, err := PrefixHashAt(dir, 999)
+	if err != nil || last != 25 || full != st.PrefixHash {
+		t.Fatalf("PrefixHashAt(999) = (%s, %d, %v), want full-journal hash", full, last, err)
+	}
+}
+
+func TestStatDirMissing(t *testing.T) {
+	st, err := StatDir(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 0 || st.LastSeq != 0 || st.Segments != 0 {
+		t.Fatalf("missing dir stat = %+v, want empty", st)
+	}
+	if st.PrefixHash == "" {
+		t.Fatal("empty journal should still report the empty-chain hash")
+	}
+}
+
+// TestPrefixHashMatchesAcrossJournals is the property repair relies on:
+// two journals holding the same record sequence hash identically even
+// when their segment boundaries differ.
+func TestPrefixHashMatchesAcrossJournals(t *testing.T) {
+	a := tailFixture(t, 20)
+	bDir := filepath.Join(t.TempDir(), "wal-b")
+	j, err := Open(bDir, Options{SegmentMaxBytes: DefaultSegmentMaxBytes}) // one big segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ { // a prefix of a's records
+		if _, err := j.Append(tailReview(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bHash, bLast, err := PrefixHashAt(bDir, 0)
+	if err != nil || bLast != 12 {
+		t.Fatalf("b hash: (%d, %v)", bLast, err)
+	}
+	aHash, _, err := PrefixHashAt(a, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aHash != bHash {
+		t.Fatal("equal record prefixes must hash equally regardless of segmentation")
+	}
+	aFull, _, _ := PrefixHashAt(a, 0)
+	if aFull == bHash {
+		t.Fatal("a's full journal must not hash like its 12-record prefix")
+	}
+}
+
+func TestReplayFrom(t *testing.T) {
+	dir := tailFixture(t, 30)
+	for _, from := range []uint64{1, 2, 15, 29, 30, 31} {
+		var got []uint64
+		stats, err := ReplayFrom(dir, from, func(seq uint64, rv Review) error {
+			got = append(got, seq)
+			if want := tailReview(int(seq - 1)); rv != want {
+				t.Fatalf("seq %d decoded %+v, want %+v", seq, rv, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("from %d: %v", from, err)
+		}
+		want := 30 - int(from) + 1
+		if want < 0 {
+			want = 0
+		}
+		if len(got) != want || stats.Records != want {
+			t.Fatalf("from %d delivered %d records (stats %d), want %d", from, len(got), stats.Records, want)
+		}
+		for i, seq := range got {
+			if seq != from+uint64(i) {
+				t.Fatalf("from %d: record %d has seq %d", from, i, seq)
+			}
+		}
+		if want > 0 && stats.LastSeq != 30 {
+			t.Fatalf("from %d: last seq %d, want 30", from, stats.LastSeq)
+		}
+	}
+}
+
+// TestReplayFromTornTail mirrors Replay's crash contract: tail damage is
+// skipped and reported, not fatal.
+func TestReplayFromTornTail(t *testing.T) {
+	dir := tailFixture(t, 10)
+	paths, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := paths[len(paths)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReplayFrom(dir, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TailErr == nil || !errors.Is(stats.TailErr, ErrTornRecord) {
+		t.Fatalf("tail err = %v, want ErrTornRecord", stats.TailErr)
+	}
+	if stats.Records != 5 || stats.LastSeq != 9 {
+		t.Fatalf("stats = %+v, want records 5..9 delivered", stats)
+	}
+
+	// StatDir reports the same damage.
+	st, err := StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 9 || !errors.Is(st.TailErr, ErrTornRecord) {
+		t.Fatalf("stat = %+v, want 9 records with torn tail", st)
+	}
+}

@@ -1,0 +1,71 @@
+package router
+
+// Front-door /interpret memo cache. A predicate's interpretation is a
+// pure function of corpus-global model state, which is REPLICATED and
+// byte-identical on every shard — so once any shard has answered, the
+// router may answer the same predicate from memory without a hop. The
+// cache is invalidated wholesale on any accepted write (and on repair
+// backfills): new evidence can shift interpretations, and correctness
+// beats hit rate. A generation counter closes the stale-fill race — a
+// fetch that started before a write must not memoize its pre-write
+// answer after the invalidation — and a size cap bounds memory against
+// unbounded distinct predicates (the predicate string is arbitrary
+// client input). Hit/miss counters surface in the HTTP response headers
+// (X-Interpret-Cache*) so operators can watch the cache work.
+
+import "repro/internal/server"
+
+// maxInterpretCacheEntries bounds the memo; reaching it drops the whole
+// map (epoch eviction — the cache refills from the hot predicates, and
+// correctness never depends on residency).
+const maxInterpretCacheEntries = 4096
+
+// interpretCached returns the memoized response for a predicate (nil on
+// a miss) and the cache generation the caller must hand back to
+// interpretStore.
+func (r *Router) interpretCached(predicate string) (*server.InterpretResponse, uint64) {
+	r.interpMu.Lock()
+	defer r.interpMu.Unlock()
+	if resp, ok := r.interpCache[predicate]; ok {
+		r.interpHits++
+		return resp, r.interpGen
+	}
+	r.interpMisses++
+	return nil, r.interpGen
+}
+
+// interpretStore memoizes a shard's response, unless the cache moved to
+// a new generation since the caller's lookup — then the response was
+// computed against pre-invalidation state and memoizing it would serve
+// a stale interpretation indefinitely. Stored responses are treated as
+// immutable.
+func (r *Router) interpretStore(predicate string, resp *server.InterpretResponse, gen uint64) {
+	r.interpMu.Lock()
+	defer r.interpMu.Unlock()
+	if gen != r.interpGen {
+		return
+	}
+	if len(r.interpCache) >= maxInterpretCacheEntries {
+		r.interpCache = map[string]*server.InterpretResponse{}
+	}
+	r.interpCache[predicate] = resp
+}
+
+// invalidateInterpret drops the whole memo cache and advances the
+// generation — called on every write the fleet accepted and on every
+// repair backfill.
+func (r *Router) invalidateInterpret() {
+	r.interpMu.Lock()
+	defer r.interpMu.Unlock()
+	r.interpGen++
+	if len(r.interpCache) > 0 {
+		r.interpCache = map[string]*server.InterpretResponse{}
+	}
+}
+
+// InterpretCacheStats reports the cache's lifetime hit/miss counters.
+func (r *Router) InterpretCacheStats() (hits, misses uint64) {
+	r.interpMu.Lock()
+	defer r.interpMu.Unlock()
+	return r.interpHits, r.interpMisses
+}

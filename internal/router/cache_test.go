@@ -1,0 +1,114 @@
+package router
+
+// Unit tests of the front-door /interpret memo cache: interpretation
+// state is replicated fleet-wide, so the router may answer repeat
+// predicates from memory — until any accepted write invalidates the
+// memo.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func cacheRouter(t *testing.T) (*Router, *fakeBackend) {
+	t.Helper()
+	b := &fakeBackend{name: "s0", replies: map[string]fakeReply{
+		"GET /interpret?predicate=clean+rooms": {200, server.InterpretResponse{
+			Chosen: server.InterpretationJSON{Predicate: "clean rooms", Method: "w2v", Similarity: 0.9},
+		}},
+		"POST /reviews": {200, server.ReviewResponse{ReviewID: "r-c1", EntityID: "e5", Owned: true}},
+	}}
+	r, err := New([]Shard{{Backend: b, FirstEntity: "a", LastEntity: "z"}}, Options{DisableAutoRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, b
+}
+
+func TestInterpretCacheHitMissInvalidate(t *testing.T) {
+	r, _ := cacheRouter(t)
+	ctx := context.Background()
+
+	resp, cached, err := r.InterpretChain(ctx, "clean rooms")
+	if err != nil || cached || resp.Chosen.Predicate != "clean rooms" {
+		t.Fatalf("first call: resp=%+v cached=%v err=%v", resp, cached, err)
+	}
+	again, cached, err := r.InterpretChain(ctx, "clean rooms")
+	if err != nil || !cached || again != resp {
+		t.Fatalf("second call should hit the memo: cached=%v err=%v", cached, err)
+	}
+	if hits, misses := r.InterpretCacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1 hit / 1 miss", hits, misses)
+	}
+
+	// Any accepted write drops the memo.
+	if _, err := r.AddReview(ctx, server.ReviewRequest{ID: "r-c1", EntityID: "e5", Text: "spotless"}); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err = r.InterpretChain(ctx, "clean rooms")
+	if err != nil || cached {
+		t.Fatalf("post-write call should miss: cached=%v err=%v", cached, err)
+	}
+	if hits, misses := r.InterpretCacheStats(); hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d/%d, want 1 hit / 2 misses", hits, misses)
+	}
+}
+
+// TestInterpretCacheStaleFillFenced: a response fetched against
+// pre-write state must not be memoized after an invalidation — the
+// generation counter fences the store.
+func TestInterpretCacheStaleFillFenced(t *testing.T) {
+	r, _ := cacheRouter(t)
+	_, gen := r.interpretCached("clean rooms") // miss; remember the generation
+	r.invalidateInterpret()                    // a write lands mid-fetch
+	r.interpretStore("clean rooms", &server.InterpretResponse{}, gen)
+	if resp, _ := r.interpretCached("clean rooms"); resp != nil {
+		t.Fatal("stale fill survived the invalidation fence")
+	}
+}
+
+func TestInterpretCacheBounded(t *testing.T) {
+	r, _ := cacheRouter(t)
+	for i := 0; i < maxInterpretCacheEntries+10; i++ {
+		_, gen := r.interpretCached(fmt.Sprintf("p%d", i))
+		r.interpretStore(fmt.Sprintf("p%d", i), &server.InterpretResponse{}, gen)
+	}
+	r.interpMu.Lock()
+	n := len(r.interpCache)
+	r.interpMu.Unlock()
+	if n > maxInterpretCacheEntries {
+		t.Fatalf("cache grew to %d entries past the %d cap", n, maxInterpretCacheEntries)
+	}
+}
+
+func TestInterpretCacheHeaders(t *testing.T) {
+	r, _ := cacheRouter(t)
+	front := httptest.NewServer(NewHandler(r))
+	defer front.Close()
+
+	get := func() (verdict string) {
+		resp, err := http.Get(front.URL + "/interpret?predicate=clean+rooms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Interpret-Cache-Hits") == "" || resp.Header.Get("X-Interpret-Cache-Misses") == "" {
+			t.Fatal("cache counters missing from response headers")
+		}
+		return resp.Header.Get("X-Interpret-Cache")
+	}
+	if v := get(); v != "miss" {
+		t.Fatalf("first request: %q, want miss", v)
+	}
+	if v := get(); v != "hit" {
+		t.Fatalf("second request: %q, want hit", v)
+	}
+}

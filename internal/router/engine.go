@@ -21,7 +21,7 @@ import (
 // failure returns the zero Interpretation — fingerprint comparisons
 // surface it as a mismatch rather than a hidden skip.
 func (r *Router) Interpret(text string) core.Interpretation {
-	resp, err := r.InterpretChain(context.Background(), text)
+	resp, _, err := r.InterpretChain(context.Background(), text)
 	if err != nil {
 		return core.Interpretation{}
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/server"
@@ -31,6 +32,7 @@ func NewHandler(r *Router) *Handler {
 	h.mux.HandleFunc("/evidence", h.handleEvidence)
 	h.mux.HandleFunc("/topk", h.handleTopK)
 	h.mux.HandleFunc("/reviews", h.handleReviews)
+	h.mux.HandleFunc("/repair", h.handleRepair)
 	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
@@ -129,12 +131,37 @@ func (h *Handler) handleInterpret(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := h.r.InterpretChain(r.Context(), pred)
+	resp, cached, err := h.r.InterpretChain(r.Context(), pred)
 	if err != nil {
 		server.WriteError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
+	// Surface the front-door memo cache's behavior: interpretation state
+	// is replicated, so the router may answer without a shard hop.
+	verdict := "miss"
+	if cached {
+		verdict = "hit"
+	}
+	hits, misses := h.r.InterpretCacheStats()
+	w.Header().Set("X-Interpret-Cache", verdict)
+	w.Header().Set("X-Interpret-Cache-Hits", strconv.FormatUint(hits, 10))
+	w.Header().Set("X-Interpret-Cache-Misses", strconv.FormatUint(misses, 10))
 	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleRepair is the operator trigger for one fleet-wide anti-entropy
+// pass (see internal/fleet): diff journal positions, backfill laggards,
+// report per-node outcomes.
+func (h *Handler) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	report, err := h.r.RunRepair(r.Context())
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, report)
 }
 
 func (h *Handler) handleEvidence(w http.ResponseWriter, r *http.Request) {
@@ -185,6 +212,9 @@ func (h *Handler) handleReviews(w http.ResponseWriter, r *http.Request) {
 				}
 				env["owner_shard"] = se.Heal.OwnerShard
 				env["replicated"] = se.Heal.Replicated
+				if len(se.Heal.Healed) > 0 {
+					env["healed"] = se.Heal.Healed
+				}
 				if se.Heal.Partial {
 					env["partial"] = true
 					env["shard_errors"] = se.Heal.ShardErrors

@@ -1,0 +1,122 @@
+package router
+
+// Post-partial-write healing: the router's integration with the
+// anti-entropy control plane (internal/fleet). A routed write whose
+// replica fan-out partially failed used to leave the failed shard
+// drifting — its corpus-global interpretation state missing a review —
+// until compaction or a restart. Now the router marks such shards dirty
+// and, while still holding the write mutex, runs a repair pass scoped to
+// them: the backfill re-delivers exactly the missed deltas through the
+// replica-write path before any later write can land, so a healed
+// replica's journal keeps the fleet order and its state stays
+// byte-identical to its peers'. Shards that are fully down stay dirty
+// and the hook retries on subsequent writes; RunRepair offers the same
+// pass to operators (POST /repair, opinedbd -repair-interval).
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/fleet"
+)
+
+// fleetBackends adapts the router's shard backends to the control
+// plane's Backend interface (structurally identical).
+func (r *Router) fleetBackends() []fleet.Backend {
+	out := make([]fleet.Backend, len(r.shards))
+	for i := range r.shards {
+		out[i] = r.shards[i].Backend
+	}
+	return out
+}
+
+// markDirtyLocked records shards whose replication failed. Caller holds
+// writeMu.
+func (r *Router) markDirtyLocked(failed map[int]string) {
+	for i := range failed {
+		r.dirty[i] = true
+	}
+}
+
+// repairDirtyLocked runs one repair pass scoped to the dirty shards,
+// clearing the ones that converged. Caller holds writeMu. It returns the
+// indexes healed by this pass (nil when there was nothing to do or the
+// pass could not run).
+func (r *Router) repairDirtyLocked(ctx context.Context) []int {
+	if len(r.dirty) == 0 {
+		return nil
+	}
+	only := make(map[int]bool, len(r.dirty))
+	for i := range r.dirty {
+		only[i] = true
+	}
+	// The pass runs under writeMu: bound it by the router's timeout so a
+	// hung dirty shard cannot stall every subsequent routed write (the
+	// backends themselves carry no deadline of their own).
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	report, err := fleet.Repair(ctx, r.fleetBackends(), fleet.RepairOptions{Only: only})
+	if errors.Is(err, fleet.ErrNoJournalSurface) {
+		// Volatile ingestion: there is no fleet-ordered log to heal from,
+		// so a repair pass can never succeed. Stop paying the probe cost
+		// on every write.
+		r.autoRepair = false
+		r.dirty = map[int]bool{}
+		return nil
+	}
+	if err != nil {
+		return nil
+	}
+	var healed []int
+	for i := range only {
+		if report.Converged(i) {
+			delete(r.dirty, i)
+			healed = append(healed, i)
+		}
+	}
+	if len(healed) > 0 {
+		// Backfills changed replicated state behind the memo cache.
+		r.invalidateInterpret()
+	}
+	return healed
+}
+
+// DirtyShards reports the shards whose last replication failed and that
+// no repair pass has converged yet.
+func (r *Router) DirtyShards() []int {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	out := make([]int, 0, len(r.dirty))
+	for i := range r.dirty {
+		out = append(out, i)
+	}
+	return out
+}
+
+// RunRepair runs one fleet-wide anti-entropy pass, serialized against
+// routed writes. Every node is probed; every laggard (dirty or not) is
+// repaired. This is the operator surface behind POST /repair and the
+// opinedbd repair interval.
+func (r *Router) RunRepair(ctx context.Context) (*fleet.RepairReport, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	report, err := fleet.Repair(ctx, r.fleetBackends(), fleet.RepairOptions{})
+	if err != nil {
+		return nil, err
+	}
+	repaired := false
+	for i := range r.shards {
+		if report.Converged(i) {
+			delete(r.dirty, i)
+		}
+	}
+	for _, n := range report.Nodes {
+		if n.Backfilled > 0 {
+			repaired = true
+		}
+	}
+	if repaired {
+		r.invalidateInterpret()
+	}
+	return report, nil
+}

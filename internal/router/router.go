@@ -62,6 +62,15 @@ type Options struct {
 	// DefaultTopK caps merged rankings when a request does not specify k.
 	// 0 means 10, matching the engine and shard servers.
 	DefaultTopK int
+	// DisableAutoRepair turns off the post-partial-write healing hook: by
+	// default a write whose replication partially failed marks the failed
+	// shards dirty and the router runs an anti-entropy repair pass
+	// (internal/fleet) against them — under the write mutex, so the
+	// backfill lands before any later write and the healed replica keeps
+	// the fleet order — retrying on subsequent writes until the shards
+	// come back. Disable it only when an external repair loop owns
+	// convergence.
+	DisableAutoRepair bool
 }
 
 // ErrBadQuery marks client-side query errors — unparseable SQL or a
@@ -76,8 +85,20 @@ type Router struct {
 	timeout  time.Duration
 	defaultK int
 	// writeMu serializes routed writes into one fleet-wide total order
-	// (see write.go).
+	// (see write.go). The repair hook and the dirty set below are
+	// guarded by it too: repair must not interleave with writes.
 	writeMu sync.Mutex
+	// autoRepair enables the post-partial-write healing hook; dirty holds
+	// the shard indexes whose last replication failed and that repair has
+	// not yet converged.
+	autoRepair bool
+	dirty      map[int]bool
+	// interpMu guards the front-door /interpret memo cache (cache.go);
+	// interpGen is the invalidation generation that fences stale fills.
+	interpMu                 sync.Mutex
+	interpCache              map[string]*server.InterpretResponse
+	interpGen                uint64
+	interpHits, interpMisses uint64
 }
 
 // New builds a router over the given shards (ordered by shard index).
@@ -98,7 +119,14 @@ func New(shards []Shard, opts Options) (*Router, error) {
 	if k <= 0 {
 		k = 10
 	}
-	return &Router{shards: append([]Shard(nil), shards...), timeout: t, defaultK: k}, nil
+	return &Router{
+		shards:      append([]Shard(nil), shards...),
+		timeout:     t,
+		defaultK:    k,
+		autoRepair:  !opts.DisableAutoRepair,
+		dirty:       map[int]bool{},
+		interpCache: map[string]*server.InterpretResponse{},
+	}, nil
 }
 
 // NumShards returns the fleet size.
@@ -418,10 +446,22 @@ func firstSuccess[T any](r *Router, ctx context.Context, op, target string) (*T,
 }
 
 // InterpretChain asks the fleet for a predicate's interpretation
-// diagnostics. Interpretation state is replicated, so the router tries
-// shards in index order and returns the first success.
-func (r *Router) InterpretChain(ctx context.Context, predicate string) (*server.InterpretResponse, error) {
-	return firstSuccess[server.InterpretResponse](r, ctx, "interpret", "/interpret?predicate="+queryEscape(predicate))
+// diagnostics, answering from the router's memo cache when it can (see
+// cache.go — interpretation state is replicated and identical on every
+// shard, so the front door may answer without a hop). cached reports
+// whether the answer came from the cache. On a miss the router tries
+// shards in index order and memoizes the first success.
+func (r *Router) InterpretChain(ctx context.Context, predicate string) (resp *server.InterpretResponse, cached bool, err error) {
+	memo, gen := r.interpretCached(predicate)
+	if memo != nil {
+		return memo, true, nil
+	}
+	resp, err = firstSuccess[server.InterpretResponse](r, ctx, "interpret", "/interpret?predicate="+queryEscape(predicate))
+	if err != nil {
+		return nil, false, err
+	}
+	r.interpretStore(predicate, resp, gen)
+	return resp, false, nil
 }
 
 // ownerOf returns the index of the shard whose entity range contains id,

@@ -66,10 +66,17 @@ type ReviewResult struct {
 	// corpus-global state.
 	Replicated int `json:"replicated"`
 	// Partial is true when at least one replica failed to absorb the
-	// write; its interpretations may drift until it recovers or is
-	// re-synced by compaction. ShardErrors names the failures.
+	// write. ShardErrors names the failures. Unless auto-repair is
+	// disabled, the router immediately runs an anti-entropy pass against
+	// the failed shards; Healed lists the ones that converged before this
+	// response was sent (the rest stay dirty and are retried on
+	// subsequent writes).
 	Partial     bool           `json:"partial,omitempty"`
 	ShardErrors map[int]string `json:"shard_errors,omitempty"`
+	Healed      []int          `json:"healed,omitempty"`
+	// fresh counts replicas that newly applied the write (200, not a 409
+	// no-op) — it decides whether the interpret memo must invalidate.
+	fresh int
 }
 
 // writeBody renders the shard-API request body for one review; replica
@@ -111,6 +118,16 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 
+	// Heal-before-write: if earlier replications left shards dirty, run
+	// the repair pass BEFORE this write fans out, so a shard that just
+	// came back receives its missed suffix first and then this write —
+	// its journal keeps the fleet order and its state stays
+	// byte-identical (repair.go).
+	var healedBefore []int
+	if r.autoRepair && len(r.dirty) > 0 {
+		healedBefore = r.repairDirtyLocked(ctx)
+	}
+
 	ownerCtx, cancel := context.WithTimeout(ctx, r.timeout)
 	status, respBody, err := r.shards[owner].Backend.Do(ownerCtx, "POST", "/reviews", body)
 	cancel()
@@ -127,6 +144,18 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 		heal := &ReviewResult{OwnerShard: owner}
 		r.replicate(ctx, owner, replicaBody, heal)
 		heal.Partial = len(heal.ShardErrors) > 0
+		if heal.fresh > 0 {
+			// Only a replica that newly absorbed the write changes
+			// replicated state; an all-409 duplicate retry is a no-op and
+			// must not wipe the hot memo.
+			r.invalidateInterpret()
+		}
+		if heal.Partial && r.autoRepair {
+			r.markDirtyLocked(heal.ShardErrors)
+			heal.Healed = mergeHealed(healedBefore, r.repairDirtyLocked(ctx))
+		} else {
+			heal.Healed = healedBefore
+		}
 		return nil, &StatusError{Status: status, Body: respBody, Shard: owner, Heal: heal}
 	}
 	if status != http.StatusOK {
@@ -140,7 +169,39 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 	res := &ReviewResult{ReviewResponse: ack, OwnerShard: owner}
 	r.replicate(ctx, owner, replicaBody, res)
 	res.Partial = len(res.ShardErrors) > 0
+	// The fleet accepted new evidence; the front door's interpretation
+	// memo is stale.
+	r.invalidateInterpret()
+	res.Healed = healedBefore
+	if r.autoRepair && res.Partial {
+		// A replica missed THIS write: one immediate repair attempt while
+		// the write mutex is still held — a transient fault heals before
+		// any later write can land, keeping the fleet order intact.
+		r.markDirtyLocked(res.ShardErrors)
+		res.Healed = mergeHealed(res.Healed, r.repairDirtyLocked(ctx))
+	}
 	return res, nil
+}
+
+// mergeHealed concatenates two healed-shard lists without duplicates (a
+// shard can converge in the heal-before-write pass, fail THIS write's
+// fan-out, and converge again in the post-write pass — one entry, not
+// two).
+func mergeHealed(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, lst := range [][]int{a, b} {
+		for _, i := range lst {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	return out
 }
 
 // replicate fans the global half of a committed write out to every
@@ -173,6 +234,9 @@ func (r *Router) replicate(ctx context.Context, owner int, replicaBody []byte, r
 				// retried write after a partial failure); that is the
 				// desired end state, not an error.
 				res.Replicated++
+				if status == http.StatusOK {
+					res.fresh++
+				}
 			default:
 				if res.ShardErrors == nil {
 					res.ShardErrors = map[int]string{}

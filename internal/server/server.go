@@ -15,6 +15,8 @@
 //	GET  /evidence?entity=&attribute=   marker summary with provenance
 //	GET  /topk?predicate=...&k=...      Threshold-Algorithm top-k
 //	POST /reviews                       ingest one review (journaled live enrichment)
+//	GET  /journal/status                journal position + prefix hash (anti-entropy)
+//	GET  /journal/records?from=&limit=  stream journal records (anti-entropy backfill)
 //
 // Every response is JSON; errors are {"error": "..."} with a 4xx/5xx
 // status.
@@ -81,6 +83,18 @@ type IngestOptions struct {
 	// fleet-wide. Direct writes for unserved entities are 404 regardless,
 	// so ghosts are rejected by the range owner before anything mutates.
 	AcceptUnowned bool
+	// JournalDir, when non-empty, exposes the node's journal introspection
+	// surface — GET /journal/status and GET /journal/records — and the
+	// journal position in /healthz. It is the one surface operators and
+	// the anti-entropy repair loop (internal/fleet) share: the status
+	// reports how far this node's fleet-ordered delta log reaches and a
+	// prefix hash over it, and the records endpoint streams the tail a
+	// lagging peer needs. Empty for volatile (unjournaled) ingestion.
+	JournalDir string
+	// JournalLastSeq seeds the last-applied sequence reported by /healthz:
+	// the sequence of the final journal record replayed at load. The
+	// server advances it as /reviews appends.
+	JournalLastSeq uint64
 }
 
 // Options configure a Server.
@@ -114,6 +128,10 @@ type Server struct {
 	started time.Time
 	// mu is the reader/writer exclusion around db. See the type comment.
 	mu sync.RWMutex
+	// appliedSeq is the journal sequence of the last applied review
+	// (guarded by mu): seeded from the load-time replay, advanced by
+	// /reviews. /healthz and /journal/status report it.
+	appliedSeq uint64
 }
 
 // New wraps a built database in an HTTP serving surface. The database
@@ -123,6 +141,9 @@ type Server struct {
 // reader through the server's lock.
 func New(db *core.DB, opts Options) *Server {
 	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), started: time.Now()}
+	if opts.Ingest != nil {
+		s.appliedSeq = opts.Ingest.JournalLastSeq
+	}
 	s.mux.HandleFunc("/healthz", s.read(get(s.handleHealth)))
 	s.mux.HandleFunc("/schema", s.read(get(s.handleSchema)))
 	s.mux.HandleFunc("/query", s.read(s.handleQuery))
@@ -130,6 +151,8 @@ func New(db *core.DB, opts Options) *Server {
 	s.mux.HandleFunc("/evidence", s.read(get(s.handleEvidence)))
 	s.mux.HandleFunc("/topk", s.read(get(s.handleTopK)))
 	s.mux.HandleFunc("/reviews", buffered(s.handleReviews))
+	s.mux.HandleFunc("/journal/status", s.read(get(s.handleJournalStatus)))
+	s.mux.HandleFunc("/journal/records", s.read(get(s.handleJournalRecords)))
 	// Unknown paths get the JSON error envelope too, not the mux's
 	// plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +364,19 @@ type HealthResponse struct {
 	Source string `json:"source"`
 	// Snapshot carries the artifact metadata when Source is "snapshot".
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
+	// Journal reports the node's position in the fleet-ordered delta log
+	// when journaled ingestion is enabled — the same introspection surface
+	// the anti-entropy repair loop reads through /journal/status.
+	Journal *JournalHealth `json:"journal,omitempty"`
+}
+
+// JournalHealth is the /healthz journal-position report.
+type JournalHealth struct {
+	// LastAppliedSeq is the journal sequence of the last review applied to
+	// the serving database (replayed at load or ingested since).
+	LastAppliedSeq uint64 `json:"last_applied_seq"`
+	// Segments is the number of on-disk journal segment files.
+	Segments int `json:"segments"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -357,6 +393,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Source:        source,
 		Snapshot:      s.opts.Snapshot,
+		Journal:       s.journalHealth(),
 	})
 }
 
@@ -712,6 +749,9 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 		// Surfacing the inconsistency beats hiding it.
 		WriteError(w, http.StatusInternalServerError, "apply (journaled at seq %d): %v", seq, err)
 		return
+	}
+	if seq > 0 {
+		s.appliedSeq = seq
 	}
 	WriteJSON(w, http.StatusOK, ReviewResponse{
 		ReviewID:    rv.ID,
