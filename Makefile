@@ -1,7 +1,7 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke compact rebalance
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke compact rebalance
 
 verify: fmtcheck
 	go vet ./...
@@ -80,6 +80,13 @@ journal-smoke:
 # byte-identically to the enriched monolith.
 rebalance-smoke:
 	go run ./cmd/opinedbb -rebalance-smoke
+
+# Load smoke test: build a journaled 4-shard in-process fleet on a
+# loopback listener, drive 5s of mixed read/write traffic over real TCP,
+# and fail unless every operation kind served with zero errors and
+# measured latency percentiles.
+load-smoke:
+	go run ./cmd/opinedbload -smoke -duration 5s -concurrency 8
 
 # Fold a served snapshot's review journal back into a fresh artifact:
 #   make compact SNAP=opinedb.snap     (or SNAP=hotel.manifest.json)

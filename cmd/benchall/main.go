@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +26,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -134,11 +136,23 @@ func main() {
 	}
 	if run("sharding") {
 		fmt.Println("running sharding (scatter-gather router vs monolith)...")
-		fmt.Println(harness.FormatSharding(harness.RunSharding(*seed + 800)))
+		fmt.Println(harness.FormatSharding(harness.RunSharding(context.Background(), *seed+800)))
 	}
 	if run("rebalance") {
 		fmt.Println("running rebalance (online N→M re-partitioning vs full rebuild)...")
-		fmt.Println(harness.FormatRebalance(harness.RunRebalance(*seed + 900)))
+		fmt.Println(harness.FormatRebalance(harness.RunRebalance(context.Background(), *seed+900)))
+	}
+	if run("load") {
+		fmt.Println("running load (mixed-traffic SLOs + hot-path A/Bs)...")
+		loadRes := harness.RunLoad(context.Background(), *seed+1000)
+		fmt.Println(harness.FormatLoadBench(loadRes))
+		if data, err := json.MarshalIndent(loadRes, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_load.json", data, 0o644); err != nil {
+				log.Printf("BENCH_load.json: %v", err)
+			} else {
+				fmt.Println("wrote BENCH_load.json")
+			}
+		}
 	}
 
 	fmt.Printf("total time: %.1fs\n", time.Since(start).Seconds())

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -193,7 +194,7 @@ func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, seed i
 			log.Fatalf("verify: %v", err)
 		}
 		builtFP, n := harness.QueryFingerprint(d, db)
-		routedFP, _ := harness.QueryFingerprint(d, rt)
+		routedFP, _ := harness.QueryFingerprint(d, rt.Engine(context.Background()))
 		if builtFP != routedFP {
 			log.Fatalf("verify: sharded fleet diverges from the in-memory build over %d query-set entries", n)
 		}

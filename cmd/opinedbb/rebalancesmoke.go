@@ -125,7 +125,7 @@ func runRebalanceSmoke(seed int64) {
 		if err != nil {
 			log.Fatalf("rebalance-smoke: %s: load fleet: %v", step, err)
 		}
-		gotFP, _ := harness.QueryFingerprint(d, frt)
+		gotFP, _ := harness.QueryFingerprint(d, frt.Engine(context.Background()))
 		if gotFP != wantFP {
 			log.Fatalf("rebalance-smoke: %s: fleet diverges from the enriched monolith over %d query-set entries", step, n)
 		}

@@ -56,10 +56,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/snapshot"
 )
+
+// metricsReg is the process-wide registry behind GET /metrics. All
+// roles share it: in -router mode the front door and every in-process
+// shard feed one registry, so a single scrape covers both tiers.
+var metricsReg = obs.NewRegistry()
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -121,7 +127,10 @@ func attachJournal(db *core.DB, dir string, syncEvery int, acceptUnowned bool) *
 		log.Printf("ingestion enabled without a journal; reviews ingested live will NOT survive a restart")
 		return &server.IngestOptions{AcceptUnowned: acceptUnowned}
 	}
-	j, err := journal.Open(dir, journal.Options{SyncEvery: syncEvery})
+	j, err := journal.Open(dir, journal.Options{
+		SyncEvery:    syncEvery,
+		SyncObserver: server.FsyncObserver(metricsReg),
+	})
 	if err != nil {
 		log.Fatalf("journal %s: %v", dir, err)
 	}
@@ -208,6 +217,7 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 		EntityName:  entityNamer(db),
 		Snapshot:    snapInfo,
 		Ingest:      ingest,
+		Metrics:     metricsReg,
 	})
 }
 
@@ -233,6 +243,7 @@ func shardHandler(manifestPath string, index, topK int, journalMode string, jour
 		EntityName:  entityNamer(db),
 		Snapshot:    info,
 		Ingest:      ingest,
+		Metrics:     metricsReg,
 	})
 }
 
@@ -240,7 +251,7 @@ func shardHandler(manifestPath string, index, topK int, journalMode string, jour
 // -router-backends is given, otherwise every shard loaded in process.
 // repairEvery > 0 starts a background anti-entropy loop over the fleet.
 func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int, repairEvery time.Duration) http.Handler {
-	opts := router.Options{DefaultTopK: topK}
+	opts := router.Options{DefaultTopK: topK, Metrics: metricsReg}
 	if backendList == "" {
 		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
 			Options: opts,
@@ -258,6 +269,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 					EntityName:  entityNamer(db),
 					Snapshot:    snapshotInfo(path, meta),
 					Ingest:      attachJournal(db, dir, journalSync, true),
+					Metrics:     metricsReg,
 				}
 			},
 		})

@@ -1,0 +1,172 @@
+// Command opinedbload drives configurable mixed read/write traffic at
+// an OpineDB routed fleet and reports per-operation SLO percentiles.
+//
+// Two modes:
+//
+//   - Against a live fleet: `opinedbload -addr http://127.0.0.1:8080`.
+//     The request vocabulary (predicates and entity ids) is regenerated
+//     from -seed, so the target should be a fleet built from the same
+//     small corpus and seed (as `opinedbd`'s defaults and the smoke
+//     targets do).
+//
+//   - Self-contained smoke: `opinedbload -smoke` builds a journaled
+//     in-process fleet, serves it on a loopback listener, runs the mix
+//     over real TCP, and exits non-zero unless the run completed with
+//     zero request errors and non-zero latency percentiles. This is
+//     what `make load-smoke` and CI run.
+//
+// The mix is weights, not percentages: `-mix query=4,topk=3,interpret=2,reviews=1`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running fleet front door (e.g. http://127.0.0.1:8080)")
+	smoke := flag.Bool("smoke", false, "build an in-process fleet on a loopback listener and load it (self-check mode)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive traffic")
+	concurrency := flag.Int("concurrency", 8, "number of concurrent workers")
+	mixSpec := flag.String("mix", "query=4,topk=3,interpret=2,reviews=1", "operation weights")
+	seed := flag.Int64("seed", 1, "seed for corpus vocabulary and request sequence")
+	shards := flag.Int("shards", 4, "fleet size in -smoke mode")
+	k := flag.Int("k", 10, "result size for query/topk operations")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of the SLO table")
+	flag.Parse()
+
+	if (*addr == "") == !*smoke {
+		log.Fatal("opinedbload: exactly one of -addr or -smoke is required")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("opinedbload: %v", err)
+	}
+
+	ctx := context.Background()
+	opts := harness.LoadOptions{
+		Mix:         mix,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Seed:        *seed,
+		K:           *k,
+	}
+
+	var (
+		target harness.LoadTarget
+		vocab  *corpus.Dataset
+	)
+	if *smoke {
+		dir, err := os.MkdirTemp("", "opinedbload-*")
+		if err != nil {
+			log.Fatalf("opinedbload: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		log.Printf("building %d-shard journaled fleet (seed %d)...", *shards, *seed)
+		fl, err := harness.BuildLoadFleet(dir, harness.LoadFleetOptions{Shards: *shards, Seed: *seed})
+		if err != nil {
+			log.Fatalf("opinedbload: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("opinedbload: %v", err)
+		}
+		srv := &http.Server{Handler: fl.Handler}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base := "http://" + ln.Addr().String()
+		log.Printf("fleet listening on %s", base)
+		target = harness.HTTPLoadTarget(base, nil)
+		vocab = fl.Dataset
+	} else {
+		genCfg := corpus.SmallConfig()
+		genCfg.Seed = *seed
+		vocab = corpus.GenerateHotels(genCfg)
+		target = harness.HTTPLoadTarget(*addr, nil)
+	}
+
+	res := harness.RunLoadMix(ctx, target, vocab, opts)
+	if *jsonOut {
+		data, _ := json.MarshalIndent(res, "", "  ")
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(harness.FormatLoad(res))
+	}
+	if res.Err != "" {
+		os.Exit(1)
+	}
+	if *smoke {
+		if err := checkSmoke(res); err != nil {
+			log.Fatalf("opinedbload: smoke FAILED: %v", err)
+		}
+		log.Printf("smoke OK: %d ops, 0 errors", res.TotalOps)
+	}
+}
+
+// parseMix reads "query=4,topk=3,interpret=2,reviews=1"; omitted ops
+// get weight 0.
+func parseMix(spec string) (harness.LoadMix, error) {
+	var m harness.LoadMix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "query":
+			m.Query = w
+		case "topk":
+			m.TopK = w
+		case "interpret":
+			m.Interpret = w
+		case "reviews":
+			m.Reviews = w
+		default:
+			return m, fmt.Errorf("unknown op %q (want query|topk|interpret|reviews)", name)
+		}
+	}
+	if m.Query+m.TopK+m.Interpret+m.Reviews == 0 {
+		return m, fmt.Errorf("mix %q has no operations", spec)
+	}
+	return m, nil
+}
+
+// checkSmoke enforces the self-check contract: traffic flowed on every
+// configured op, nothing errored, and latencies were actually measured.
+func checkSmoke(res harness.LoadResult) error {
+	if res.TotalOps == 0 {
+		return fmt.Errorf("no operations completed")
+	}
+	if res.TotalErrors != 0 {
+		return fmt.Errorf("%d request errors", res.TotalErrors)
+	}
+	for op, st := range res.PerOp {
+		if st.Ops == 0 {
+			continue
+		}
+		if st.P99Micros <= 0 {
+			return fmt.Errorf("op %s: zero p99 over %d ops", op, st.Ops)
+		}
+	}
+	return nil
+}

@@ -291,7 +291,7 @@ func routedFingerprint(t *testing.T, manifestPath string) string {
 	if err != nil {
 		t.Fatalf("load fleet %s: %v", manifestPath, err)
 	}
-	fp, n := harness.QueryFingerprint(fixData, rt)
+	fp, n := harness.QueryFingerprint(fixData, rt.Engine(context.Background()))
 	if n != fixN {
 		t.Fatalf("fingerprint covers %d entries, want %d", n, fixN)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -84,8 +85,9 @@ type RebalanceResult struct {
 
 // RunRebalance builds a small hotel corpus, writes a 4-shard fleet, and
 // measures online rebalancing (4→2, then 2→8) against the full-rebuild
-// baseline, checking byte-identity at every step.
-func RunRebalance(seed int64) RebalanceResult {
+// baseline, checking byte-identity at every step. ctx bounds every
+// routed call.
+func RunRebalance(ctx context.Context, seed int64) RebalanceResult {
 	var res RebalanceResult
 	genCfg := corpus.SmallConfig()
 	genCfg.Seed = seed
@@ -151,7 +153,7 @@ func RunRebalance(seed int64) RebalanceResult {
 			res.Err = fmt.Sprintf("load %d-shard fleet: %v", to, err)
 			return res
 		}
-		fp, _ := QueryFingerprint(d, rt)
+		fp, _ := QueryFingerprint(d, rt.Engine(ctx))
 		step.Identical = fp == monolithFP
 		res.Steps = append(res.Steps, step)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -60,8 +61,9 @@ func shardingWorkload(d *corpus.Dataset, limit int) [][]string {
 
 // RunSharding builds a small hotel corpus, derives router fleets of
 // 1/2/4/8 in-process shards, and measures scatter-gather overhead and
-// byte-identity against the monolithic engine.
-func RunSharding(seed int64) ShardingResult {
+// byte-identity against the monolithic engine. ctx bounds every routed
+// call.
+func RunSharding(ctx context.Context, seed int64) ShardingResult {
 	var res ShardingResult
 	genCfg := corpus.SmallConfig()
 	genCfg.Seed = seed
@@ -120,9 +122,10 @@ func RunSharding(seed int64) ShardingResult {
 			return res
 		}
 		lv.PartitionSeconds = time.Since(start).Seconds()
-		routedFP, _ := QueryFingerprint(d, rt)
+		eng := rt.Engine(ctx)
+		routedFP, _ := QueryFingerprint(d, eng)
 		lv.Identical = routedFP == monolithFP
-		if lv.QueryMicros, lv.TopKMicros, err = timeEngine(rt); err != nil {
+		if lv.QueryMicros, lv.TopKMicros, err = timeEngine(eng); err != nil {
 			res.Err = fmt.Sprintf("%d shards: %v", shards, err)
 			return res
 		}

@@ -1,0 +1,111 @@
+package journal
+
+// Incremental prefix hashes: the in-memory sibling of PrefixHashAt.
+//
+// The anti-entropy control plane (internal/fleet) proves "node B's
+// journal is a pure prefix of node A's" by comparing SHA-256 chain
+// hashes at matching sequence numbers. StatDir/PrefixHashAt compute
+// those hashes by re-reading journal segments from disk — fine for a
+// one-shot probe, but the router's heal-before-write path probes the
+// reference node once per repair pass, so a busy fleet rescans the same
+// megabytes over and over while holding the fleet-wide write lock.
+//
+// PrefixHashes keeps the whole chain in memory: one scan at startup
+// captures the hash after every record, and each subsequent append
+// extends the chain with exactly the bytes statUpTo would have hashed.
+// After that, any prefix hash — full-journal or ?at=K — is an O(1)
+// lookup. Memory cost is one 64-hex string per record (~100 B), so even
+// a million-record journal stays under ~100 MB and a typical one is
+// negligible; compaction replaces the journal wholesale and builds a
+// fresh chain.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// PrefixHashes is a journal's SHA-256 prefix-hash chain held in memory
+// and extended append-by-append. Safe for concurrent use.
+type PrefixHashes struct {
+	mu    sync.Mutex
+	chain hash.Hash
+	// sums[i] is the hex hash over records 1..i; sums[0] is the empty
+	// journal's hash. Journal sequences start at 1 and are consecutive,
+	// so len(sums)-1 is the last covered sequence.
+	sums []string
+}
+
+// NewPrefixHashes scans dir once and returns the chain covering every
+// intact record currently on disk. A missing directory is the empty
+// journal. Tail damage is not an error (the truncated records simply
+// are not part of the chain, matching what Open would recover).
+func NewPrefixHashes(dir string) (*PrefixHashes, error) {
+	p := &PrefixHashes{chain: sha256.New()}
+	p.sums = append(p.sums, hex.EncodeToString(p.chain.Sum(nil)))
+	var lenBuf [4]byte
+	_, err := scanPrefix(dir, 0, func(seq uint64, payload []byte) error {
+		if seq != uint64(len(p.sums)) {
+			return fmt.Errorf("%w: record sequence %d after %d", ErrJournalFormat, seq, len(p.sums)-1)
+		}
+		// Identical hashing to statUpTo: length-prefix then payload.
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+		p.chain.Write(lenBuf[:])
+		p.chain.Write(payload)
+		p.sums = append(p.sums, hex.EncodeToString(p.chain.Sum(nil)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Append extends the chain with the record journaled at seq. A sequence
+// the chain already covers is a no-op (the startup scan may have read a
+// record whose append is only now being reported); a sequence past the
+// next expected one means the caller skipped a record and the chain can
+// no longer vouch for the journal — that is an error, and the caller
+// should fall back to on-disk scans.
+func (p *PrefixHashes) Append(seq uint64, rv Review) error {
+	payload, err := encodeReview(rv)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	next := uint64(len(p.sums))
+	if seq < next {
+		return nil // already covered
+	}
+	if seq > next {
+		return fmt.Errorf("journal: prefix hash chain ends at %d, cannot absorb seq %d", next-1, seq)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	p.chain.Write(lenBuf[:])
+	p.chain.Write(payload)
+	p.sums = append(p.sums, hex.EncodeToString(p.chain.Sum(nil)))
+	return nil
+}
+
+// At returns the hash covering records 1..seq and the sequence actually
+// covered — min(seq, last), exactly PrefixHashAt's contract. At(0)
+// covers the whole chain.
+func (p *PrefixHashes) At(seq uint64) (hash string, covered uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	last := uint64(len(p.sums) - 1)
+	if seq == 0 || seq > last {
+		seq = last
+	}
+	return p.sums[seq], seq
+}
+
+// Last returns the full-chain hash and the last covered sequence.
+func (p *PrefixHashes) Last() (hash string, seq uint64) {
+	return p.At(0)
+}

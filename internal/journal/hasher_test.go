@@ -1,0 +1,201 @@
+package journal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hasherReview fabricates the i-th test review.
+func hasherReview(i int) Review {
+	return Review{
+		ID:       fmt.Sprintf("r%04d", i),
+		EntityID: fmt.Sprintf("e%02d", i%7),
+		Reviewer: "hasher",
+		Day:      i,
+		Text:     fmt.Sprintf("review number %d with some text to fill the record", i),
+	}
+}
+
+// TestPrefixHashesMatchOnDiskScans: the in-memory chain must agree with
+// StatDir and PrefixHashAt at every sequence, across segment rolls,
+// whether the chain was built by scanning or by live appends.
+func TestPrefixHashesMatchOnDiskScans(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force several rolls over 40 records.
+	j, err := Open(dir, Options{SyncEvery: 8, SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Chain built live, starting from the empty journal.
+	live, err := NewPrefixHashes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash, seq := live.Last(); seq != 0 {
+		t.Fatalf("empty chain covers seq %d (%s)", seq, hash)
+	}
+
+	const n = 40
+	for i := 1; i <= n; i++ {
+		rv := hasherReview(i)
+		seq, err := j.Append(rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("append %d got seq %d", i, seq)
+		}
+		if err := live.Append(seq, rv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-journal hash agrees with StatDir.
+	st, err := StatDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("want several segments, got %d", st.Segments)
+	}
+	if hash, seq := live.Last(); hash != st.PrefixHash || seq != st.LastSeq {
+		t.Fatalf("live chain (%s, %d) != StatDir (%s, %d)", hash, seq, st.PrefixHash, st.LastSeq)
+	}
+
+	// Chain rebuilt from disk agrees everywhere.
+	scanned, err := NewPrefixHashes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := uint64(1); at <= n; at++ {
+		want, wantSeq, err := PrefixHashAt(dir, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, p := range map[string]*PrefixHashes{"live": live, "scanned": scanned} {
+			if hash, seq := p.At(at); hash != want || seq != wantSeq {
+				t.Fatalf("%s chain At(%d) = (%s, %d), want (%s, %d)", name, at, hash, seq, want, wantSeq)
+			}
+		}
+	}
+
+	// At past the end clamps to the last sequence, like PrefixHashAt.
+	if hash, seq := live.At(n + 100); seq != n || hash != st.PrefixHash {
+		t.Fatalf("At(past end) = (%s, %d)", hash, seq)
+	}
+}
+
+// TestPrefixHashesAppendContract: re-appending a covered sequence is a
+// no-op; skipping a sequence is an error.
+func TestPrefixHashesAppendContract(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rv := hasherReview(1)
+	if _, err := j.Append(rv); err != nil {
+		t.Fatal(err)
+	}
+
+	// The chain scanned the journal after the append landed on disk: the
+	// follow-up Append(1, ...) must be a covered-sequence no-op.
+	p, err := NewPrefixHashes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, seq := p.Last()
+	if seq != 1 {
+		t.Fatalf("chain covers %d, want 1", seq)
+	}
+	if err := p.Append(1, rv); err != nil {
+		t.Fatalf("covered append: %v", err)
+	}
+	if after, seq := p.Last(); after != before || seq != 1 {
+		t.Fatal("covered append changed the chain")
+	}
+
+	// A gap breaks the chain's guarantee and must be refused.
+	if err := p.Append(3, hasherReview(3)); err == nil {
+		t.Fatal("gap append accepted")
+	}
+}
+
+// TestPrefixHashesConcurrent: readers may probe the chain while a writer
+// extends it (run under -race).
+func TestPrefixHashesConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPrefixHashes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 500; i++ {
+			if err := p.Append(uint64(i), hasherReview(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			p.At(uint64(i % 50))
+			p.Last()
+		}
+	}()
+	wg.Wait()
+	if _, seq := p.Last(); seq != 500 {
+		t.Fatalf("chain covers %d, want 500", seq)
+	}
+}
+
+// TestSyncObserver: every real fsync reports a duration; batched appends
+// under SyncEvery do not over-report.
+func TestSyncObserver(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var durations []time.Duration
+	j, err := Open(dir, Options{
+		SyncEvery: 4,
+		SyncObserver: func(d time.Duration) {
+			mu.Lock()
+			durations = append(durations, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if _, err := j.Append(hasherReview(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 8 appends at SyncEvery=4 → exactly 2 batch fsyncs; Close finds
+	// nothing unsynced and must not observe a third.
+	if len(durations) != 2 {
+		t.Fatalf("observed %d fsyncs, want 2", len(durations))
+	}
+	for _, d := range durations {
+		if d < 0 {
+			t.Fatalf("negative fsync duration %v", d)
+		}
+	}
+}

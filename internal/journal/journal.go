@@ -56,6 +56,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SegmentMagic identifies a journal segment file; it is the first 8 bytes.
@@ -97,6 +98,12 @@ type Options struct {
 	// SegmentMaxBytes rolls to a new segment file once the active one
 	// exceeds this size. 0 means DefaultSegmentMaxBytes.
 	SegmentMaxBytes int64
+	// SyncObserver, when non-nil, is called after every real fsync of the
+	// active segment with the time the fsync took. It runs under the
+	// journal's internal lock and must not call back into the journal;
+	// it exists so a serving process can feed an fsync-latency histogram
+	// without this package importing a metrics dependency.
+	SyncObserver func(d time.Duration)
 }
 
 // RecoveryInfo describes what Open found (and removed) at the tail of the
@@ -420,8 +427,12 @@ func (j *Journal) syncLocked() error {
 	if j.unsynced == 0 && j.synced == j.nextSeq-1 {
 		return nil
 	}
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: sync: %w", err)
+	}
+	if j.opts.SyncObserver != nil {
+		j.opts.SyncObserver(time.Since(start))
 	}
 	j.synced = j.nextSeq - 1
 	j.unsynced = 0

@@ -1,0 +1,415 @@
+// Package obs is a dependency-free metrics registry for the opinedb
+// serving stack: counters, gauges, and log-bucketed latency histograms
+// with streaming p50/p95/p99 estimates, exposed in the Prometheus text
+// exposition format on GET /metrics.
+//
+// Design constraints, in order:
+//
+//   - Zero dependencies. The repo is stdlib-only; this package must be
+//     importable from the server hot path without pulling anything in.
+//   - Lock-free on the hot path. Counter/Gauge/Histogram updates are
+//     single atomic ops (plus one CAS loop for the histogram sum);
+//     registry locks are taken only at series-creation and scrape time.
+//   - Deterministic exposition. Families and series render in sorted
+//     order so scrapes diff cleanly and tests can assert on output.
+//
+// Histograms use log-spaced (doubling) buckets from 1µs to ~9 minutes,
+// which keeps relative quantile-estimation error bounded (< one octave)
+// across the six decades a serving stack actually spans — a 60µs memo
+// hit and a 30s repair pass land in meaningfully different buckets.
+// Quantiles are estimated by linear interpolation inside the target
+// bucket and exported as derived gauge families (`<name>_p50` etc.),
+// since the Prometheus histogram type has no quantile series of its own.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates what a family holds; a name registered as one
+// kind cannot be reused as another.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; gauges are not hot-path).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into log-spaced buckets and keeps an
+// exact sum/count. All methods are safe for concurrent use and lock-free.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+}
+
+// defaultBounds: 1µs doubling through ~9m (1e-6 * 2^29 ≈ 537s), 30
+// buckets + the implicit +Inf. Covers everything from a cache hit to a
+// full-journal repair pass.
+func defaultBounds() []float64 {
+	bounds := make([]float64, 30)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Observe records one observation (in seconds for latency histograms,
+// but the unit is the caller's).
+func (h *Histogram) Observe(v float64) {
+	// Find the first bucket whose upper bound admits v. Linear scan: 30
+	// comparisons worst case, branch-predictable, no allocation — faster
+	// in practice than sort.SearchFloat64s for this bucket count.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket containing the target rank. Returns 0 with no
+// observations. Values in the +Inf bucket clamp to the largest finite
+// bound — the estimate is a floor, not a fabrication.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= target {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (target - float64(cum)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels  []Label
+	key     string // canonical sorted k="v" join, used for ordering
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey canonicalizes a label set: sorted by key, escaped, joined.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// lookup get-or-creates the (family, series) pair, panicking on a kind
+// mismatch — reusing a metric name across kinds is a programming error
+// the process should fail loudly on, exactly like a duplicate route.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: append([]Label(nil), labels...), key: key}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			bounds := defaultBounds()
+			s.hist = &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter get-or-creates a counter series. Calling again with the same
+// name and labels returns the same instance.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, kindCounter, labels).counter
+}
+
+// Gauge get-or-creates a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, kindGauge, labels).gauge
+}
+
+// Histogram get-or-creates a histogram series with the default
+// log-spaced latency buckets.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels).hist
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName renders name{labels} with an optional extra label appended
+// (used for the histogram le bound).
+func seriesName(name string, labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return name
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// quantileExports are the derived per-histogram gauge families.
+var quantileExports = []struct {
+	suffix string
+	q      float64
+}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}}
+
+// WriteText renders every family in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered: families by name,
+// series by canonical label key. Histogram families additionally emit
+// `<name>_p50/_p95/_p99` gauge families with interpolated quantile
+// estimates.
+func (r *Registry) WriteText(w *strings.Builder) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		ordered := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ordered = append(ordered, s)
+		}
+		f.mu.Unlock()
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ordered {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), s.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(w, "%s %s\n", seriesName(f.name, s.labels), formatFloat(s.gauge.Value()))
+			case kindHistogram:
+				h := s.hist
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.buckets[i].Load()
+					fmt.Fprintf(w, "%s %d\n",
+						seriesName(f.name+"_bucket", s.labels, L("le", formatFloat(bound))), cum)
+				}
+				cum += h.buckets[len(h.bounds)].Load()
+				fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", s.labels, L("le", "+Inf")), cum)
+				fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", s.labels), formatFloat(h.Sum()))
+				fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", s.labels), h.Count())
+			}
+		}
+		if f.kind == kindHistogram {
+			for _, qe := range quantileExports {
+				fmt.Fprintf(w, "# TYPE %s%s gauge\n", f.name, qe.suffix)
+				for _, s := range ordered {
+					fmt.Fprintf(w, "%s %s\n",
+						seriesName(f.name+qe.suffix, s.labels), formatFloat(s.hist.Quantile(qe.q)))
+				}
+			}
+		}
+	}
+}
+
+// Text renders the registry to a string (scrape body).
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler returns the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		body := r.Text()
+		if req.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write([]byte(body))
+	})
+}

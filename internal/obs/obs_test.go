@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketMath: table-driven placement of observations into
+// the log-spaced buckets, including the exact-boundary and +Inf cases.
+func TestHistogramBucketMath(t *testing.T) {
+	cases := []struct {
+		name       string
+		value      float64
+		wantBucket int // index into buckets (len(bounds) == +Inf)
+	}{
+		{"below first bound", 5e-7, 0},
+		{"exactly first bound", 1e-6, 0},
+		{"just past first bound", 1.1e-6, 1},
+		{"mid range", 3e-6, 2}, // bounds: 1e-6, 2e-6, 4e-6 ...
+		{"exactly 4us bound", 4e-6, 2},
+		{"one millisecond", 1e-3, 10}, // 1e-6*2^10 = 1.024e-3 >= 1e-3
+		{"one second", 1.0, 20},       // 1e-6*2^20 ≈ 1.049 >= 1
+		{"nine minutes", 530, 29},     // last finite bound ≈ 536.87
+		{"past last bound", 1e4, 30},  // +Inf bucket
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewRegistry().Histogram("h", "")
+			h.Observe(tc.value)
+			for i := range h.buckets {
+				got := h.buckets[i].Load()
+				want := uint64(0)
+				if i == tc.wantBucket {
+					want = 1
+				}
+				if got != want {
+					t.Fatalf("bucket[%d] = %d, want %d (value %g)", i, got, want, tc.value)
+				}
+			}
+			if h.Count() != 1 || h.Sum() != tc.value {
+				t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+			}
+		})
+	}
+}
+
+// TestHistogramQuantiles: table-driven percentile estimation. Estimates
+// interpolate within a bucket, so assertions allow one-bucket tolerance.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe func(h *Histogram)
+		q       float64
+		wantLo  float64 // inclusive bounds on the estimate
+		wantHi  float64
+	}{
+		{
+			name:    "empty histogram",
+			observe: func(h *Histogram) {},
+			q:       0.99, wantLo: 0, wantHi: 0,
+		},
+		{
+			name:    "single value p50 lands in its bucket",
+			observe: func(h *Histogram) { h.Observe(3e-6) },
+			q:       0.50, wantLo: 2e-6, wantHi: 4e-6,
+		},
+		{
+			name: "uniform 1..100ms p50 near 50ms",
+			observe: func(h *Histogram) {
+				for i := 1; i <= 100; i++ {
+					h.Observe(float64(i) * 1e-3)
+				}
+			},
+			// p50 rank falls in the (32.768ms, 65.536ms] bucket.
+			q: 0.50, wantLo: 32.768e-3, wantHi: 65.536e-3,
+		},
+		{
+			name: "bimodal p99 picks the slow mode",
+			observe: func(h *Histogram) {
+				for i := 0; i < 95; i++ {
+					h.Observe(1e-4) // fast mode: 100µs
+				}
+				for i := 0; i < 5; i++ {
+					h.Observe(2.0) // slow mode: 2s
+				}
+			},
+			// p99 rank (99 of 100) falls among the five slow samples, so
+			// the estimate must land in the 2s bucket (1.049s, 2.097s].
+			q: 0.99, wantLo: 1.048576, wantHi: 2.097152,
+		},
+		{
+			name: "values past +Inf clamp to last finite bound",
+			observe: func(h *Histogram) {
+				for i := 0; i < 10; i++ {
+					h.Observe(1e6)
+				}
+			},
+			q: 0.99, wantLo: 536.870912, wantHi: 536.870912,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewRegistry().Histogram("h", "")
+			tc.observe(h)
+			got := h.Quantile(tc.q)
+			if got < tc.wantLo || got > tc.wantHi {
+				t.Fatalf("Quantile(%g) = %g, want in [%g, %g]", tc.q, got, tc.wantLo, tc.wantHi)
+			}
+		})
+	}
+}
+
+// TestConcurrentIncrements: hammer one counter, gauge, and histogram
+// from many goroutines; totals must be exact (run under -race).
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-iteration lookups exercise the get-or-create path
+			// concurrently, not just the instrument atomics.
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("ops_total", "ops").Inc()
+				reg.Gauge("level", "level").Add(1)
+				reg.Histogram("lat_seconds", "latency").Observe(1e-3)
+			}
+		}()
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if got := reg.Counter("ops_total", "ops").Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("level", "level").Value(); got != want {
+		t.Fatalf("gauge = %g, want %d", got, want)
+	}
+	h := reg.Histogram("lat_seconds", "latency")
+	if h.Count() != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), want)
+	}
+	if math.Abs(h.Sum()-want*1e-3) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), want*1e-3)
+	}
+}
+
+// TestSameInstanceForSameSeries: get-or-create must hand back the same
+// instrument for an identical (name, labels) pair, independent of label
+// order, and distinct instruments for distinct labels.
+func TestSameInstanceForSameSeries(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c", "", L("shard", "0"), L("op", "q"))
+	b := reg.Counter("c", "", L("op", "q"), L("shard", "0"))
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+	c := reg.Counter("c", "", L("shard", "1"), L("op", "q"))
+	if a == c {
+		t.Fatal("distinct labels shared a series")
+	}
+}
+
+// TestKindMismatchPanics: reusing a name across kinds is a programming
+// error and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+// TestWriteTextFormat: the exposition output is deterministic, carries
+// HELP/TYPE lines, cumulative le buckets ending at +Inf, and the derived
+// quantile gauges.
+func TestWriteTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "Requests served.", L("endpoint", "query")).Add(3)
+	reg.Gauge("dirty_shards", "Dirty shard count.").Set(2)
+	h := reg.Histogram("stage_seconds", "Stage latency.", L("stage", "merge"))
+	h.Observe(3e-6)
+	h.Observe(3e-6)
+	h.Observe(5.0)
+
+	text := reg.Text()
+	for _, want := range []string{
+		"# HELP requests_total Requests served.\n# TYPE requests_total counter\nrequests_total{endpoint=\"query\"} 3\n",
+		"# TYPE dirty_shards gauge\ndirty_shards 2\n",
+		"# TYPE stage_seconds histogram\n",
+		"stage_seconds_bucket{le=\"2e-06\",stage=\"merge\"} 0\n",
+		"stage_seconds_bucket{le=\"4e-06\",stage=\"merge\"} 2\n",
+		"stage_seconds_bucket{le=\"+Inf\",stage=\"merge\"} 3\n",
+		"stage_seconds_count{stage=\"merge\"} 3\n",
+		"# TYPE stage_seconds_p50 gauge\n",
+		"# TYPE stage_seconds_p99 gauge\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q; got:\n%s", want, text)
+		}
+	}
+	if again := reg.Text(); again != text {
+		t.Fatal("exposition is not deterministic across renders")
+	}
+	// Cumulative counts never decrease across le bounds.
+	var prev uint64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "stage_seconds_bucket{") {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = n
+	}
+}

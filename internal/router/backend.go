@@ -5,19 +5,49 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
 )
+
+// defaultClient is shared by every HTTPBackend without an explicit
+// Client. http.DefaultClient would carry no timeout at all — one shard
+// that accepts the TCP connection and then hangs would pin a scatter
+// goroutine forever once its context is gone — so the shared client
+// bounds every phase: dial, response headers, and the whole exchange.
+// The overall timeout is deliberately generous (scatters carry their
+// own per-round-trip context deadlines; this is the backstop for
+// callers that forget one), and the pooled transport keeps connections
+// warm across the fan-out instead of re-dialing every shard per
+// request.
+var defaultClient = &http.Client{
+	Timeout: 60 * time.Second,
+	Transport: &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          128,
+		MaxIdleConnsPerHost:   32,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	},
+}
 
 // HTTPBackend talks to a remote opinedbd shard replica over its HTTP JSON
 // API.
 type HTTPBackend struct {
 	// BaseURL is the replica's base address ("http://10.0.0.7:8080").
 	BaseURL string
-	// Client is the HTTP client; nil uses http.DefaultClient.
+	// Client is the HTTP client; nil uses a shared pooled client with
+	// sane dial/header/overall timeouts (never http.DefaultClient,
+	// which has none).
 	Client *http.Client
 }
 
@@ -39,7 +69,7 @@ func (b *HTTPBackend) Do(ctx context.Context, method, target string, body []byte
 	}
 	client := b.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -8,29 +8,33 @@ package router
 // backfills): new evidence can shift interpretations, and correctness
 // beats hit rate. A generation counter closes the stale-fill race — a
 // fetch that started before a write must not memoize its pre-write
-// answer after the invalidation — and a size cap bounds memory against
-// unbounded distinct predicates (the predicate string is arbitrary
-// client input). Hit/miss counters surface in the HTTP response headers
-// (X-Interpret-Cache*) so operators can watch the cache work.
+// answer after the invalidation — and a deterministic LRU bound keeps
+// memory finite against unbounded distinct predicates (the predicate
+// string is arbitrary client input) while keeping exactly the hot
+// predicates resident: reaching the cap evicts the single
+// least-recently-used entry, never a nondeterministic wholesale drop.
+// Hit/miss counters surface in the HTTP response headers
+// (X-Interpret-Cache*) and on /metrics so operators can watch the
+// cache work.
 
 import "repro/internal/server"
 
-// maxInterpretCacheEntries bounds the memo; reaching it drops the whole
-// map (epoch eviction — the cache refills from the hot predicates, and
-// correctness never depends on residency).
+// maxInterpretCacheEntries bounds the memo; reaching it evicts the
+// least-recently-used predicate (correctness never depends on
+// residency).
 const maxInterpretCacheEntries = 4096
 
 // interpretCached returns the memoized response for a predicate (nil on
 // a miss) and the cache generation the caller must hand back to
-// interpretStore.
+// interpretStore. A hit promotes the predicate to most-recently-used.
 func (r *Router) interpretCached(predicate string) (*server.InterpretResponse, uint64) {
 	r.interpMu.Lock()
 	defer r.interpMu.Unlock()
-	if resp, ok := r.interpCache[predicate]; ok {
-		r.interpHits++
+	if resp, ok := r.interpCache.Get(predicate); ok {
+		r.metrics.interpretHits.Inc()
 		return resp, r.interpGen
 	}
-	r.interpMisses++
+	r.metrics.interpretMiss.Inc()
 	return nil, r.interpGen
 }
 
@@ -45,10 +49,7 @@ func (r *Router) interpretStore(predicate string, resp *server.InterpretResponse
 	if gen != r.interpGen {
 		return
 	}
-	if len(r.interpCache) >= maxInterpretCacheEntries {
-		r.interpCache = map[string]*server.InterpretResponse{}
-	}
-	r.interpCache[predicate] = resp
+	r.interpCache.Put(predicate, resp)
 }
 
 // invalidateInterpret drops the whole memo cache and advances the
@@ -58,14 +59,11 @@ func (r *Router) invalidateInterpret() {
 	r.interpMu.Lock()
 	defer r.interpMu.Unlock()
 	r.interpGen++
-	if len(r.interpCache) > 0 {
-		r.interpCache = map[string]*server.InterpretResponse{}
-	}
+	r.interpCache.Clear()
 }
 
-// InterpretCacheStats reports the cache's lifetime hit/miss counters.
+// InterpretCacheStats reports the cache's lifetime hit/miss counters
+// (the same values /metrics exposes).
 func (r *Router) InterpretCacheStats() (hits, misses uint64) {
-	r.interpMu.Lock()
-	defer r.interpMu.Unlock()
-	return r.interpHits, r.interpMisses
+	return r.metrics.interpretHits.Value(), r.metrics.interpretMiss.Value()
 }

@@ -79,10 +79,46 @@ func TestInterpretCacheBounded(t *testing.T) {
 		r.interpretStore(fmt.Sprintf("p%d", i), &server.InterpretResponse{}, gen)
 	}
 	r.interpMu.Lock()
-	n := len(r.interpCache)
+	n := r.interpCache.Len()
 	r.interpMu.Unlock()
 	if n > maxInterpretCacheEntries {
 		t.Fatalf("cache grew to %d entries past the %d cap", n, maxInterpretCacheEntries)
+	}
+}
+
+// TestInterpretCacheEvictionOrder: the bound is a deterministic LRU —
+// overflow evicts exactly the least-recently-used predicate, and a hit
+// refreshes recency. (The old cache dropped an arbitrary epoch of
+// entries on overflow, so which predicates survived depended on map
+// iteration order.)
+func TestInterpretCacheEvictionOrder(t *testing.T) {
+	r, _ := cacheRouter(t)
+	fill := func(pred string) {
+		_, gen := r.interpretCached(pred)
+		r.interpretStore(pred, &server.InterpretResponse{}, gen)
+	}
+	for i := 0; i < maxInterpretCacheEntries; i++ {
+		fill(fmt.Sprintf("p%d", i))
+	}
+	// Touch the oldest entry so it is no longer the eviction candidate.
+	if resp, _ := r.interpretCached("p0"); resp == nil {
+		t.Fatal("p0 missing before any eviction")
+	}
+	// One past the cap: exactly p1 (now the LRU) must go.
+	fill("overflow")
+	r.interpMu.Lock()
+	n := r.interpCache.Len()
+	r.interpMu.Unlock()
+	if n != maxInterpretCacheEntries {
+		t.Fatalf("cache holds %d entries after overflow, want %d", n, maxInterpretCacheEntries)
+	}
+	if resp, _ := r.interpretCached("p1"); resp != nil {
+		t.Fatal("p1 survived overflow; it was the least recently used entry")
+	}
+	for _, keep := range []string{"p0", "p2", "overflow"} {
+		if resp, _ := r.interpretCached(keep); resp == nil {
+			t.Fatalf("%s was evicted; only the LRU entry (p1) should go", keep)
+		}
 	}
 }
 

@@ -153,7 +153,7 @@ func TestShardedByteIdentity(t *testing.T) {
 	rt := fleetRouter(t, m, urls)
 
 	monolithFP, n := harness.QueryFingerprint(d, db)
-	routedFP, _ := harness.QueryFingerprint(d, rt)
+	routedFP, _ := harness.QueryFingerprint(d, rt.Engine(context.Background()))
 	if n != 948 {
 		t.Errorf("fingerprint covers %d query-set entries, want the full 948", n)
 	}
@@ -169,6 +169,7 @@ func TestShardedByteIdentity(t *testing.T) {
 func TestShardedConcurrentQueries(t *testing.T) {
 	d, db, m, urls := e2eFixture(t)
 	rt := fleetRouter(t, m, urls)
+	eng := rt.Engine(context.Background())
 	var preds []string
 	for _, p := range d.Predicates {
 		if p.Kind != corpus.KindOutOfSchema {
@@ -196,7 +197,7 @@ func TestShardedConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2*len(preds); i++ {
 				pi := (g + i) % len(preds)
-				res, err := rt.RankPredicates([]string{preds[pi]}, nil, opts)
+				res, err := eng.RankPredicates([]string{preds[pi]}, nil, opts)
 				if err != nil {
 					errs <- err
 					return

@@ -4,7 +4,11 @@ package router
 // *core.DB (harness.QueryEngine), which is how the sharding correctness
 // contract is enforced — harness.QueryFingerprint drives a monolith and a
 // router with identical calls and the fingerprints must match byte for
-// byte.
+// byte. harness.QueryEngine's methods carry no context (they mirror the
+// embedded engine), so the adapter binds one at construction: callers
+// hand Engine the context whose cancellation and deadline should govern
+// every routed call the harness makes, instead of the calls silently
+// running on context.Background and outliving the caller.
 
 import (
 	"context"
@@ -16,12 +20,29 @@ import (
 	"repro/internal/server"
 )
 
+// Engine is the router bound to a caller's context, satisfying
+// harness.QueryEngine.
+type Engine struct {
+	r   *Router
+	ctx context.Context
+}
+
+// Engine binds the router to ctx. Every call through the returned
+// adapter inherits ctx's cancellation and deadline (each scatter still
+// applies the router's own per-round-trip timeout underneath).
+func (r *Router) Engine(ctx context.Context) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{r: r, ctx: ctx}
+}
+
 // Interpret implements the engine surface by asking the fleet
 // (interpretation state is replicated; see InterpretChain). A fleet-wide
 // failure returns the zero Interpretation — fingerprint comparisons
 // surface it as a mismatch rather than a hidden skip.
-func (r *Router) Interpret(text string) core.Interpretation {
-	resp, _, err := r.InterpretChain(context.Background(), text)
+func (e *Engine) Interpret(text string) core.Interpretation {
+	resp, _, err := e.r.InterpretChain(e.ctx, text)
 	if err != nil {
 		return core.Interpretation{}
 	}
@@ -37,7 +58,7 @@ func (r *Router) Interpret(text string) core.Interpretation {
 // fanned out, and the merged ranking converted back to engine rows. The
 // objective callback cannot cross process boundaries; only nil is
 // supported (exactly what the harness fingerprint passes).
-func (r *Router) RankPredicates(predicates []string, objective func(entityID string) bool, opts core.QueryOptions) (*core.QueryResult, error) {
+func (e *Engine) RankPredicates(predicates []string, objective func(entityID string) bool, opts core.QueryOptions) (*core.QueryResult, error) {
 	if objective != nil {
 		return nil, fmt.Errorf("router: objective callbacks cannot be routed; filter with SQL comparisons instead")
 	}
@@ -64,7 +85,7 @@ func (r *Router) RankPredicates(predicates []string, objective func(entityID str
 	if k <= 0 {
 		k = 10
 	}
-	res, err := r.Query(context.Background(), sql, k)
+	res, err := e.r.Query(e.ctx, sql, k)
 	if err != nil {
 		return nil, err
 	}
@@ -91,9 +112,9 @@ func (r *Router) RankPredicates(predicates []string, objective func(entityID str
 
 // TopKThreshold implements the engine surface over the scatter-gather
 // /topk path. The returned stats are fleet totals (see TopKResult).
-func (r *Router) TopKThreshold(predicates []string, k int) ([]core.ResultRow, core.TopKStats, error) {
+func (e *Engine) TopKThreshold(predicates []string, k int) ([]core.ResultRow, core.TopKStats, error) {
 	var stats core.TopKStats
-	res, err := r.TopK(context.Background(), predicates, k)
+	res, err := e.r.TopK(e.ctx, predicates, k)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/server"
 )
@@ -22,21 +23,38 @@ type Handler struct {
 	mux *http.ServeMux
 }
 
-// NewHandler builds the router's HTTP surface.
+// NewHandler builds the router's HTTP surface. Every endpoint is
+// wrapped in its request counter and latency histogram; /metrics
+// serves the registry itself and is deliberately left uninstrumented
+// (scrapes should not pollute the series they read).
 func NewHandler(r *Router) *Handler {
 	h := &Handler{r: r, mux: http.NewServeMux()}
-	h.mux.HandleFunc("/healthz", h.handleHealth)
-	h.mux.HandleFunc("/schema", h.handleSchema)
-	h.mux.HandleFunc("/query", h.handleQuery)
-	h.mux.HandleFunc("/interpret", h.handleInterpret)
-	h.mux.HandleFunc("/evidence", h.handleEvidence)
-	h.mux.HandleFunc("/topk", h.handleTopK)
-	h.mux.HandleFunc("/reviews", h.handleReviews)
-	h.mux.HandleFunc("/repair", h.handleRepair)
+	h.handle("healthz", "/healthz", h.handleHealth)
+	h.handle("schema", "/schema", h.handleSchema)
+	h.handle("query", "/query", h.handleQuery)
+	h.handle("interpret", "/interpret", h.handleInterpret)
+	h.handle("evidence", "/evidence", h.handleEvidence)
+	h.handle("topk", "/topk", h.handleTopK)
+	h.handle("reviews", "/reviews", h.handleReviews)
+	h.handle("repair", "/repair", h.handleRepair)
+	h.mux.Handle("/metrics", r.metrics.reg.Handler())
 	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
 	return h
+}
+
+// handle registers fn wrapped in the endpoint's counter and latency
+// histogram.
+func (h *Handler) handle(endpoint, path string, fn http.HandlerFunc) {
+	hist := h.r.metrics.requestSeconds[endpoint]
+	total := h.r.metrics.requestsTotal[endpoint]
+	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		total.Inc()
+		t0 := time.Now()
+		fn(w, r)
+		hist.ObserveSince(t0)
+	})
 }
 
 // ServeHTTP implements http.Handler.

@@ -12,6 +12,7 @@ package router_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -252,7 +253,7 @@ func TestShardedIngestion(t *testing.T) {
 	}
 
 	t.Run("fleet answers like the monolith", func(t *testing.T) {
-		gotFP, _ := harness.QueryFingerprint(d, rt)
+		gotFP, _ := harness.QueryFingerprint(d, rt.Engine(context.Background()))
 		if gotFP != wantFP {
 			t.Fatal("ingesting fleet diverges from the monolith over the union corpus")
 		}
@@ -286,7 +287,7 @@ func TestShardedIngestion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotFP, _ := harness.QueryFingerprint(d, reloaded)
+		gotFP, _ := harness.QueryFingerprint(d, reloaded.Engine(context.Background()))
 		if gotFP != wantFP {
 			t.Fatal("restarted fleet diverges from the monolith")
 		}
@@ -388,7 +389,7 @@ func TestShardedIngestion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotFP, _ := harness.QueryFingerprint(d, compacted)
+		gotFP, _ := harness.QueryFingerprint(d, compacted.Engine(context.Background()))
 		if gotFP != wantFP {
 			t.Fatal("compacted fleet diverges from the monolith")
 		}

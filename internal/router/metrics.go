@@ -1,0 +1,145 @@
+package router
+
+// Front-door observability. The router feeds the same dependency-free
+// registry (internal/obs) as the shard servers and serves it at GET
+// /metrics: per-endpoint request histograms, the three routed-read
+// stages (parse, scatter, merge), per-shard scatter round-trip latency
+// (the series that shows a straggler shard), the /interpret memo
+// cache's hit/miss counters, and the anti-entropy loop's repair
+// counters plus per-shard replication lag. A single-process fleet can
+// pass the same registry to the router and every shard
+// (Options.Metrics); label sets keep the families distinct.
+
+import (
+	"strconv"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Metric family names served by the router's GET /metrics, alongside
+// the shard servers' opinedb_* families when the registry is shared.
+const (
+	// MetricRouterRequestSeconds / MetricRouterRequestsTotal: per-
+	// endpoint front-door latency and volume — labeled
+	// {endpoint="query"|"topk"|...}.
+	MetricRouterRequestSeconds = "opinedb_router_request_seconds"
+	MetricRouterRequestsTotal  = "opinedb_router_requests_total"
+	// MetricRouterStageSeconds: routed-read stage latency — labeled
+	// {stage="parse"|"scatter"|"merge"}.
+	MetricRouterStageSeconds = "opinedb_router_stage_seconds"
+	// MetricRouterShardSeconds: one shard's scatter round-trip — labeled
+	// {shard="0"...}; the gap between a shard's p99 and its peers' is a
+	// straggler.
+	MetricRouterShardSeconds = "opinedb_router_shard_scatter_seconds"
+	// MetricRouterInterpretHits / MetricRouterInterpretMisses: the
+	// front-door /interpret memo cache (cache.go).
+	MetricRouterInterpretHits   = "opinedb_router_interpret_cache_hits_total"
+	MetricRouterInterpretMisses = "opinedb_router_interpret_cache_misses_total"
+	// MetricRouterDirtyShards: shards whose last replication failed and
+	// that no repair pass has converged yet.
+	MetricRouterDirtyShards = "opinedb_router_dirty_shards"
+	// MetricRouterRepairPasses / MetricRouterRepairBackfilled:
+	// anti-entropy passes run and records backfilled by them.
+	MetricRouterRepairPasses     = "opinedb_router_repair_passes_total"
+	MetricRouterRepairBackfilled = "opinedb_router_repair_backfilled_total"
+	// MetricRouterRepairLag: per-shard journal sequences behind the
+	// repair reference after the last pass — labeled {shard="0"...};
+	// non-zero means the shard did not converge.
+	MetricRouterRepairLag = "opinedb_router_repair_lag"
+)
+
+// routerEndpoints are the instrumented front-door endpoints, fixed up
+// front so every scrape exposes the full set.
+var routerEndpoints = []string{
+	"healthz", "schema", "query", "interpret", "evidence", "topk",
+	"reviews", "repair",
+}
+
+// routerMetrics pre-resolves the router's instruments so the request
+// path never takes the registry lock.
+type routerMetrics struct {
+	reg            *obs.Registry
+	requestSeconds map[string]*obs.Histogram
+	requestsTotal  map[string]*obs.Counter
+	parse          *obs.Histogram
+	scatter        *obs.Histogram
+	merge          *obs.Histogram
+	shardSeconds   []*obs.Histogram
+	interpretHits  *obs.Counter
+	interpretMiss  *obs.Counter
+	dirtyShards    *obs.Gauge
+	repairPasses   *obs.Counter
+	repairBackfill *obs.Counter
+	repairLag      []*obs.Gauge
+}
+
+func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &routerMetrics{
+		reg:            reg,
+		requestSeconds: make(map[string]*obs.Histogram, len(routerEndpoints)),
+		requestsTotal:  make(map[string]*obs.Counter, len(routerEndpoints)),
+	}
+	for _, ep := range routerEndpoints {
+		m.requestSeconds[ep] = reg.Histogram(MetricRouterRequestSeconds,
+			"Per-endpoint front-door request wall time in seconds.",
+			obs.L("endpoint", ep))
+		m.requestsTotal[ep] = reg.Counter(MetricRouterRequestsTotal,
+			"Front-door requests served, by endpoint.", obs.L("endpoint", ep))
+	}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram(MetricRouterStageSeconds,
+			"Routed-read stage latency in seconds.", obs.L("stage", name))
+	}
+	m.parse = stage("parse")
+	m.scatter = stage("scatter")
+	m.merge = stage("merge")
+	m.shardSeconds = make([]*obs.Histogram, shards)
+	m.repairLag = make([]*obs.Gauge, shards)
+	for i := 0; i < shards; i++ {
+		m.shardSeconds[i] = reg.Histogram(MetricRouterShardSeconds,
+			"One shard's scatter round-trip in seconds.",
+			obs.L("shard", strconv.Itoa(i)))
+		m.repairLag[i] = reg.Gauge(MetricRouterRepairLag,
+			"Journal sequences behind the repair reference after the last pass.",
+			obs.L("shard", strconv.Itoa(i)))
+	}
+	m.interpretHits = reg.Counter(MetricRouterInterpretHits,
+		"Front-door interpret memo cache hits.")
+	m.interpretMiss = reg.Counter(MetricRouterInterpretMisses,
+		"Front-door interpret memo cache misses.")
+	m.dirtyShards = reg.Gauge(MetricRouterDirtyShards,
+		"Shards whose last replication failed and repair has not converged.")
+	m.repairPasses = reg.Counter(MetricRouterRepairPasses,
+		"Anti-entropy repair passes run.")
+	m.repairBackfill = reg.Counter(MetricRouterRepairBackfilled,
+		"Journal records backfilled by repair passes.")
+	return m
+}
+
+// observeRepair folds one anti-entropy report into the repair families:
+// the pass counter, the backfilled-record counter, and each probed
+// node's lag behind the reference journal.
+func (m *routerMetrics) observeRepair(report *fleet.RepairReport) {
+	m.repairPasses.Inc()
+	for _, n := range report.Nodes {
+		if n.Backfilled > 0 {
+			m.repairBackfill.Add(uint64(n.Backfilled))
+		}
+		if n.Index < 0 || n.Index >= len(m.repairLag) {
+			continue
+		}
+		lag := 0.0
+		if report.ReferenceSeq > n.After {
+			lag = float64(report.ReferenceSeq - n.After)
+		}
+		m.repairLag[n.Index].Set(lag)
+	}
+}
+
+// Metrics returns the registry backing the router's GET /metrics, for
+// the daemon, the load harness and tests.
+func (r *Router) Metrics() *obs.Registry { return r.metrics.reg }

@@ -36,6 +36,7 @@ func (r *Router) markDirtyLocked(failed map[int]string) {
 	for i := range failed {
 		r.dirty[i] = true
 	}
+	r.metrics.dirtyShards.Set(float64(len(r.dirty)))
 }
 
 // repairDirtyLocked runs one repair pass scoped to the dirty shards,
@@ -62,11 +63,13 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 		// on every write.
 		r.autoRepair = false
 		r.dirty = map[int]bool{}
+		r.metrics.dirtyShards.Set(0)
 		return nil
 	}
 	if err != nil {
 		return nil
 	}
+	r.metrics.observeRepair(report)
 	var healed []int
 	for i := range only {
 		if report.Converged(i) {
@@ -74,6 +77,7 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 			healed = append(healed, i)
 		}
 	}
+	r.metrics.dirtyShards.Set(float64(len(r.dirty)))
 	if len(healed) > 0 {
 		// Backfills changed replicated state behind the memo cache.
 		r.invalidateInterpret()
@@ -104,12 +108,14 @@ func (r *Router) RunRepair(ctx context.Context) (*fleet.RepairReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.metrics.observeRepair(report)
 	repaired := false
 	for i := range r.shards {
 		if report.Converged(i) {
 			delete(r.dirty, i)
 		}
 	}
+	r.metrics.dirtyShards.Set(float64(len(r.dirty)))
 	for _, n := range report.Nodes {
 		if n.Backfilled > 0 {
 			repaired = true

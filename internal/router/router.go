@@ -29,6 +29,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/lru"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/sqlparse"
 )
@@ -71,6 +73,11 @@ type Options struct {
 	// come back. Disable it only when an external repair loop owns
 	// convergence.
 	DisableAutoRepair bool
+	// Metrics is the registry behind the front door's GET /metrics
+	// (metrics.go). nil gets the router a private registry; a
+	// single-process fleet passes one registry to the router and every
+	// shard so one scrape covers both tiers.
+	Metrics *obs.Registry
 }
 
 // ErrBadQuery marks client-side query errors — unparseable SQL or a
@@ -95,10 +102,11 @@ type Router struct {
 	dirty      map[int]bool
 	// interpMu guards the front-door /interpret memo cache (cache.go);
 	// interpGen is the invalidation generation that fences stale fills.
-	interpMu                 sync.Mutex
-	interpCache              map[string]*server.InterpretResponse
-	interpGen                uint64
-	interpHits, interpMisses uint64
+	interpMu    sync.Mutex
+	interpCache *lru.Cache[string, *server.InterpretResponse]
+	interpGen   uint64
+	// metrics backs GET /metrics (metrics.go).
+	metrics *routerMetrics
 }
 
 // New builds a router over the given shards (ordered by shard index).
@@ -125,7 +133,8 @@ func New(shards []Shard, opts Options) (*Router, error) {
 		defaultK:    k,
 		autoRepair:  !opts.DisableAutoRepair,
 		dirty:       map[int]bool{},
-		interpCache: map[string]*server.InterpretResponse{},
+		interpCache: lru.New[string, *server.InterpretResponse](maxInterpretCacheEntries),
+		metrics:     newRouterMetrics(opts.Metrics, len(shards)),
 	}, nil
 }
 
@@ -139,21 +148,28 @@ type shardReply struct {
 	err    error
 }
 
-// scatter fans one request out to every shard concurrently.
+// scatter fans one request out to every shard concurrently. The whole
+// fan-out lands in the scatter-stage histogram and each shard's
+// round-trip in its own per-shard series, so a straggler shard is
+// visible as the gap between its percentiles and its peers'.
 func (r *Router) scatter(ctx context.Context, method, target string, body []byte) []shardReply {
 	ctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
+	start := time.Now()
 	replies := make([]shardReply, len(r.shards))
 	var wg sync.WaitGroup
 	for i := range r.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			status, b, err := r.shards[i].Backend.Do(ctx, method, target, body)
+			r.metrics.shardSeconds[i].ObserveSince(t0)
 			replies[i] = shardReply{status: status, body: b, err: err}
 		}(i)
 	}
 	wg.Wait()
+	r.metrics.scatter.ObserveSince(start)
 	return replies
 }
 
@@ -323,7 +339,9 @@ func (r *Router) errAllShardsFailed(op string, replies []shardReply, errs map[in
 // the ordering column, so an objective ordering cannot be merged
 // correctly at this layer.
 func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, error) {
+	parseStart := time.Now()
 	q, err := sqlparse.Parse(sql)
+	r.metrics.parse.ObserveSince(parseStart)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
@@ -363,7 +381,9 @@ func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, er
 	if len(lists) == 0 {
 		return nil, r.errAllShardsFailed("query", replies, errs)
 	}
+	mergeStart := time.Now()
 	res.Rows = mergeRanked(lists, k)
+	r.metrics.merge.ObserveSince(mergeStart)
 	res.Partial = len(errs) > 0
 	if len(errs) > 0 {
 		res.ShardErrors = errs
@@ -407,7 +427,9 @@ func (r *Router) TopK(ctx context.Context, predicates []string, k int) (*TopKRes
 	if len(lists) == 0 {
 		return nil, r.errAllShardsFailed("topk", replies, errs)
 	}
+	mergeStart := time.Now()
 	res.Rows = mergeRanked(lists, k)
+	r.metrics.merge.ObserveSince(mergeStart)
 	res.Partial = len(errs) > 0
 	if len(errs) > 0 {
 		res.ShardErrors = errs

@@ -286,7 +286,7 @@ func TestRankPredicatesRejectsUnroutableOptions(t *testing.T) {
 	for name, mutate := range cases {
 		opts := core.DefaultQueryOptions()
 		mutate(&opts)
-		if _, err := rt.RankPredicates([]string{"clean"}, nil, opts); err == nil {
+		if _, err := rt.Engine(context.Background()).RankPredicates([]string{"clean"}, nil, opts); err == nil {
 			t.Errorf("%s: unroutable option silently accepted", name)
 		}
 	}

@@ -68,6 +68,25 @@ func (s *Server) journalDir() string {
 	return s.opts.Ingest.JournalDir
 }
 
+// prefixHashes returns the journal's in-memory prefix-hash chain,
+// building it from one disk scan on first use. nil when the node has no
+// journal, the initial scan failed, or the chain was dropped after a
+// desync — every caller falls back to on-disk scans in that case.
+// Safe under the read lock: the sync.Once serializes construction and
+// the chain carries its own mutex.
+func (s *Server) prefixHashes() *journal.PrefixHashes {
+	s.phInit.Do(func() {
+		dir := s.journalDir()
+		if dir == "" {
+			return
+		}
+		if ph, err := journal.NewPrefixHashes(dir); err == nil {
+			s.ph.Store(ph)
+		}
+	})
+	return s.ph.Load()
+}
+
 // journalHealth builds the /healthz journal-position report. Callers hold
 // at least the reader lock.
 func (s *Server) journalHealth() *JournalHealth {
@@ -96,6 +115,31 @@ func (s *Server) handleJournalStatus(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		at = v
+	}
+	// Fast path: answer every hash probe from the in-memory chain —
+	// O(1) per probe instead of a segment rescan, which is what keeps
+	// the fleet repair loop's heal-before-write cheap. Segment count
+	// still comes from the bounded final-segment probe.
+	if ph := s.prefixHashes(); ph != nil {
+		hash, last := ph.Last()
+		segments := 0
+		if _, n, err := journal.TailInfo(dir); err == nil {
+			segments = n
+		}
+		resp := JournalStatusResponse{
+			Journal:        true,
+			LastAppliedSeq: s.appliedSeq,
+			LastSeq:        last,
+			Records:        int(last),
+			Segments:       segments,
+			PrefixHash:     hash,
+			HashSeq:        last,
+		}
+		if at > 0 && at < last {
+			resp.PrefixHash, resp.HashSeq = ph.At(at)
+		}
+		WriteJSON(w, http.StatusOK, resp)
+		return
 	}
 	full, err := journal.StatDir(dir)
 	if err != nil {

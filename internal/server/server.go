@@ -17,6 +17,7 @@
 //	POST /reviews                       ingest one review (journaled live enrichment)
 //	GET  /journal/status                journal position + prefix hash (anti-entropy)
 //	GET  /journal/records?from=&limit=  stream journal records (anti-entropy backfill)
+//	GET  /metrics                       Prometheus text exposition (see metrics.go)
 //
 // Every response is JSON; errors are {"error": "..."} with a 4xx/5xx
 // status.
@@ -31,9 +32,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // SnapshotInfo describes the snapshot artifact a server was loaded from;
@@ -111,6 +115,16 @@ type Options struct {
 	// Ingest, when non-nil, enables POST /reviews. Without it the server
 	// is read-only and /reviews answers 403.
 	Ingest *IngestOptions
+	// Metrics, when non-nil, is the registry GET /metrics renders and
+	// every instrument feeds; nil creates a private one. A single-process
+	// fleet passes one shared registry to every shard and the router so
+	// one scrape sees the whole deployment.
+	Metrics *obs.Registry
+	// DisableTopKMemo turns off the per-shard /topk fragment memo (see
+	// topkmemo.go). The memo is on by default: fragments are partition-
+	// stable between writes and every applied write invalidates wholesale,
+	// so answers stay byte-identical either way.
+	DisableTopKMemo bool
 }
 
 // Server is an http.Handler serving one built subjective database.
@@ -132,6 +146,19 @@ type Server struct {
 	// (guarded by mu): seeded from the load-time replay, advanced by
 	// /reviews. /healthz and /journal/status report it.
 	appliedSeq uint64
+	// metrics backs GET /metrics; always non-nil after New.
+	metrics *serverMetrics
+	// topkMemo caches partition-stable /topk fragments; nil when
+	// Options.DisableTopKMemo is set.
+	topkMemo *topkMemo
+	// ph is the journal's in-memory prefix-hash chain, built lazily on
+	// the first /journal/status or journaled append and extended under
+	// the write lock. It makes every prefix-hash probe O(1) instead of a
+	// segment rescan. Stored atomically: a chain that desyncs (never in
+	// normal operation) is dropped to nil and the handlers fall back to
+	// on-disk scans.
+	phInit sync.Once
+	ph     atomic.Pointer[journal.PrefixHashes]
 }
 
 // New wraps a built database in an HTTP serving surface. The database
@@ -144,15 +171,23 @@ func New(db *core.DB, opts Options) *Server {
 	if opts.Ingest != nil {
 		s.appliedSeq = opts.Ingest.JournalLastSeq
 	}
-	s.mux.HandleFunc("/healthz", s.read(get(s.handleHealth)))
-	s.mux.HandleFunc("/schema", s.read(get(s.handleSchema)))
-	s.mux.HandleFunc("/query", s.read(s.handleQuery))
-	s.mux.HandleFunc("/interpret", s.read(get(s.handleInterpret)))
-	s.mux.HandleFunc("/evidence", s.read(get(s.handleEvidence)))
-	s.mux.HandleFunc("/topk", s.read(get(s.handleTopK)))
-	s.mux.HandleFunc("/reviews", buffered(s.handleReviews))
-	s.mux.HandleFunc("/journal/status", s.read(get(s.handleJournalStatus)))
-	s.mux.HandleFunc("/journal/records", s.read(get(s.handleJournalRecords)))
+	s.metrics = newServerMetrics(opts.Metrics)
+	s.metrics.appliedSeq.Set(float64(s.appliedSeq))
+	if !opts.DisableTopKMemo {
+		s.topkMemo = newTopKMemo(s.metrics.topkHits, s.metrics.topkMisses)
+	}
+	s.mux.HandleFunc("/healthz", s.timed("healthz", s.read(get(s.handleHealth))))
+	s.mux.HandleFunc("/schema", s.timed("schema", s.read(get(s.handleSchema))))
+	s.mux.HandleFunc("/query", s.timed("query", s.read(s.handleQuery)))
+	s.mux.HandleFunc("/interpret", s.timed("interpret", s.read(get(s.handleInterpret))))
+	s.mux.HandleFunc("/evidence", s.timed("evidence", s.read(get(s.handleEvidence))))
+	s.mux.HandleFunc("/topk", s.timed("topk", s.read(get(s.handleTopK))))
+	s.mux.HandleFunc("/reviews", s.timed("reviews", buffered(s.handleReviews)))
+	s.mux.HandleFunc("/journal/status", s.timed("journal_status", s.read(get(s.handleJournalStatus))))
+	s.mux.HandleFunc("/journal/records", s.timed("journal_records", s.read(get(s.handleJournalRecords))))
+	// The scrape endpoint deliberately bypasses the server lock: it reads
+	// only atomics, so metrics stay observable even mid-ingest.
+	s.mux.Handle("/metrics", s.metrics.reg.Handler())
 	// Unknown paths get the JSON error envelope too, not the mux's
 	// plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +537,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res, err := s.db.QueryWithOptions(req.SQL, opts)
+	s.metrics.engineQuery.ObserveSince(start)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, "query: %v", err)
 		return
@@ -631,10 +667,30 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	rows, stats, err := s.db.TopKThreshold(preds, k)
-	if err != nil {
-		WriteError(w, http.StatusBadRequest, "topk: %v", err)
-		return
+	var rows []core.ResultRow
+	var stats core.TopKStats
+	var key string
+	hit := false
+	if s.topkMemo != nil {
+		key = topkKey(preds, k)
+		if f, ok := s.topkMemo.get(key); ok {
+			rows, stats, hit = f.rows, f.stats, true
+			w.Header().Set("X-Topk-Memo", "hit")
+		} else {
+			w.Header().Set("X-Topk-Memo", "miss")
+		}
+	}
+	if !hit {
+		t0 := time.Now()
+		rows, stats, err = s.db.TopKThreshold(preds, k)
+		s.metrics.engineTopK.ObserveSince(t0)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, "topk: %v", err)
+			return
+		}
+		if s.topkMemo != nil {
+			s.topkMemo.put(key, topkFragment{rows: rows, stats: stats})
+		}
 	}
 	resp := TopKResponse{
 		Rows:           []RowJSON{},
@@ -738,20 +794,44 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 	}
 	var seq uint64
 	if s.opts.Ingest.Append != nil {
-		if seq, err = s.opts.Ingest.Append(rv); err != nil {
+		t0 := time.Now()
+		seq, err = s.opts.Ingest.Append(rv)
+		s.metrics.journalAppend.ObserveSince(t0)
+		if err != nil {
 			WriteError(w, http.StatusInternalServerError, "journal append: %v", err)
 			return
 		}
+		// Extend the in-memory prefix-hash chain with exactly what was
+		// journaled — the chain mirrors the journal, not the applied
+		// state, so it advances before the apply below. A chain error
+		// (cannot happen while this server owns the journal) drops the
+		// chain; status probes fall back to on-disk scans.
+		if ph := s.prefixHashes(); ph != nil {
+			if perr := ph.Append(seq, journal.Review{
+				ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer, Day: rv.Day, Text: rv.Text,
+			}); perr != nil {
+				s.ph.Store(nil)
+			}
+		}
 	}
 	before := len(s.db.Extractions)
-	if err := s.db.ApplyReview(rv); err != nil {
+	t0 := time.Now()
+	err = s.db.ApplyReview(rv)
+	s.metrics.apply.ObserveSince(t0)
+	if err != nil {
 		// The delta is journaled but not applied; the next load replays it.
 		// Surfacing the inconsistency beats hiding it.
 		WriteError(w, http.StatusInternalServerError, "apply (journaled at seq %d): %v", seq, err)
 		return
 	}
+	if s.topkMemo != nil {
+		// Any applied review can move any score (interpretation state is
+		// corpus-global); drop every memoized fragment.
+		s.topkMemo.invalidate()
+	}
 	if seq > 0 {
 		s.appliedSeq = seq
+		s.metrics.appliedSeq.Set(float64(seq))
 	}
 	WriteJSON(w, http.StatusOK, ReviewResponse{
 		ReviewID:    rv.ID,
