@@ -1,7 +1,7 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke compact rebalance
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke replica-smoke compact rebalance
 
 verify: fmtcheck
 	go vet ./...
@@ -87,6 +87,13 @@ rebalance-smoke:
 # measured latency percentiles.
 load-smoke:
 	go run ./cmd/opinedbload -smoke -duration 5s -concurrency 8
+
+# Replication smoke test: build an R=2 fleet, kill one replica of one
+# range outright, drive the mixed load through the router, and fail
+# unless every request served (balancer failover + partial replication)
+# and the surviving fleet stays byte-identical to the enriched monolith.
+replica-smoke:
+	go run ./cmd/opinedbb -replica-smoke
 
 # Fold a served snapshot's review journal back into a fresh artifact:
 #   make compact SNAP=opinedb.snap     (or SNAP=hotel.manifest.json)

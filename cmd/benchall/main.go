@@ -26,7 +26,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load,replication)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -151,6 +151,18 @@ func main() {
 				log.Printf("BENCH_load.json: %v", err)
 			} else {
 				fmt.Println("wrote BENCH_load.json")
+			}
+		}
+	}
+	if run("replication") {
+		fmt.Println("running replication (replica-set read scaling + hedged-scatter tail A/B)...")
+		replRes := harness.RunReplication(context.Background(), *seed+1100)
+		fmt.Println(harness.FormatReplication(replRes))
+		if data, err := json.MarshalIndent(replRes, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_replication.json", data, 0o644); err != nil {
+				log.Printf("BENCH_replication.json: %v", err)
+			} else {
+				fmt.Println("wrote BENCH_replication.json")
 			}
 		}
 	}

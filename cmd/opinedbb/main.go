@@ -46,12 +46,14 @@ func main() {
 	labels := flag.Int("labels", 800, "membership-function training labels")
 	subindex := flag.Bool("subindex", true, "build the Appendix B substitution index into the snapshot")
 	shards := flag.Int("shards", 1, "partition the entity space into N per-shard snapshots plus a manifest (1 = monolithic)")
+	replicas := flag.Int("replicas", 1, "with -shards > 1: record a per-range replica-set size in the manifest (opinedbd -router serves each range with R equivalent backends)")
 	verify := flag.Bool("verify", false, "after writing, reload the artifact(s) and check query equivalence against the in-memory build")
 	compact := flag.String("compact", "", "fold a review journal back into a fresh snapshot instead of building: pass a snapshot path (compacted in place, or to -o when -o is set) or a shard manifest (*.json: every shard journal is folded and the manifest digests refreshed)")
 	journalSmoke := flag.Bool("journal-smoke", false, "crash-recovery smoke test: build → snapshot → ingest from a child process → SIGKILL it mid-write → reload snapshot+journal → fingerprint check against direct application")
 	rebalance := flag.Int("rebalance", 0, "rebalance the stopped fleet described by -manifest to N shards without a rebuild: merge the loaded shards (snapshots + journals), re-partition, and commit a fresh snapshot set + manifest crash-safely")
 	manifestFlag := flag.String("manifest", "", "shard manifest path for -rebalance")
 	rebalanceSmoke := flag.Bool("rebalance-smoke", false, "rebalancing smoke test: build a 4-shard fleet → ingest through the router → rebalance to 2 and to 8 → fingerprint check against the enriched monolith")
+	replicaSmoke := flag.Bool("replica-smoke", false, "replication smoke test: build an R=2 fleet → kill one replica of one range → run the mixed load → assert zero request errors and fingerprint byte-identity against the enriched monolith")
 	flag.Parse()
 
 	if os.Getenv(smokeChildEnv) != "" {
@@ -80,6 +82,10 @@ func main() {
 		runRebalanceSmoke(*seed)
 		return
 	}
+	if *replicaSmoke {
+		runReplicaSmoke(*seed)
+		return
+	}
 
 	log.Printf("generating %s corpus and building subjective database...", *domain)
 	start := time.Now()
@@ -92,7 +98,7 @@ func main() {
 		len(d.Entities), len(d.Reviews), len(db.Extractions), len(db.Attrs), buildSecs)
 
 	if *shards > 1 {
-		writeSharded(d, db, *out, *shards, *seed, buildSecs, *verify)
+		writeSharded(d, db, *out, *shards, *replicas, *seed, buildSecs, *verify)
 		os.Exit(0)
 	}
 
@@ -134,20 +140,29 @@ func main() {
 func shardBase(out string) string { return strings.TrimSuffix(out, filepath.Ext(out)) }
 
 // writeSharded partitions the built database, writes one snapshot per
-// shard plus the checksummed manifest, and optionally verifies that a
-// router over the reloaded shards answers byte-identically to the
-// in-memory monolith.
-func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, seed int64, buildSecs float64, verify bool) {
+// shard plus the checksummed manifest (recording the replica-set size
+// when R > 1 — replicas serve the same artifacts, so only the manifest
+// changes shape), and optionally verifies that a router over the
+// reloaded shards answers byte-identically to the in-memory monolith.
+func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards, replicas int, seed int64, buildSecs float64, verify bool) {
 	base := shardBase(out)
 	shardDBs, parts, err := db.Shards(shards)
 	if err != nil {
 		log.Fatalf("shard: %v", err)
+	}
+	if replicas < 1 {
+		log.Fatalf("shard: -replicas %d (need >= 1)", replicas)
+	}
+	manifestReplicas := replicas
+	if manifestReplicas == 1 {
+		manifestReplicas = 0 // canonical single-replica manifest: field absent
 	}
 	manifest := &snapshot.Manifest{
 		FormatVersion: snapshot.FormatVersion,
 		Name:          db.Name,
 		BuildSeed:     seed,
 		Shards:        shards,
+		Replicas:      manifestReplicas,
 		TotalEntities: len(db.EntityIDs()),
 		CreatedUnix:   time.Now().Unix(),
 	}
@@ -185,10 +200,12 @@ func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, seed i
 	if err := snapshot.WriteManifest(manifestPath, manifest); err != nil {
 		log.Fatalf("manifest: %v", err)
 	}
-	log.Printf("wrote %s: %d shards, %d entities (%.2fs)",
-		manifestPath, shards, manifest.TotalEntities, time.Since(start).Seconds())
+	log.Printf("wrote %s: %d shards × %d replicas, %d entities (%.2fs)",
+		manifestPath, shards, replicas, manifest.TotalEntities, time.Since(start).Seconds())
 
 	if verify {
+		// FromManifest honors the manifest's replica count, so an R>1 build
+		// verifies the replicated fleet it describes.
 		rt, _, err := router.FromManifest(manifestPath, router.ManifestOptions{})
 		if err != nil {
 			log.Fatalf("verify: %v", err)
@@ -198,7 +215,7 @@ func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, seed i
 		if builtFP != routedFP {
 			log.Fatalf("verify: sharded fleet diverges from the in-memory build over %d query-set entries", n)
 		}
-		log.Printf("verify: %d-shard fleet byte-identical to the monolith over %d query-set entries", shards, n)
+		log.Printf("verify: %d-shard fleet (%d nodes) byte-identical to the monolith over %d query-set entries", shards, rt.NumNodes(), n)
 		fmt.Printf("shard-smoke OK: %d shards, %d query-set entries identical (build %.1fs)\n", shards, n, buildSecs)
 	}
 }

@@ -74,8 +74,12 @@ func main() {
 	journalSync := flag.Int("journal-sync-every", 1, "fsync the journal after every Nth ingested review (1 = every write is durable before it is acknowledged)")
 	shardManifest := flag.String("shard-manifest", "", "shard manifest (written by opinedbb -shards); serve the single shard selected by -shard-index")
 	shardIndex := flag.Int("shard-index", -1, "which shard of -shard-manifest to serve")
+	shardReplica := flag.Int("shard-replica", 0, "which replica of the shard this process is (>0 suffixes the auto journal directory so co-located replicas do not share a journal)")
 	routerManifest := flag.String("router", "", "shard manifest; act as the scatter-gather router over the fleet")
-	routerBackends := flag.String("router-backends", "", "comma-separated shard base URLs for -router, ordered by shard index; empty loads every shard in process")
+	routerBackends := flag.String("router-backends", "", "comma-separated shard base URLs for -router, ordered by shard index; within a shard, separate replica URLs with '|' (http://a:8081|http://a2:8081). Empty loads every shard in process")
+	replicas := flag.Int("replicas", 0, "router role, in-process fleet: serve each shard range with this many replicas (0 follows the manifest)")
+	noHedge := flag.Bool("no-hedge", false, "router role: disable hedged scatter legs (load balancing across replicas stays on)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "router role: fixed hedge delay (0 = adapt to each shard's scatter p95)")
 	repairEvery := flag.Duration("repair-interval", 0, "router role: run a fleet-wide anti-entropy write-repair pass on this interval (0 disables; POST /repair triggers one on demand, and partial writes always heal automatically)")
 	domain := flag.String("domain", "hotel", "corpus domain for the in-process build: hotel or restaurant")
 	seed := flag.Int64("seed", 1, "corpus and build seed (in-process build)")
@@ -90,9 +94,9 @@ func main() {
 	var handler http.Handler
 	switch {
 	case *routerManifest != "":
-		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, *journalSync, *repairEvery)
+		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, *journalSync, *repairEvery, *replicas, *noHedge, *hedgeDelay)
 	case *shardManifest != "":
-		handler = shardHandler(*shardManifest, *shardIndex, *topK, *journalMode, *journalSync)
+		handler = shardHandler(*shardManifest, *shardIndex, *shardReplica, *topK, *journalMode, *journalSync)
 	default:
 		handler = monolithHandler(*snapPath, *domain, *small, *seed, *workers, *tagged, *labels, *subindex, *topK, *journalMode, *journalSync)
 	}
@@ -222,7 +226,9 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 }
 
 // shardHandler serves one digest-verified shard of a sharded build.
-func shardHandler(manifestPath string, index, topK int, journalMode string, journalSync int) http.Handler {
+// replica > 0 marks this process as the range's Nth replica: it serves
+// the same artifact but keeps its own journal chain.
+func shardHandler(manifestPath string, index, replica, topK int, journalMode string, journalSync int) http.Handler {
 	m, err := snapshot.LoadManifest(manifestPath)
 	if err != nil {
 		log.Fatalf("shard manifest %s: %v", manifestPath, err)
@@ -233,11 +239,11 @@ func shardHandler(manifestPath string, index, topK int, journalMode string, jour
 	}
 	shardPath := snapshot.ShardPath(manifestPath, m.Shard[index])
 	info := snapshotInfo(shardPath, meta)
-	log.Printf("serving shard %d/%d of %s: %d entities [%s .. %s] (%.1fms load)",
-		index, m.Shards, m.Name, meta.Shard.Entities, meta.Shard.FirstEntity, meta.Shard.LastEntity, info.LoadMillis)
+	log.Printf("serving shard %d/%d (replica %d) of %s: %d entities [%s .. %s] (%.1fms load)",
+		index, m.Shards, replica, m.Name, meta.Shard.Entities, meta.Shard.FirstEntity, meta.Shard.LastEntity, info.LoadMillis)
 	// AcceptUnowned: a shard journals and absorbs replicated writes for
 	// entities other shards own (corpus-global state must not drift).
-	ingest := attachJournal(db, journalDir(journalMode, shardPath), journalSync, true)
+	ingest := attachJournal(db, replicaJournalDir(journalDir(journalMode, shardPath), replica), journalSync, true)
 	return server.New(db, server.Options{
 		DefaultTopK: topK,
 		EntityName:  entityNamer(db),
@@ -247,28 +253,46 @@ func shardHandler(manifestPath string, index, topK int, journalMode string, jour
 	})
 }
 
+// replicaJournalDir suffixes a journal directory for replicas past the
+// first, so co-located replicas of one shard never share a chain (the
+// journal's directory lock would refuse the second opener).
+func replicaJournalDir(dir string, replica int) string {
+	if dir == "" || replica <= 0 {
+		return dir
+	}
+	return fmt.Sprintf("%s-r%d", dir, replica)
+}
+
 // routerHandler assembles the scatter-gather router: remote backends when
-// -router-backends is given, otherwise every shard loaded in process.
+// -router-backends is given, otherwise every shard loaded in process
+// (replicas > 0 overrides the manifest's replica count there).
 // repairEvery > 0 starts a background anti-entropy loop over the fleet.
-func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int, repairEvery time.Duration) http.Handler {
-	opts := router.Options{DefaultTopK: topK, Metrics: metricsReg}
+func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int, repairEvery time.Duration, replicas int, noHedge bool, hedgeDelay time.Duration) http.Handler {
+	opts := router.Options{
+		DefaultTopK:    topK,
+		Metrics:        metricsReg,
+		DisableHedging: noHedge,
+		HedgeDelay:     hedgeDelay,
+	}
 	if backendList == "" {
 		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
-			Options: opts,
-			ShardServer: func(index int, path string, db *core.DB, meta *snapshot.Meta) server.Options {
-				// Each in-process shard needs its own journal chain: with an
+			Options:  opts,
+			Replicas: replicas,
+			ShardServer: func(shard, replica int, path string, db *core.DB, meta *snapshot.Meta) server.Options {
+				// Each in-process node needs its own journal chain: with an
 				// explicit -journal dir, derive a per-shard subdirectory (a
 				// shared chain would interleave two writers' sequences; the
-				// journal's directory lock refuses it outright).
+				// journal's directory lock refuses it outright), and replicas
+				// past the first get a -rN suffix either way.
 				dir := journalDir(journalMode, path)
 				if journalMode != "auto" && journalMode != "off" {
-					dir = filepath.Join(journalMode, fmt.Sprintf("shard-%d", index))
+					dir = filepath.Join(journalMode, fmt.Sprintf("shard-%d", shard))
 				}
 				return server.Options{
 					DefaultTopK: topK,
 					EntityName:  entityNamer(db),
 					Snapshot:    snapshotInfo(path, meta),
-					Ingest:      attachJournal(db, dir, journalSync, true),
+					Ingest:      attachJournal(db, replicaJournalDir(dir, replica), journalSync, true),
 					Metrics:     metricsReg,
 				}
 			},
@@ -276,7 +300,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 		if err != nil {
 			log.Fatalf("router: %v", err)
 		}
-		log.Printf("routing %s over %d in-process shards", m.Name, m.Shards)
+		log.Printf("routing %s over %d in-process shards (%d nodes)", m.Name, m.Shards, rt.NumNodes())
 		startRepairLoop(rt, repairEvery)
 		return router.NewHandler(rt)
 	}
@@ -284,17 +308,31 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 	if err != nil {
 		log.Fatalf("router manifest %s: %v", manifestPath, err)
 	}
-	urls := strings.Split(backendList, ",")
-	if len(urls) != m.Shards {
-		log.Fatalf("router-backends names %d shards, manifest %s has %d", len(urls), manifestPath, m.Shards)
+	groups := strings.Split(backendList, ",")
+	if len(groups) != m.Shards {
+		log.Fatalf("router-backends names %d shards, manifest %s has %d", len(groups), manifestPath, m.Shards)
 	}
 	var shards []router.Shard
-	for i, u := range urls {
-		shards = append(shards, router.Shard{
-			Backend:     &router.HTTPBackend{BaseURL: strings.TrimSpace(u)},
+	for i, g := range groups {
+		sh := router.Shard{
 			FirstEntity: m.Shard[i].FirstEntity,
 			LastEntity:  m.Shard[i].LastEntity,
-		})
+		}
+		// "url|url|url": the shard's replica set, any length ≥ 1 — a fleet
+		// need not replicate every range equally.
+		for j, u := range strings.Split(g, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				log.Fatalf("router-backends: shard %d has an empty replica URL", i)
+			}
+			b := &router.HTTPBackend{BaseURL: u}
+			if j == 0 {
+				sh.Backend = b
+			} else {
+				sh.Replicas = append(sh.Replicas, b)
+			}
+		}
+		shards = append(shards, sh)
 	}
 	rt, err := router.New(shards, opts)
 	if err != nil {
@@ -308,7 +346,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 	if err := rt.VerifyShardIdentities(ctx); err != nil {
 		log.Fatalf("%v", err)
 	}
-	log.Printf("routing %s over %d remote shards", m.Name, m.Shards)
+	log.Printf("routing %s over %d remote shards (%d nodes)", m.Name, m.Shards, rt.NumNodes())
 	startRepairLoop(rt, repairEvery)
 	return router.NewHandler(rt)
 }

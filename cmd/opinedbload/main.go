@@ -16,6 +16,10 @@
 //     what `make load-smoke` and CI run.
 //
 // The mix is weights, not percentages: `-mix query=4,topk=3,interpret=2,reviews=1`.
+//
+// Smoke-mode fault injection: `-replicas 2 -slow-replica 25ms` serves
+// every range twice and degrades one backend, making the hedged-scatter
+// tail win reproducible outside benchall (A/B it with `-no-hedge`).
 package main
 
 import (
@@ -43,6 +47,10 @@ func main() {
 	mixSpec := flag.String("mix", "query=4,topk=3,interpret=2,reviews=1", "operation weights")
 	seed := flag.Int64("seed", 1, "seed for corpus vocabulary and request sequence")
 	shards := flag.Int("shards", 4, "fleet size in -smoke mode")
+	replicas := flag.Int("replicas", 1, "replica-set size per shard range in -smoke mode")
+	slowReplica := flag.Duration("slow-replica", 0, "-smoke mode fault injection: add this per-request delay in front of one backend (the last replica of shard 0), so a degraded replica's tail — and hedging's answer to it — is reproducible on demand")
+	noHedge := flag.Bool("no-hedge", false, "-smoke mode: disable hedged scatter legs (the control arm of the -slow-replica A/B)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "-smoke mode: fixed hedge delay (0 = adapt to each shard's scatter p95)")
 	k := flag.Int("k", 10, "result size for query/topk operations")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of the SLO table")
 	flag.Parse()
@@ -74,10 +82,23 @@ func main() {
 			log.Fatalf("opinedbload: %v", err)
 		}
 		defer os.RemoveAll(dir)
-		log.Printf("building %d-shard journaled fleet (seed %d)...", *shards, *seed)
-		fl, err := harness.BuildLoadFleet(dir, harness.LoadFleetOptions{Shards: *shards, Seed: *seed})
+		log.Printf("building %d-shard journaled fleet (replicas %d, seed %d)...", *shards, *replicas, *seed)
+		fl, err := harness.BuildLoadFleet(dir, harness.LoadFleetOptions{
+			Shards:         *shards,
+			Replicas:       *replicas,
+			Seed:           *seed,
+			DisableHedging: *noHedge,
+			HedgeDelay:     *hedgeDelay,
+			SlowReplica:    *slowReplica,
+		})
 		if err != nil {
 			log.Fatalf("opinedbload: %v", err)
+		}
+		if *slowReplica > 0 {
+			defer func() {
+				fired, wins := fl.Router.HedgeStats()
+				log.Printf("hedges: fired %d, won %d", fired, wins)
+			}()
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

@@ -314,9 +314,11 @@ func RunLoadMix(ctx context.Context, do LoadTarget, vocabD *corpus.Dataset, opts
 				t0 := time.Now()
 				status, _, err := do(runCtx, method, target, body)
 				elapsed := time.Since(t0)
-				if runCtx.Err() != nil && err != nil {
-					// The deadline cut this request off mid-flight; it is the
-					// clock ending the run, not a serving failure.
+				if runCtx.Err() != nil && (err != nil || status >= 400) {
+					// The deadline cut this request off mid-flight — whether the
+					// failure surfaced as a transport error or as the router
+					// reporting its cancelled scatter legs, it is the clock
+					// ending the run, not a serving failure.
 					break
 				}
 				samples[w] = append(samples[w], loadSample{
@@ -383,12 +385,15 @@ func percentile(sorted []float64, q float64) float64 {
 
 // LoadFleet is an in-process journaled routed fleet assembled for load
 // runs: the router's HTTP front door, the generated dataset behind it
-// (the request vocabulary), the shared metrics registry, and each
-// shard's journal directory.
+// (the request vocabulary), the monolithic database the fleet was built
+// from (the byte-identity reference), the shared metrics registry, and
+// each node's journal directory (flat, shard-major — one per replica of
+// every shard).
 type LoadFleet struct {
 	Router      *router.Router
 	Handler     http.Handler
 	Dataset     *corpus.Dataset
+	DB          *core.DB
 	Registry    *obs.Registry
 	JournalDirs []string
 }
@@ -397,21 +402,40 @@ type LoadFleet struct {
 type LoadFleetOptions struct {
 	// Shards is the fleet size. <= 0 means 4.
 	Shards int
+	// Replicas is each shard range's replica-set size. <= 0 means 1.
+	Replicas int
 	// Seed drives corpus generation and the build.
 	Seed int64
 	// DisableTopKMemo turns off per-shard /topk fragment memoization —
 	// the control arm of the memoization A/B.
 	DisableTopKMemo bool
+	// DisableHedging turns off hedged scatter legs — the control arm of
+	// the hedging A/B.
+	DisableHedging bool
+	// HedgeDelay fixes the hedge delay (0 = adaptive p95).
+	HedgeDelay time.Duration
+	// SlowReplica injects a fixed per-request delay in front of one
+	// backend — the LAST replica of shard 0 — so a degraded replica's
+	// tail (and hedging's answer to it) is reproducible on demand.
+	SlowReplica time.Duration
+	// WrapBackend, when non-nil, wraps each node's backend after any
+	// SlowReplica delay — the kill-switch seam the replica smoke uses.
+	WrapBackend func(shard, replica int, b router.Backend) router.Backend
 }
 
 // BuildLoadFleet generates the small hotel corpus, builds the
 // subjective database, writes an n-shard fleet under dir, and serves it
-// through an in-process router with per-shard journals and one shared
-// metrics registry — the same deployment shape as `opinedbd -router`.
+// through an in-process router — R replicas per range when requested —
+// with per-node journals and one shared metrics registry, the same
+// deployment shape as `opinedbd -router`.
 func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = 4
+	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = 1
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("load fleet: %w", err)
@@ -425,17 +449,27 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load fleet: build: %w", err)
 	}
-	manifestPath, err := WriteFleet(db, dir, "load", shards, opts.Seed)
+	manifestPath, err := WriteReplicatedFleet(db, dir, "load", shards, replicas, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("load fleet: %w", err)
 	}
 
 	reg := obs.NewRegistry()
-	fl := &LoadFleet{Dataset: d, Registry: reg, JournalDirs: make([]string, shards)}
+	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, JournalDirs: make([]string, shards*replicas)}
 	rt, _, err := router.FromManifest(manifestPath, router.ManifestOptions{
-		Options: router.Options{Metrics: reg},
-		ShardServer: func(index int, path string, sdb *core.DB, meta *snapshot.Meta) server.Options {
-			jdir := filepath.Join(dir, fmt.Sprintf("shard-%d.journal", index))
+		Options: router.Options{
+			Metrics:        reg,
+			DisableHedging: opts.DisableHedging,
+			HedgeDelay:     opts.HedgeDelay,
+		},
+		ShardServer: func(shard, replica int, path string, sdb *core.DB, meta *snapshot.Meta) server.Options {
+			// Replica 0 keeps the pre-replication journal dir name so
+			// single-replica artifacts stay where tooling expects them.
+			name := fmt.Sprintf("shard-%d.journal", shard)
+			if replica > 0 {
+				name = fmt.Sprintf("shard-%d-r%d.journal", shard, replica)
+			}
+			jdir := filepath.Join(dir, name)
 			if err := os.MkdirAll(jdir, 0o755); err != nil {
 				return server.Options{}
 			}
@@ -446,7 +480,7 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 			if jerr != nil {
 				return server.Options{}
 			}
-			fl.JournalDirs[index] = jdir
+			fl.JournalDirs[shard*replicas+replica] = jdir
 			return server.Options{
 				Metrics:         reg,
 				DisableTopKMemo: opts.DisableTopKMemo,
@@ -462,6 +496,15 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 					},
 				},
 			}
+		},
+		WrapBackend: func(shard, replica int, b router.Backend) router.Backend {
+			if opts.SlowReplica > 0 && shard == 0 && replica == replicas-1 {
+				b = &router.DelayBackend{Inner: b, Delay: opts.SlowReplica}
+			}
+			if opts.WrapBackend != nil {
+				b = opts.WrapBackend(shard, replica, b)
+			}
+			return b
 		},
 	})
 	if err != nil {

@@ -21,15 +21,30 @@ import (
 // path. It is the one fleet-layout writer shared by the experiments and
 // the smoke drills.
 func WriteFleet(db *core.DB, dir, base string, n int, seed int64) (string, error) {
+	return WriteReplicatedFleet(db, dir, base, n, 1, seed)
+}
+
+// WriteReplicatedFleet is WriteFleet with a per-range replica-set size
+// recorded in the manifest. Replicas serve the same snapshot artifacts
+// (one file per shard regardless of R — the digest chain covers every
+// replica equally), so only the manifest changes shape.
+func WriteReplicatedFleet(db *core.DB, dir, base string, n, replicas int, seed int64) (string, error) {
 	shardDBs, parts, err := db.Shards(n)
 	if err != nil {
 		return "", err
+	}
+	if replicas < 0 {
+		return "", fmt.Errorf("fleet: negative replica count %d", replicas)
+	}
+	if replicas == 1 {
+		replicas = 0 // canonical single-replica manifest: field absent
 	}
 	m := &snapshot.Manifest{
 		FormatVersion: snapshot.FormatVersion,
 		Name:          db.Name,
 		BuildSeed:     seed,
 		Shards:        n,
+		Replicas:      replicas,
 		TotalEntities: len(db.EntityIDs()),
 		CreatedUnix:   time.Now().Unix(),
 	}

@@ -118,6 +118,34 @@ func (b *LocalBackend) Do(ctx context.Context, method, target string, body []byt
 	return rec.status(), rec.buf.Bytes(), nil
 }
 
+// DelayBackend injects a fixed per-request delay in front of an inner
+// backend — the fault-injection seam behind `opinedbload -slow-replica`,
+// the benchall replication experiment's degraded-replica arm, and the
+// hedging tests. The delay honors context cancellation, so a hedge
+// winner cancels the delayed loser without waiting out the injected
+// latency.
+type DelayBackend struct {
+	Inner Backend
+	Delay time.Duration
+}
+
+// Name implements Backend.
+func (b *DelayBackend) Name() string { return b.Inner.Name() + "+delay" }
+
+// Do implements Backend.
+func (b *DelayBackend) Do(ctx context.Context, method, target string, body []byte) (int, []byte, error) {
+	if b.Delay > 0 {
+		t := time.NewTimer(b.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+	return b.Inner.Do(ctx, method, target, body)
+}
+
 // memResponse is a minimal in-memory http.ResponseWriter for LocalBackend
 // (httptest's recorder, without importing a testing package into the
 // serving path).

@@ -76,11 +76,15 @@ func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bo
 
 // RouterHealthResponse is the router's /healthz payload.
 type RouterHealthResponse struct {
-	// Status is "ok" with every shard live, "degraded" otherwise.
+	// Status is "ok" with every node live, "degraded" otherwise.
 	Status string `json:"status"`
 	// Role distinguishes the router from a shard server's /healthz.
-	Role     string        `json:"role"`
+	Role string `json:"role"`
+	// Shards is the number of shard ranges; Nodes the fleet's total
+	// backend count (every replica of every range). Shard carries one
+	// probe entry per node.
 	Shards   int           `json:"shards"`
+	Nodes    int           `json:"nodes,omitempty"`
 	Entities int           `json:"entities"`
 	Shard    []ShardHealth `json:"shard"`
 }
@@ -89,13 +93,23 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	ok, shards := h.r.Health(r.Context())
-	resp := RouterHealthResponse{Status: "ok", Role: "router", Shards: len(shards), Shard: shards}
+	ok, nodes := h.r.Health(r.Context())
+	resp := RouterHealthResponse{Status: "ok", Role: "router", Shards: h.r.NumShards(), Shard: nodes}
+	if h.r.NumNodes() > h.r.NumShards() {
+		resp.Nodes = h.r.NumNodes()
+	}
 	if !ok {
 		resp.Status = "degraded"
 	}
-	for _, s := range shards {
-		resp.Entities += s.Entities
+	// Entities counts each range once — replicas serve copies of the same
+	// entities, not more of them. The first live replica of each range
+	// speaks for it.
+	counted := map[int]bool{}
+	for _, s := range nodes {
+		if s.OK && !counted[s.Index] {
+			counted[s.Index] = true
+			resp.Entities += s.Entities
+		}
 	}
 	server.WriteJSON(w, http.StatusOK, resp)
 }

@@ -43,10 +43,22 @@ const (
 	// anti-entropy passes run and records backfilled by them.
 	MetricRouterRepairPasses     = "opinedb_router_repair_passes_total"
 	MetricRouterRepairBackfilled = "opinedb_router_repair_backfilled_total"
-	// MetricRouterRepairLag: per-shard journal sequences behind the
-	// repair reference after the last pass — labeled {shard="0"...};
-	// non-zero means the shard did not converge.
+	// MetricRouterRepairLag: per-node journal sequences behind the
+	// repair reference after the last pass — labeled {shard,replica};
+	// non-zero means the node did not converge.
 	MetricRouterRepairLag = "opinedb_router_repair_lag"
+	// MetricRouterReplicaSeconds: one replica's successful request-leg
+	// latency — labeled {shard,replica}; a replica whose percentiles
+	// drift from its set-mates' is degraded.
+	MetricRouterReplicaSeconds = "opinedb_router_replica_seconds"
+	// MetricRouterReplicaPicked: how often the load balancer picked each
+	// replica — labeled {shard,replica}; a starved replica is ejected or
+	// persistently loaded.
+	MetricRouterReplicaPicked = "opinedb_router_replica_picked_total"
+	// MetricRouterHedgesFired / MetricRouterHedgeWins: hedge legs
+	// launched and hedge legs that beat the original.
+	MetricRouterHedgesFired = "opinedb_router_hedges_fired_total"
+	MetricRouterHedgeWins   = "opinedb_router_hedge_wins_total"
 )
 
 // routerEndpoints are the instrumented front-door endpoints, fixed up
@@ -71,10 +83,18 @@ type routerMetrics struct {
 	dirtyShards    *obs.Gauge
 	repairPasses   *obs.Counter
 	repairBackfill *obs.Counter
-	repairLag      []*obs.Gauge
+	// repairLag is node-indexed (shard-major, like Router.nodes).
+	repairLag []*obs.Gauge
+	// replicaSeconds/replicaPicked are [shard][replica].
+	replicaSeconds [][]*obs.Histogram
+	replicaPicked  [][]*obs.Counter
+	hedgeFired     *obs.Counter
+	hedgeWins      *obs.Counter
 }
 
-func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
+// newRouterMetrics resolves the router's instruments; counts[i] is shard
+// i's replica-set size, so per-replica families get one series per node.
+func newRouterMetrics(reg *obs.Registry, counts []int) *routerMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -97,16 +117,32 @@ func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
 	m.parse = stage("parse")
 	m.scatter = stage("scatter")
 	m.merge = stage("merge")
+	shards := len(counts)
 	m.shardSeconds = make([]*obs.Histogram, shards)
-	m.repairLag = make([]*obs.Gauge, shards)
+	m.replicaSeconds = make([][]*obs.Histogram, shards)
+	m.replicaPicked = make([][]*obs.Counter, shards)
 	for i := 0; i < shards; i++ {
 		m.shardSeconds[i] = reg.Histogram(MetricRouterShardSeconds,
 			"One shard's scatter round-trip in seconds.",
 			obs.L("shard", strconv.Itoa(i)))
-		m.repairLag[i] = reg.Gauge(MetricRouterRepairLag,
-			"Journal sequences behind the repair reference after the last pass.",
-			obs.L("shard", strconv.Itoa(i)))
+		m.replicaSeconds[i] = make([]*obs.Histogram, counts[i])
+		m.replicaPicked[i] = make([]*obs.Counter, counts[i])
+		for j := 0; j < counts[i]; j++ {
+			m.replicaSeconds[i][j] = reg.Histogram(MetricRouterReplicaSeconds,
+				"One replica's successful request-leg latency in seconds.",
+				obs.L("shard", strconv.Itoa(i)), obs.L("replica", strconv.Itoa(j)))
+			m.replicaPicked[i][j] = reg.Counter(MetricRouterReplicaPicked,
+				"Load-balancer picks, by replica.",
+				obs.L("shard", strconv.Itoa(i)), obs.L("replica", strconv.Itoa(j)))
+			m.repairLag = append(m.repairLag, reg.Gauge(MetricRouterRepairLag,
+				"Journal sequences behind the repair reference after the last pass.",
+				obs.L("shard", strconv.Itoa(i)), obs.L("replica", strconv.Itoa(j))))
+		}
 	}
+	m.hedgeFired = reg.Counter(MetricRouterHedgesFired,
+		"Hedge legs launched against a second replica.")
+	m.hedgeWins = reg.Counter(MetricRouterHedgeWins,
+		"Hedge legs that beat the original leg.")
 	m.interpretHits = reg.Counter(MetricRouterInterpretHits,
 		"Front-door interpret memo cache hits.")
 	m.interpretMiss = reg.Counter(MetricRouterInterpretMisses,

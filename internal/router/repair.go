@@ -20,18 +20,21 @@ import (
 	"repro/internal/fleet"
 )
 
-// fleetBackends adapts the router's shard backends to the control
-// plane's Backend interface (structurally identical).
+// fleetBackends adapts the router's fleet — every replica of every
+// shard, in flat node order — to the control plane's Backend interface
+// (structurally identical). Repair is a per-node concern: each node
+// journals the fleet write order independently, so each converges (or
+// lags) independently of its set-mates.
 func (r *Router) fleetBackends() []fleet.Backend {
-	out := make([]fleet.Backend, len(r.shards))
-	for i := range r.shards {
-		out[i] = r.shards[i].Backend
+	out := make([]fleet.Backend, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.backend
 	}
 	return out
 }
 
-// markDirtyLocked records shards whose replication failed. Caller holds
-// writeMu.
+// markDirtyLocked records nodes (flat indexes) whose replication failed.
+// Caller holds writeMu.
 func (r *Router) markDirtyLocked(failed map[int]string) {
 	for i := range failed {
 		r.dirty[i] = true
@@ -39,10 +42,10 @@ func (r *Router) markDirtyLocked(failed map[int]string) {
 	r.metrics.dirtyShards.Set(float64(len(r.dirty)))
 }
 
-// repairDirtyLocked runs one repair pass scoped to the dirty shards,
+// repairDirtyLocked runs one repair pass scoped to the dirty nodes,
 // clearing the ones that converged. Caller holds writeMu. It returns the
-// indexes healed by this pass (nil when there was nothing to do or the
-// pass could not run).
+// node indexes healed by this pass (nil when there was nothing to do or
+// the pass could not run).
 func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 	if len(r.dirty) == 0 {
 		return nil
@@ -85,8 +88,9 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 	return healed
 }
 
-// DirtyShards reports the shards whose last replication failed and that
-// no repair pass has converged yet.
+// DirtyShards reports the flat node indexes whose last replication
+// failed and that no repair pass has converged yet (with single-replica
+// shards a node index IS the shard index).
 func (r *Router) DirtyShards() []int {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
@@ -110,7 +114,7 @@ func (r *Router) RunRepair(ctx context.Context) (*fleet.RepairReport, error) {
 	}
 	r.metrics.observeRepair(report)
 	repaired := false
-	for i := range r.shards {
+	for i := range r.nodes {
 		if report.Converged(i) {
 			delete(r.dirty, i)
 		}

@@ -1,0 +1,183 @@
+package router_test
+
+// End-to-end tests of replicated serving over the shared e2e fixture's
+// real HTTP shard servers: the full-fingerprint byte-identity contract
+// must survive load balancing and hedging at R=2, a degraded (slow)
+// replica with hedging rescuing the tail, and an outright dead replica
+// with failover carrying the set — and partial results must attribute
+// failures to the exact replica.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/router"
+	"repro/internal/snapshot"
+)
+
+// namedBackend gives a backend a stable display name independent of
+// its ephemeral httptest URL.
+type namedBackend struct {
+	router.Backend
+	name string
+}
+
+func (b namedBackend) Name() string { return b.name }
+
+// replicatedRouter assembles an R=2 router over the fixture: both
+// replicas of each range point at the same shard server through
+// independent backends — equivalent replicas by construction, which is
+// exactly the property the balancer and hedger rely on.
+func replicatedRouter(t *testing.T, m *snapshot.Manifest, urls []string, opts router.Options,
+	wrap func(shard, replica int, b router.Backend) router.Backend) *router.Router {
+	t.Helper()
+	shards := make([]router.Shard, len(urls))
+	for i, u := range urls {
+		b0 := router.Backend(namedBackend{&router.HTTPBackend{BaseURL: u}, fmt.Sprintf("shard%d.r0", i)})
+		b1 := router.Backend(namedBackend{&router.HTTPBackend{BaseURL: u}, fmt.Sprintf("shard%d.r1", i)})
+		if wrap != nil {
+			b0, b1 = wrap(i, 0, b0), wrap(i, 1, b1)
+		}
+		shards[i] = router.Shard{
+			Backend:     b0,
+			Replicas:    []router.Backend{b1},
+			FirstEntity: m.Shard[i].FirstEntity,
+			LastEntity:  m.Shard[i].LastEntity,
+		}
+	}
+	rt, err := router.New(shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestReplicatedByteIdentity: the R=2 fleet with hedging enabled answers
+// the full harness fingerprint byte-identically to the monolith — load
+// balancing must be invisible in the bytes.
+func TestReplicatedByteIdentity(t *testing.T) {
+	d, db, m, urls := e2eFixture(t)
+	rt := replicatedRouter(t, m, urls, router.Options{PickSeed: 1}, nil)
+	monolithFP, n := harness.QueryFingerprint(d, db)
+	routedFP, _ := harness.QueryFingerprint(d, rt.Engine(context.Background()))
+	if monolithFP != routedFP {
+		t.Fatalf("R=2 fleet diverges from monolith over %d query-set entries:\n%s",
+			n, firstDiff(monolithFP, routedFP))
+	}
+}
+
+// TestReplicatedSlowReplicaByteIdentity degrades one replica of one
+// range and pins a short hedge delay: hedging must fire (the slow legs
+// exceed the delay by construction) and the bytes must not move.
+func TestReplicatedSlowReplicaByteIdentity(t *testing.T) {
+	d, db, m, urls := e2eFixture(t)
+	const slow = 15 * time.Millisecond
+	rt := replicatedRouter(t, m, urls,
+		router.Options{PickSeed: 1, HedgeDelay: 2 * time.Millisecond},
+		func(shard, replica int, b router.Backend) router.Backend {
+			if shard == 1 && replica == 1 {
+				return &router.DelayBackend{Inner: b, Delay: slow}
+			}
+			return b
+		})
+	monolithFP, n := harness.QueryFingerprint(d, db)
+	routedFP, _ := harness.QueryFingerprint(d, rt.Engine(context.Background()))
+	if monolithFP != routedFP {
+		t.Fatalf("fleet with a slow replica diverges from monolith over %d query-set entries:\n%s",
+			n, firstDiff(monolithFP, routedFP))
+	}
+	if fired, wins := rt.HedgeStats(); fired == 0 || wins == 0 {
+		t.Fatalf("hedge stats = fired %d wins %d; a 15ms replica behind a 2ms hedge delay must hedge", fired, wins)
+	}
+}
+
+// TestReplicatedOneReplicaDown kills one replica of one range outright:
+// failover keeps every request whole (no partials anywhere in the
+// fingerprint — it would diverge if any went partial) and byte-identity
+// holds.
+func TestReplicatedOneReplicaDown(t *testing.T) {
+	d, db, m, urls := e2eFixture(t)
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close()
+	rt := replicatedRouter(t, m, urls, router.Options{PickSeed: 1},
+		func(shard, replica int, b router.Backend) router.Backend {
+			if shard == 2 && replica == 0 {
+				return namedBackend{&router.HTTPBackend{BaseURL: deadURL}, "shard2.r0-dead"}
+			}
+			return b
+		})
+	monolithFP, n := harness.QueryFingerprint(d, db)
+	routedFP, _ := harness.QueryFingerprint(d, rt.Engine(context.Background()))
+	if monolithFP != routedFP {
+		t.Fatalf("fleet with a dead replica diverges from monolith over %d query-set entries:\n%s",
+			n, firstDiff(monolithFP, routedFP))
+	}
+}
+
+// TestHandlerReportsFailedNodes: when a whole replica set is down, the
+// front door's JSON attributes the failure to each replica — operators
+// must be able to tell a dead replica from a dead range.
+func TestHandlerReportsFailedNodes(t *testing.T) {
+	d, _, m, urls := e2eFixture(t)
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close()
+	rt := replicatedRouter(t, m, urls, router.Options{PickSeed: 1},
+		func(shard, replica int, b router.Backend) router.Backend {
+			if shard == 3 {
+				return namedBackend{&router.HTTPBackend{BaseURL: deadURL},
+					fmt.Sprintf("shard3.r%d-dead", replica)}
+			}
+			return b
+		})
+	front := httptest.NewServer(router.NewHandler(rt))
+	defer front.Close()
+
+	var pred string
+	for _, p := range d.Predicates {
+		pred = p.Text
+		break
+	}
+	resp, err := http.Get(front.URL + "/query?sql=" +
+		strings.ReplaceAll(`select * from Entities where "`+pred+`"`, " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Partial     bool `json:"partial"`
+		FailedNodes []struct {
+			Shard   int    `json:"shard"`
+			Replica int    `json:"replica"`
+			Backend string `json:"backend"`
+			Error   string `json:"error"`
+		} `json:"failed_nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Partial {
+		t.Fatal("result not marked partial with a whole replica set down")
+	}
+	if len(qr.FailedNodes) != 2 {
+		t.Fatalf("failed_nodes = %+v, want both replicas of shard 3", qr.FailedNodes)
+	}
+	seen := map[int]bool{}
+	for _, ne := range qr.FailedNodes {
+		if ne.Shard != 3 || ne.Backend == "" || ne.Error == "" {
+			t.Errorf("failed_nodes entry = %+v", ne)
+		}
+		seen[ne.Replica] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("failed_nodes %+v does not attribute both replicas", qr.FailedNodes)
+	}
+}

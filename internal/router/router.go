@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/url"
 	"strings"
 	"sync"
@@ -47,14 +48,26 @@ type Backend interface {
 	Do(ctx context.Context, method, target string, body []byte) (status int, respBody []byte, err error)
 }
 
-// Shard pairs a backend with the entity range it owns. The range bounds
-// come from the shard manifest; they let the router route point lookups
-// (/evidence) straight to the owner. Empty bounds disable targeted
-// routing for that shard (the router falls back to scattering).
+// Shard pairs a replica set with the entity range it owns. The range
+// bounds come from the shard manifest; they let the router route point
+// lookups (/evidence) straight to the owner. Empty bounds disable
+// targeted routing for that shard (the router falls back to
+// scattering).
 type Shard struct {
-	Backend     Backend
+	// Backend is the range's primary (replica 0).
+	Backend Backend
+	// Replicas lists additional equivalent backends for the range; the
+	// full replica set is [Backend, Replicas...]. Reads load-balance and
+	// hedge across the set (replica.go); writes and repair reach every
+	// member (write.go, repair.go).
+	Replicas    []Backend
 	FirstEntity string
 	LastEntity  string
+}
+
+// set returns the shard's full replica set.
+func (s Shard) set() []Backend {
+	return append([]Backend{s.Backend}, s.Replicas...)
 }
 
 // Options configure a Router.
@@ -78,6 +91,20 @@ type Options struct {
 	// single-process fleet passes one registry to the router and every
 	// shard so one scrape covers both tiers.
 	Metrics *obs.Registry
+	// DisableHedging turns off hedged scatter legs (replica.go). Load
+	// balancing and failover across replicas stay on; only the
+	// latency-triggered second leg is suppressed — the control arm of
+	// the hedging A/B.
+	DisableHedging bool
+	// HedgeDelay fixes the hedge delay instead of adapting it to each
+	// shard's scatter-latency p95. 0 means adaptive.
+	HedgeDelay time.Duration
+	// PickSeed seeds the replica load-balancer's RNG so tests can pin
+	// the power-of-two-choices sample sequence. 0 uses a random seed.
+	PickSeed int64
+	// EjectFor overrides how long a failing replica sits out of the
+	// load-balanced pick. 0 means 2s.
+	EjectFor time.Duration
 }
 
 // ErrBadQuery marks client-side query errors — unparseable SQL or a
@@ -91,13 +118,27 @@ type Router struct {
 	shards   []Shard
 	timeout  time.Duration
 	defaultK int
+	// reps mirrors shards with per-replica balancing state; nodes is the
+	// same set flattened fleet-wide in shard-major order (the indexing
+	// writes, repair and the dirty set use — with single-replica shards
+	// a node index IS the shard index).
+	reps  [][]*replica
+	nodes []*replica
+	// pickRng drives power-of-two-choices sampling (replica.go), guarded
+	// by pickMu — the pick is two Intn calls, never worth a sharded RNG.
+	pickMu  sync.Mutex
+	pickRng *rand.Rand
+	// hedge/hedgeDelay/ejectFor resolve the Options knobs.
+	hedge      bool
+	hedgeDelay time.Duration
+	ejectFor   time.Duration
 	// writeMu serializes routed writes into one fleet-wide total order
 	// (see write.go). The repair hook and the dirty set below are
 	// guarded by it too: repair must not interleave with writes.
 	writeMu sync.Mutex
 	// autoRepair enables the post-partial-write healing hook; dirty holds
-	// the shard indexes whose last replication failed and that repair has
-	// not yet converged.
+	// the flat node indexes whose last replication failed and that repair
+	// has not yet converged.
 	autoRepair bool
 	dirty      map[int]bool
 	// interpMu guards the front-door /interpret memo cache (cache.go);
@@ -118,6 +159,11 @@ func New(shards []Shard, opts Options) (*Router, error) {
 		if s.Backend == nil {
 			return nil, fmt.Errorf("router: shard %d has no backend", i)
 		}
+		for j, b := range s.Replicas {
+			if b == nil {
+				return nil, fmt.Errorf("router: shard %d replica %d has no backend", i, j+1)
+			}
+		}
 	}
 	t := opts.Timeout
 	if t <= 0 {
@@ -127,31 +173,69 @@ func New(shards []Shard, opts Options) (*Router, error) {
 	if k <= 0 {
 		k = 10
 	}
-	return &Router{
+	ejectFor := opts.EjectFor
+	if ejectFor <= 0 {
+		ejectFor = defaultEjectFor
+	}
+	pickSeed := opts.PickSeed
+	if pickSeed == 0 {
+		pickSeed = time.Now().UnixNano()
+	}
+	r := &Router{
 		shards:      append([]Shard(nil), shards...),
 		timeout:     t,
 		defaultK:    k,
+		pickRng:     rand.New(rand.NewSource(pickSeed)),
+		hedge:       !opts.DisableHedging,
+		hedgeDelay:  opts.HedgeDelay,
+		ejectFor:    ejectFor,
 		autoRepair:  !opts.DisableAutoRepair,
 		dirty:       map[int]bool{},
 		interpCache: lru.New[string, *server.InterpretResponse](maxInterpretCacheEntries),
-		metrics:     newRouterMetrics(opts.Metrics, len(shards)),
-	}, nil
+	}
+	counts := make([]int, len(shards))
+	for i, s := range shards {
+		counts[i] = 1 + len(s.Replicas)
+	}
+	r.metrics = newRouterMetrics(opts.Metrics, counts)
+	for i, s := range shards {
+		set := make([]*replica, 0, 1+len(s.Replicas))
+		for j, b := range s.set() {
+			set = append(set, &replica{backend: b, shard: i, idx: j, node: len(r.nodes) + j})
+		}
+		r.reps = append(r.reps, set)
+		r.nodes = append(r.nodes, set...)
+	}
+	return r, nil
 }
 
-// NumShards returns the fleet size.
+// NumShards returns the number of shard ranges.
 func (r *Router) NumShards() int { return len(r.shards) }
 
-// shardReply is one backend's raw response to a scatter.
+// NumNodes returns the fleet's total backend count — every replica of
+// every shard.
+func (r *Router) NumNodes() int { return len(r.nodes) }
+
+// shardReply is one shard fragment's raw outcome.
 type shardReply struct {
 	status int
 	body   []byte
 	err    error
+	// replica is the replica index that produced the reply; -1 for a
+	// synthetic reply (every leg failed, or the context died).
+	replica int
+	// fails carries per-replica attribution when more than one leg
+	// failed behind this reply.
+	fails []NodeError
 }
 
-// scatter fans one request out to every shard concurrently. The whole
-// fan-out lands in the scatter-stage histogram and each shard's
-// round-trip in its own per-shard series, so a straggler shard is
-// visible as the gap between its percentiles and its peers'.
+// scatter fans one request out to every shard concurrently; each
+// fragment is served by the shard's replica set with load balancing,
+// failover and hedging (shardRequest, replica.go). The whole fan-out
+// lands in the scatter-stage histogram and each shard's fragment in its
+// own per-shard series — the same series the adaptive hedge delay reads
+// its p95 from — so a straggler shard is visible as the gap between its
+// percentiles and its peers'.
 func (r *Router) scatter(ctx context.Context, method, target string, body []byte) []shardReply {
 	ctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
@@ -163,9 +247,8 @@ func (r *Router) scatter(ctx context.Context, method, target string, body []byte
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			status, b, err := r.shards[i].Backend.Do(ctx, method, target, body)
+			replies[i] = r.shardRequest(ctx, i, method, target, body)
 			r.metrics.shardSeconds[i].ObserveSince(t0)
-			replies[i] = shardReply{status: status, body: b, err: err}
 		}(i)
 	}
 	wg.Wait()
@@ -191,24 +274,31 @@ func replyError(rep shardReply) string {
 }
 
 // gather decodes every successful reply into outs[i] (a pointer) and
-// returns per-shard error strings keyed by shard index. outs[i] stays nil
-// for failed shards.
-func gatherInto[T any](replies []shardReply) ([]*T, map[int]string) {
+// returns per-shard error strings keyed by shard index plus the
+// replica-attributed failure list. outs[i] stays nil for failed shards.
+func gatherInto[T any](r *Router, replies []shardReply) ([]*T, map[int]string, []NodeError) {
 	outs := make([]*T, len(replies))
 	errs := map[int]string{}
+	var nodeErrs []NodeError
 	for i, rep := range replies {
 		if msg := replyError(rep); msg != "" {
 			errs[i] = msg
+			nodeErrs = append(nodeErrs, r.nodeFailures(i, rep)...)
 			continue
 		}
 		v := new(T)
 		if err := json.Unmarshal(rep.body, v); err != nil {
 			errs[i] = fmt.Sprintf("bad response: %v", err)
+			nodeErrs = append(nodeErrs, NodeError{
+				Shard: i, Replica: rep.replica,
+				Backend: r.backendName(i, rep.replica),
+				Error:   errs[i],
+			})
 			continue
 		}
 		outs[i] = v
 	}
-	return outs, errs
+	return outs, errs, nodeErrs
 }
 
 // ---- bounded-heap ranked merge ----
@@ -289,7 +379,11 @@ type QueryResult struct {
 	Partial bool `json:"partial,omitempty"`
 	// ShardErrors maps failed shard index → error description.
 	ShardErrors map[int]string `json:"shard_errors,omitempty"`
-	ElapsedMs   float64        `json:"elapsed_ms"`
+	// FailedNodes attributes each failed request leg to the exact
+	// replica behind it, so a dead replica is distinguishable from a
+	// dead range.
+	FailedNodes []NodeError `json:"failed_nodes,omitempty"`
+	ElapsedMs   float64     `json:"elapsed_ms"`
 }
 
 // TopKResult is the router's merged /topk answer. Work statistics are
@@ -302,6 +396,7 @@ type TopKResult struct {
 	Candidates     int              `json:"candidates"`
 	Partial        bool             `json:"partial,omitempty"`
 	ShardErrors    map[int]string   `json:"shard_errors,omitempty"`
+	FailedNodes    []NodeError      `json:"failed_nodes,omitempty"`
 	ElapsedMs      float64          `json:"elapsed_ms"`
 }
 
@@ -362,7 +457,7 @@ func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, er
 		return nil, fmt.Errorf("router: encode query: %w", err)
 	}
 	replies := r.scatter(ctx, "POST", "/query", body)
-	outs, errs := gatherInto[server.QueryResponse](replies)
+	outs, errs, nodeErrs := gatherInto[server.QueryResponse](r, replies)
 
 	res := &QueryResult{Rows: []server.RowJSON{}}
 	lists := make([][]server.RowJSON, 0, len(outs))
@@ -387,6 +482,7 @@ func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, er
 	res.Partial = len(errs) > 0
 	if len(errs) > 0 {
 		res.ShardErrors = errs
+		res.FailedNodes = nodeErrs
 	}
 	res.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	return res, nil
@@ -409,7 +505,7 @@ func (r *Router) TopK(ctx context.Context, predicates []string, k int) (*TopKRes
 	}
 	q = append(q, fmt.Sprintf("k=%d", k))
 	replies := r.scatter(ctx, "GET", "/topk?"+strings.Join(q, "&"), nil)
-	outs, errs := gatherInto[server.TopKResponse](replies)
+	outs, errs, nodeErrs := gatherInto[server.TopKResponse](r, replies)
 
 	res := &TopKResult{Rows: []server.RowJSON{}}
 	lists := make([][]server.RowJSON, 0, len(outs))
@@ -433,6 +529,7 @@ func (r *Router) TopK(ctx context.Context, predicates []string, k int) (*TopKRes
 	res.Partial = len(errs) > 0
 	if len(errs) > 0 {
 		res.ShardErrors = errs
+		res.FailedNodes = nodeErrs
 	}
 	res.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	return res, nil
@@ -441,7 +538,9 @@ func (r *Router) TopK(ctx context.Context, predicates []string, k int) (*TopKRes
 // firstSuccess tries shards in index order and decodes the first
 // successful reply — the failover (not fan-out) pattern for endpoints
 // whose answer comes from replicated global state, so any one shard is
-// authoritative.
+// authoritative. Within each shard the request is served by the replica
+// set (load-balanced, hedged), so a single dead replica never forces
+// the hop to the next shard.
 func firstSuccess[T any](r *Router, ctx context.Context, op, target string) (*T, error) {
 	errs := map[int]string{}
 	for i := range r.shards {
@@ -450,15 +549,14 @@ func firstSuccess[T any](r *Router, ctx context.Context, op, target string) (*T,
 			break
 		}
 		reqCtx, cancel := context.WithTimeout(ctx, r.timeout)
-		status, body, err := r.shards[i].Backend.Do(reqCtx, "GET", target, nil)
+		rep := r.shardRequest(reqCtx, i, "GET", target, nil)
 		cancel()
-		rep := shardReply{status: status, body: body, err: err}
 		if msg := replyError(rep); msg != "" {
 			errs[i] = msg
 			continue
 		}
 		out := new(T)
-		if err := json.Unmarshal(body, out); err != nil {
+		if err := json.Unmarshal(rep.body, out); err != nil {
 			errs[i] = fmt.Sprintf("bad response: %v", err)
 			continue
 		}
@@ -506,8 +604,10 @@ func (r *Router) ownerOf(id string) int {
 type EvidenceStatus struct {
 	Status int
 	Body   []byte
-	// Shard is the shard index that answered.
-	Shard int
+	// Shard is the shard index that answered; Replica the replica within
+	// its set (-1 when unknown).
+	Shard   int
+	Replica int
 }
 
 // Evidence routes a marker-summary lookup to the shard owning the entity
@@ -522,11 +622,11 @@ func (r *Router) Evidence(ctx context.Context, entity, attribute string, limit i
 	if owner := r.ownerOf(entity); owner >= 0 {
 		reqCtx, cancel := context.WithTimeout(ctx, r.timeout)
 		defer cancel()
-		status, body, err := r.shards[owner].Backend.Do(reqCtx, "GET", target, nil)
-		if err != nil {
-			return nil, fmt.Errorf("router: evidence: shard %d (%s): %w", owner, r.shards[owner].Backend.Name(), err)
+		rep := r.shardRequest(reqCtx, owner, "GET", target, nil)
+		if rep.err != nil {
+			return nil, fmt.Errorf("router: evidence: shard %d (%s): %w", owner, r.backendName(owner, rep.replica), rep.err)
 		}
-		return &EvidenceStatus{Status: status, Body: body, Shard: owner}, nil
+		return &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: owner, Replica: rep.replica}, nil
 	}
 	// Unknown ownership: scatter; the owner answers 200, everyone else
 	// 4xx. Prefer the 200. A miss is only a definitive not-found when
@@ -542,10 +642,10 @@ func (r *Router) Evidence(ctx context.Context, entity, attribute string, limit i
 		case rep.err != nil:
 			errs[i] = rep.err.Error()
 		case rep.status == 200:
-			return &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: i}, nil
+			return &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: i, Replica: rep.replica}, nil
 		case rep.status >= 400 && rep.status < 500:
 			if firstMiss == nil {
-				firstMiss = &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: i}
+				firstMiss = &EvidenceStatus{Status: rep.status, Body: rep.body, Shard: i, Replica: rep.replica}
 			}
 		default:
 			errs[i] = replyError(rep)
@@ -564,9 +664,14 @@ func (r *Router) Evidence(ctx context.Context, entity, attribute string, limit i
 	return firstMiss, nil
 }
 
-// ShardHealth is one shard's health probe result.
+// ShardHealth is one node's health probe result — with replica sets the
+// fleet health report carries one entry per node (every replica of every
+// shard), not one per range.
 type ShardHealth struct {
+	// Index is the node's shard (range) index; Replica its position in
+	// that range's replica set.
 	Index    int                    `json:"index"`
+	Replica  int                    `json:"replica"`
 	Backend  string                 `json:"backend"`
 	OK       bool                   `json:"ok"`
 	Error    string                 `json:"error,omitempty"`
@@ -574,46 +679,56 @@ type ShardHealth struct {
 	Health   *server.HealthResponse `json:"health,omitempty"`
 }
 
-// Health probes every shard's /healthz and aggregates.
+// Health probes every node's /healthz — directly, not through the
+// load-balanced pick, which exists to route around exactly the nodes a
+// health probe must expose — and aggregates. ok is true only when every
+// replica of every shard answered.
 func (r *Router) Health(ctx context.Context) (ok bool, shards []ShardHealth) {
-	replies := r.scatter(ctx, "GET", "/healthz", nil)
-	outs, errs := gatherInto[server.HealthResponse](replies)
+	replies := r.scatterNodes(ctx, "GET", "/healthz")
 	ok = true
-	for i := range r.shards {
-		sh := ShardHealth{Index: i, Backend: r.shards[i].Backend.Name()}
-		if outs[i] != nil {
-			sh.OK = true
-			sh.Entities = outs[i].Entities
-			sh.Health = outs[i]
-		} else {
+	for i, rep := range replies {
+		node := r.nodes[i]
+		sh := ShardHealth{Index: node.shard, Replica: node.idx, Backend: node.backend.Name()}
+		if msg := replyError(rep); msg != "" {
 			ok = false
-			sh.Error = errs[i]
+			sh.Error = msg
+		} else {
+			var h server.HealthResponse
+			if err := json.Unmarshal(rep.body, &h); err != nil {
+				ok = false
+				sh.Error = fmt.Sprintf("bad response: %v", err)
+			} else {
+				sh.OK = true
+				sh.Entities = h.Entities
+				hc := h
+				sh.Health = &hc
+			}
 		}
 		shards = append(shards, sh)
 	}
 	return ok, shards
 }
 
-// VerifyShardIdentities probes every backend's /healthz and checks that a
-// backend reporting a shard identity actually serves the shard at its
-// position — catching a misordered -router-backends list, which would
+// VerifyShardIdentities probes every node's /healthz and checks that a
+// backend reporting a shard identity actually serves the shard range at
+// its position — catching a misordered -router-backends list, which would
 // otherwise misroute /evidence silently (scatters still work, so nothing
 // else complains). Unreachable backends and backends without shard
 // identity (in-process builds) are skipped; they cannot prove a mismatch.
 func (r *Router) VerifyShardIdentities(ctx context.Context) error {
-	_, shards := r.Health(ctx)
-	for i, sh := range shards {
+	_, nodes := r.Health(ctx)
+	for _, sh := range nodes {
 		if !sh.OK || sh.Health == nil || sh.Health.Snapshot == nil || sh.Health.Snapshot.Shard == nil {
 			continue
 		}
 		id := sh.Health.Snapshot.Shard
-		if id.Index != i {
-			return fmt.Errorf("router: backend %d (%s) serves shard %d — the backend list must follow manifest order",
-				i, r.shards[i].Backend.Name(), id.Index)
+		if id.Index != sh.Index {
+			return fmt.Errorf("router: shard %d replica %d (%s) serves shard %d — the backend list must follow manifest order",
+				sh.Index, sh.Replica, sh.Backend, id.Index)
 		}
 		if id.Count != len(r.shards) {
-			return fmt.Errorf("router: backend %d (%s) belongs to a %d-shard build, this fleet has %d",
-				i, r.shards[i].Backend.Name(), id.Count, len(r.shards))
+			return fmt.Errorf("router: shard %d replica %d (%s) belongs to a %d-shard build, this fleet has %d",
+				sh.Index, sh.Replica, sh.Backend, id.Count, len(r.shards))
 		}
 	}
 	return nil

@@ -1,14 +1,19 @@
 package router
 
 // Write path: the router scatter-routes POST /reviews over the fleet.
-// Per-entity state lives on exactly one shard (the manifest-range owner),
-// but corpus-global model state — the review BM25 index, sentiment and
-// co-occurrence statistics — is REPLICATED, and a write must reach every
-// replica of it or interpretations would diverge across shards. So a
-// routed write is owner-first (the owner validates and journals the
-// authoritative copy; its rejection aborts the write fleet-wide with
-// nothing mutated), then replicated to every other shard, which absorbs
-// the global half of the delta and journals it for its own recovery.
+// Per-entity state lives on exactly one shard range (the manifest-range
+// owner), but corpus-global model state — the review BM25 index,
+// sentiment and co-occurrence statistics — is REPLICATED, and a write
+// must reach every node of it or interpretations would diverge across
+// the fleet. So a routed write is owner-first (one replica of the owning
+// range validates and journals the authoritative copy; its rejection
+// aborts the write fleet-wide with nothing mutated — if that replica is
+// unreachable the hop fails over to the next replica of the range), then
+// replicated to EVERY other node — every replica of every shard,
+// including the owner range's peer replicas, which serve the entity and
+// so materialize the full write, not just its global half. That is what
+// lets a hedged read land on any replica and still see the exact bytes
+// the primary would produce.
 //
 // Writes are serialized fleet-wide by the router's write mutex: every
 // shard journals and applies reviews in one total order, which is what
@@ -21,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"repro/internal/server"
@@ -33,8 +39,10 @@ import (
 type StatusError struct {
 	Status int
 	Body   []byte
-	// Shard is the shard index that rejected.
-	Shard int
+	// Shard is the shard index that rejected; Replica the replica within
+	// its set that answered (-1 when no backend answered).
+	Shard   int
+	Replica int
 	// Heal carries the replica fan-out outcome of a 409 duplicate (a
 	// retry's purpose is healing a previously partial replication); nil
 	// for every other rejection. The handler merges it into the response
@@ -60,19 +68,25 @@ func (e *StatusError) Error() string {
 type ReviewResult struct {
 	server.ReviewResponse
 	// OwnerShard is the manifest-range owner that materialized the
-	// per-entity state.
-	OwnerShard int `json:"owner_shard"`
-	// Replicated counts the other shards that absorbed the write's
-	// corpus-global state.
+	// per-entity state; OwnerReplica the replica of that range that took
+	// the authoritative write (non-zero after an owner failover).
+	OwnerShard   int `json:"owner_shard"`
+	OwnerReplica int `json:"owner_replica,omitempty"`
+	// Replicated counts the other fleet nodes (every replica of every
+	// shard) that absorbed the write.
 	Replicated int `json:"replicated"`
-	// Partial is true when at least one replica failed to absorb the
-	// write. ShardErrors names the failures. Unless auto-repair is
-	// disabled, the router immediately runs an anti-entropy pass against
-	// the failed shards; Healed lists the ones that converged before this
+	// Partial is true when at least one node failed to absorb the
+	// write. ShardErrors names the failures by shard range (one combined
+	// message per range); FailedNodes attributes each failed leg to the
+	// exact replica. Unless auto-repair is disabled, the router
+	// immediately runs an anti-entropy pass against the failed nodes;
+	// Healed lists the flat node indexes that converged before this
 	// response was sent (the rest stay dirty and are retried on
-	// subsequent writes).
+	// subsequent writes). With single-replica shards node indexes ARE
+	// shard indexes.
 	Partial     bool           `json:"partial,omitempty"`
 	ShardErrors map[int]string `json:"shard_errors,omitempty"`
+	FailedNodes []NodeError    `json:"failed_nodes,omitempty"`
 	Healed      []int          `json:"healed,omitempty"`
 	// fresh counts replicas that newly applied the write (200, not a 409
 	// no-op) — it decides whether the interpret memo must invalidate.
@@ -128,12 +142,39 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 		healedBefore = r.repairDirtyLocked(ctx)
 	}
 
-	ownerCtx, cancel := context.WithTimeout(ctx, r.timeout)
-	status, respBody, err := r.shards[owner].Backend.Do(ownerCtx, "POST", "/reviews", body)
-	cancel()
-	if err != nil {
-		return nil, fmt.Errorf("router: write: owner shard %d (%s): %w", owner, r.shards[owner].Backend.Name(), err)
+	// Owner hop with failover: replicas of the owning range are
+	// equivalent, so any of them can take the authoritative write. Try
+	// them in index order; the first that answers at all (any status) is
+	// authoritative — a deliberate rejection must abort, not hop to a
+	// peer that would accept. A replica skipped here still receives the
+	// replicate fan-out below (it answers 409 if the failed attempt
+	// actually landed server-side).
+	ownerSet := r.reps[owner]
+	var ownerRep *replica
+	var status int
+	var respBody []byte
+	var firstErr error
+	for _, rep := range ownerSet {
+		ownerCtx, cancel := context.WithTimeout(ctx, r.timeout)
+		st, b, err := rep.backend.Do(ownerCtx, "POST", "/reviews", body)
+		cancel()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("router: write: owner shard %d (%s): %w", owner, rep.backend.Name(), err)
+			}
+			if ctx.Err() == nil {
+				rep.recordFailure(r.ejectFor)
+			}
+			continue
+		}
+		rep.recordSuccess()
+		ownerRep, status, respBody = rep, st, b
+		break
 	}
+	if ownerRep == nil {
+		return nil, firstErr
+	}
+	ownerNode := ownerRep.node
 	if status == http.StatusConflict {
 		// The owner already committed this review — the signature of a
 		// client retry after a partial replication failure. The retry's
@@ -141,43 +182,43 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 		// that have the review answer 409 and are counted replicated;
 		// ones that missed it backfill now) and report the outcome with
 		// the duplicate so the client knows whether the fleet converged.
-		heal := &ReviewResult{OwnerShard: owner}
-		r.replicate(ctx, owner, replicaBody, heal)
-		heal.Partial = len(heal.ShardErrors) > 0
+		heal := &ReviewResult{OwnerShard: owner, OwnerReplica: ownerRep.idx}
+		failed := r.replicate(ctx, ownerNode, replicaBody, heal)
+		heal.Partial = len(failed) > 0
 		if heal.fresh > 0 {
-			// Only a replica that newly absorbed the write changes
+			// Only a node that newly absorbed the write changes
 			// replicated state; an all-409 duplicate retry is a no-op and
 			// must not wipe the hot memo.
 			r.invalidateInterpret()
 		}
 		if heal.Partial && r.autoRepair {
-			r.markDirtyLocked(heal.ShardErrors)
+			r.markDirtyLocked(failed)
 			heal.Healed = mergeHealed(healedBefore, r.repairDirtyLocked(ctx))
 		} else {
 			heal.Healed = healedBefore
 		}
-		return nil, &StatusError{Status: status, Body: respBody, Shard: owner, Heal: heal}
+		return nil, &StatusError{Status: status, Body: respBody, Shard: owner, Replica: ownerRep.idx, Heal: heal}
 	}
 	if status != http.StatusOK {
-		return nil, &StatusError{Status: status, Body: respBody, Shard: owner}
+		return nil, &StatusError{Status: status, Body: respBody, Shard: owner, Replica: ownerRep.idx}
 	}
 	var ack server.ReviewResponse
 	if err := json.Unmarshal(respBody, &ack); err != nil {
 		return nil, fmt.Errorf("router: write: owner shard %d: bad response: %v", owner, err)
 	}
 
-	res := &ReviewResult{ReviewResponse: ack, OwnerShard: owner}
-	r.replicate(ctx, owner, replicaBody, res)
-	res.Partial = len(res.ShardErrors) > 0
+	res := &ReviewResult{ReviewResponse: ack, OwnerShard: owner, OwnerReplica: ownerRep.idx}
+	failed := r.replicate(ctx, ownerNode, replicaBody, res)
+	res.Partial = len(failed) > 0
 	// The fleet accepted new evidence; the front door's interpretation
 	// memo is stale.
 	r.invalidateInterpret()
 	res.Healed = healedBefore
 	if r.autoRepair && res.Partial {
-		// A replica missed THIS write: one immediate repair attempt while
+		// A node missed THIS write: one immediate repair attempt while
 		// the write mutex is still held — a transient fault heals before
 		// any later write can land, keeping the fleet order intact.
-		r.markDirtyLocked(res.ShardErrors)
+		r.markDirtyLocked(failed)
 		res.Healed = mergeHealed(res.Healed, r.repairDirtyLocked(ctx))
 	}
 	return res, nil
@@ -204,33 +245,34 @@ func mergeHealed(a, b []int) []int {
 	return out
 }
 
-// replicate fans the global half of a committed write out to every
-// non-owner shard, accumulating the outcome into res. The fan-out is
-// concurrent — replicas commute for a single review, and the write mutex
-// already orders distinct reviews.
-func (r *Router) replicate(ctx context.Context, owner int, replicaBody []byte, res *ReviewResult) {
+// replicate fans the committed write out to every fleet node except the
+// one that took the authoritative copy — every replica of every shard,
+// so no node's journal misses a sequence. It accumulates the outcome
+// into res and returns the raw failures keyed by flat node index (the
+// key space the dirty set and repair use). The fan-out is concurrent —
+// nodes commute for a single review, and the write mutex already orders
+// distinct reviews.
+func (r *Router) replicate(ctx context.Context, ownerNode int, replicaBody []byte, res *ReviewResult) map[int]string {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	for i := range r.shards {
-		if i == owner {
+	failed := map[int]string{}
+	for _, n := range r.nodes {
+		if n.node == ownerNode {
 			continue
 		}
 		wg.Add(1)
-		go func(i int) {
+		go func(n *replica) {
 			defer wg.Done()
 			repCtx, cancel := context.WithTimeout(ctx, r.timeout)
 			defer cancel()
-			status, b, err := r.shards[i].Backend.Do(repCtx, "POST", "/reviews", replicaBody)
+			status, b, err := n.backend.Do(repCtx, "POST", "/reviews", replicaBody)
 			mu.Lock()
 			defer mu.Unlock()
 			switch {
 			case err != nil:
-				if res.ShardErrors == nil {
-					res.ShardErrors = map[int]string{}
-				}
-				res.ShardErrors[i] = err.Error()
+				failed[n.node] = err.Error()
 			case status == http.StatusOK, status == http.StatusConflict:
-				// 409 means the replica already journaled this review (a
+				// 409 means the node already journaled this review (a
 				// retried write after a partial failure); that is the
 				// desired end state, not an error.
 				res.Replicated++
@@ -238,12 +280,42 @@ func (r *Router) replicate(ctx context.Context, owner int, replicaBody []byte, r
 					res.fresh++
 				}
 			default:
-				if res.ShardErrors == nil {
-					res.ShardErrors = map[int]string{}
-				}
-				res.ShardErrors[i] = replyError(shardReply{status: status, body: b})
+				failed[n.node] = replyError(shardReply{status: status, body: b})
 			}
-		}(i)
+		}(n)
 	}
 	wg.Wait()
+	r.foldNodeFailures(failed, res)
+	return failed
+}
+
+// foldNodeFailures renders node-keyed replication failures into the
+// result's two error views: FailedNodes (exact per-replica attribution,
+// in node order) and ShardErrors (one message per shard range — the raw
+// message when a single replica of the range failed, so single-replica
+// fleets report byte-identically to the pre-replication router, else a
+// joined message naming each replica).
+func (r *Router) foldNodeFailures(failed map[int]string, res *ReviewResult) {
+	if len(failed) == 0 {
+		return
+	}
+	perShard := map[int][]string{}
+	for _, n := range r.nodes {
+		msg, ok := failed[n.node]
+		if !ok {
+			continue
+		}
+		res.FailedNodes = append(res.FailedNodes, NodeError{
+			Shard: n.shard, Replica: n.idx, Backend: n.backend.Name(), Error: msg,
+		})
+		part := msg
+		if len(r.reps[n.shard]) > 1 {
+			part = fmt.Sprintf("replica %d (%s): %s", n.idx, n.backend.Name(), msg)
+		}
+		perShard[n.shard] = append(perShard[n.shard], part)
+	}
+	res.ShardErrors = make(map[int]string, len(perShard))
+	for s, parts := range perShard {
+		res.ShardErrors[s] = strings.Join(parts, "; ")
+	}
 }

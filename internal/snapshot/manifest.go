@@ -61,6 +61,13 @@ type Manifest struct {
 	BuildSeed int64 `json:"build_seed"`
 	// Shards is the fleet size.
 	Shards int `json:"shards"`
+	// Replicas is the per-range replica-set size: how many equivalent
+	// serving backends each shard range is deployed with. Every replica
+	// of a range serves the same snapshot artifact (same digest), so the
+	// field changes deployment shape, not the artifact set. 0 or absent
+	// means single-replica — manifests written before replication
+	// existed load (and checksum-verify) unchanged.
+	Replicas int `json:"replicas,omitempty"`
 	// TotalEntities is the monolithic entity count (sum over shards).
 	TotalEntities int `json:"total_entities"`
 	// CreatedUnix is when the manifest was written (Unix seconds).
@@ -70,6 +77,15 @@ type Manifest struct {
 	// Checksum is the hex SHA-256 of the manifest's canonical JSON with
 	// this field empty; WriteManifest fills it, LoadManifest verifies it.
 	Checksum string `json:"checksum"`
+}
+
+// ReplicaCount normalizes the Replicas field: manifests written before
+// replication existed (and explicit 0/1 builds) are single-replica.
+func (m *Manifest) ReplicaCount() int {
+	if m.Replicas < 1 {
+		return 1
+	}
+	return m.Replicas
 }
 
 // checksum computes the manifest's self-checksum: SHA-256 over the
@@ -93,6 +109,9 @@ func (m *Manifest) validate() error {
 	}
 	if m.Shards <= 0 || len(m.Shard) != m.Shards {
 		return fmt.Errorf("%w: declares %d shards but lists %d", ErrManifest, m.Shards, len(m.Shard))
+	}
+	if m.Replicas < 0 {
+		return fmt.Errorf("%w: negative replica count %d", ErrManifest, m.Replicas)
 	}
 	total := 0
 	for i, s := range m.Shard {
