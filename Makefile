@@ -1,7 +1,7 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke replica-smoke compact rebalance
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke write-smoke replica-smoke compact rebalance
 
 verify: fmtcheck
 	go vet ./...
@@ -87,6 +87,15 @@ rebalance-smoke:
 # measured latency percentiles.
 load-smoke:
 	go run ./cmd/opinedbload -smoke -duration 5s -concurrency 8
+
+# Write smoke test: drive a write-heavy mix at a journaled 4-shard
+# in-process fleet with group commit on, then replay one node's journal
+# into the pre-fleet monolith and require the routed fleet to answer the
+# full query set byte-identically — zero errors, every ack durable, and
+# concurrency changed scheduling, not state.
+write-smoke:
+	go run ./cmd/opinedbload -smoke -duration 5s -concurrency 16 \
+		-mix query=1,topk=1,interpret=1,reviews=6 -fingerprint
 
 # Replication smoke test: build an R=2 fleet, kill one replica of one
 # range outright, drive the mixed load through the router, and fail

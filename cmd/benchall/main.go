@@ -26,7 +26,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load,replication)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load,replication,groupcommit)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -163,6 +163,19 @@ func main() {
 				log.Printf("BENCH_replication.json: %v", err)
 			} else {
 				fmt.Println("wrote BENCH_replication.json")
+			}
+		}
+	}
+
+	if run("groupcommit") {
+		fmt.Println("running groupcommit (shared-fsync write pipeline vs serialized seed path)...")
+		gcRes := harness.RunGroupCommit(context.Background(), *seed+1200)
+		fmt.Println(harness.FormatGroupCommit(gcRes))
+		if data, err := json.MarshalIndent(gcRes, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_groupcommit.json", data, 0o644); err != nil {
+				log.Printf("BENCH_groupcommit.json: %v", err)
+			} else {
+				fmt.Println("wrote BENCH_groupcommit.json")
 			}
 		}
 	}

@@ -71,7 +71,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapPath := flag.String("snapshot", "", "snapshot artifact to serve (written by opinedbb); falls back to an in-process build when the file does not exist")
 	journalMode := flag.String("journal", "auto", "review journal for live ingestion: 'auto' opens <snapshot>.journal next to the served artifact (replayed on load), 'off' serves read-only, any other value is an explicit journal directory")
-	journalSync := flag.Int("journal-sync-every", 1, "fsync the journal after every Nth ingested review (1 = every write is durable before it is acknowledged)")
+	journalSync := flag.Int("journal-sync-every", 1, "fsync the journal after every Nth ingested review on the serialized write path (1 = every write is durable before it is acknowledged); the group-commit pipeline always fsyncs each batch")
+	noGroupCommit := flag.Bool("no-group-commit", false, "serialize the write path (validate → append → fsync → apply under one lock per request) instead of the group-commit pipeline that shares one fsync across concurrent writers")
+	writeQueueDepth := flag.Int("write-queue-depth", 0, "bound on the group-commit staging queue; writes arriving at a full queue get 503 + Retry-After (0 = default)")
 	shardManifest := flag.String("shard-manifest", "", "shard manifest (written by opinedbb -shards); serve the single shard selected by -shard-index")
 	shardIndex := flag.Int("shard-index", -1, "which shard of -shard-manifest to serve")
 	shardReplica := flag.Int("shard-replica", 0, "which replica of the shard this process is (>0 suffixes the auto journal directory so co-located replicas do not share a journal)")
@@ -91,16 +93,29 @@ func main() {
 	topK := flag.Int("k", 10, "default result size")
 	flag.Parse()
 
+	tuning := ingestTuning{
+		syncEvery:     *journalSync,
+		noGroupCommit: *noGroupCommit,
+		queueDepth:    *writeQueueDepth,
+	}
 	var handler http.Handler
 	switch {
 	case *routerManifest != "":
-		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, *journalSync, *repairEvery, *replicas, *noHedge, *hedgeDelay)
+		handler = routerHandler(*routerManifest, *routerBackends, *topK, *journalMode, tuning, *repairEvery, *replicas, *noHedge, *hedgeDelay)
 	case *shardManifest != "":
-		handler = shardHandler(*shardManifest, *shardIndex, *shardReplica, *topK, *journalMode, *journalSync)
+		handler = shardHandler(*shardManifest, *shardIndex, *shardReplica, *topK, *journalMode, tuning)
 	default:
-		handler = monolithHandler(*snapPath, *domain, *small, *seed, *workers, *tagged, *labels, *subindex, *topK, *journalMode, *journalSync)
+		handler = monolithHandler(*snapPath, *domain, *small, *seed, *workers, *tagged, *labels, *subindex, *topK, *journalMode, tuning)
 	}
 	serve(*addr, handler)
+}
+
+// ingestTuning carries the write-pipeline flags every role threads to
+// attachJournal.
+type ingestTuning struct {
+	syncEvery     int
+	noGroupCommit bool
+	queueDepth    int
 }
 
 // journalDir resolves the -journal flag against the served artifact:
@@ -126,13 +141,17 @@ func journalDir(mode, artifactPath string) string {
 // options whose Append feeds the same journal — so load order is always
 // snapshot → replay → serve. An empty dir enables volatile (unjournaled)
 // ingestion.
-func attachJournal(db *core.DB, dir string, syncEvery int, acceptUnowned bool) *server.IngestOptions {
+func attachJournal(db *core.DB, dir string, tun ingestTuning, acceptUnowned bool) *server.IngestOptions {
 	if dir == "" {
 		log.Printf("ingestion enabled without a journal; reviews ingested live will NOT survive a restart")
-		return &server.IngestOptions{AcceptUnowned: acceptUnowned}
+		return &server.IngestOptions{
+			AcceptUnowned:      acceptUnowned,
+			DisableGroupCommit: tun.noGroupCommit,
+			MaxQueueDepth:      tun.queueDepth,
+		}
 	}
 	j, err := journal.Open(dir, journal.Options{
-		SyncEvery:    syncEvery,
+		SyncEvery:    tun.syncEvery,
 		SyncObserver: server.FsyncObserver(metricsReg),
 	})
 	if err != nil {
@@ -162,12 +181,27 @@ func attachJournal(db *core.DB, dir string, syncEvery int, acceptUnowned bool) *
 				Day: rv.Day, Text: rv.Text,
 			})
 		},
+		// One fsync per commit batch: the group-commit pipeline's shared
+		// durability point.
+		AppendBatch: func(rvs []core.ReviewData) (uint64, error) {
+			batch := make([]journal.Review, len(rvs))
+			for i, rv := range rvs {
+				batch[i] = journal.Review{
+					ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
+					Day: rv.Day, Text: rv.Text,
+				}
+			}
+			return j.AppendBatch(batch)
+		},
+		AppendDurable:      tun.syncEvery <= 1,
+		DisableGroupCommit: tun.noGroupCommit,
+		MaxQueueDepth:      tun.queueDepth,
 	}
 }
 
 // monolithHandler is the original single-database role: load a snapshot
 // or build in process.
-func monolithHandler(snapPath, domain string, small bool, seed int64, workers, tagged, labels int, subindex bool, topK int, journalMode string, journalSync int) http.Handler {
+func monolithHandler(snapPath, domain string, small bool, seed int64, workers, tagged, labels int, subindex bool, topK int, journalMode string, tun ingestTuning) http.Handler {
 	var (
 		db       *core.DB
 		snapInfo *server.SnapshotInfo
@@ -215,7 +249,7 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 	// Load order: snapshot → journal replay → serve. The journal lives
 	// next to the snapshot even when the replica fell back to an
 	// in-process build, so a fleet's ingestion layout is uniform.
-	ingest := attachJournal(db, journalDir(journalMode, snapPath), journalSync, false)
+	ingest := attachJournal(db, journalDir(journalMode, snapPath), tun, false)
 	return server.New(db, server.Options{
 		DefaultTopK: topK,
 		EntityName:  entityNamer(db),
@@ -228,7 +262,7 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 // shardHandler serves one digest-verified shard of a sharded build.
 // replica > 0 marks this process as the range's Nth replica: it serves
 // the same artifact but keeps its own journal chain.
-func shardHandler(manifestPath string, index, replica, topK int, journalMode string, journalSync int) http.Handler {
+func shardHandler(manifestPath string, index, replica, topK int, journalMode string, tun ingestTuning) http.Handler {
 	m, err := snapshot.LoadManifest(manifestPath)
 	if err != nil {
 		log.Fatalf("shard manifest %s: %v", manifestPath, err)
@@ -243,7 +277,7 @@ func shardHandler(manifestPath string, index, replica, topK int, journalMode str
 		index, m.Shards, replica, m.Name, meta.Shard.Entities, meta.Shard.FirstEntity, meta.Shard.LastEntity, info.LoadMillis)
 	// AcceptUnowned: a shard journals and absorbs replicated writes for
 	// entities other shards own (corpus-global state must not drift).
-	ingest := attachJournal(db, replicaJournalDir(journalDir(journalMode, shardPath), replica), journalSync, true)
+	ingest := attachJournal(db, replicaJournalDir(journalDir(journalMode, shardPath), replica), tun, true)
 	return server.New(db, server.Options{
 		DefaultTopK: topK,
 		EntityName:  entityNamer(db),
@@ -267,7 +301,7 @@ func replicaJournalDir(dir string, replica int) string {
 // -router-backends is given, otherwise every shard loaded in process
 // (replicas > 0 overrides the manifest's replica count there).
 // repairEvery > 0 starts a background anti-entropy loop over the fleet.
-func routerHandler(manifestPath, backendList string, topK int, journalMode string, journalSync int, repairEvery time.Duration, replicas int, noHedge bool, hedgeDelay time.Duration) http.Handler {
+func routerHandler(manifestPath, backendList string, topK int, journalMode string, tun ingestTuning, repairEvery time.Duration, replicas int, noHedge bool, hedgeDelay time.Duration) http.Handler {
 	opts := router.Options{
 		DefaultTopK:    topK,
 		Metrics:        metricsReg,
@@ -292,7 +326,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 					DefaultTopK: topK,
 					EntityName:  entityNamer(db),
 					Snapshot:    snapshotInfo(path, meta),
-					Ingest:      attachJournal(db, replicaJournalDir(dir, replica), journalSync, true),
+					Ingest:      attachJournal(db, replicaJournalDir(dir, replica), tun, true),
 					Metrics:     metricsReg,
 				}
 			},

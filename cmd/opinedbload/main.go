@@ -13,7 +13,12 @@
 //     in-process fleet, serves it on a loopback listener, runs the mix
 //     over real TCP, and exits non-zero unless the run completed with
 //     zero request errors and non-zero latency percentiles. This is
-//     what `make load-smoke` and CI run.
+//     what `make load-smoke` and CI run. Adding `-fingerprint` replays
+//     the fleet's journal into the pre-fleet monolith after the run and
+//     also fails unless the routed fleet answers the full query set
+//     byte-identically — `make write-smoke` drives a write-heavy mix
+//     through this gate to prove group commit changes scheduling, not
+//     state.
 //
 // The mix is weights, not percentages: `-mix query=4,topk=3,interpret=2,reviews=1`.
 //
@@ -52,11 +57,15 @@ func main() {
 	noHedge := flag.Bool("no-hedge", false, "-smoke mode: disable hedged scatter legs (the control arm of the -slow-replica A/B)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "-smoke mode: fixed hedge delay (0 = adapt to each shard's scatter p95)")
 	k := flag.Int("k", 10, "result size for query/topk operations")
+	fingerprint := flag.Bool("fingerprint", false, "-smoke mode: after the run, replay one node's journal into the pre-fleet monolith and require the routed fleet to answer the full query set byte-identically (write-path identity gate)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of the SLO table")
 	flag.Parse()
 
 	if (*addr == "") == !*smoke {
 		log.Fatal("opinedbload: exactly one of -addr or -smoke is required")
+	}
+	if *fingerprint && !*smoke {
+		log.Fatal("opinedbload: -fingerprint requires -smoke (it replays the in-process fleet's journals)")
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -75,6 +84,8 @@ func main() {
 	var (
 		target harness.LoadTarget
 		vocab  *corpus.Dataset
+		fl     *harness.LoadFleet
+		srv    *http.Server
 	)
 	if *smoke {
 		dir, err := os.MkdirTemp("", "opinedbload-*")
@@ -83,7 +94,7 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		log.Printf("building %d-shard journaled fleet (replicas %d, seed %d)...", *shards, *replicas, *seed)
-		fl, err := harness.BuildLoadFleet(dir, harness.LoadFleetOptions{
+		fl, err = harness.BuildLoadFleet(dir, harness.LoadFleetOptions{
 			Shards:         *shards,
 			Replicas:       *replicas,
 			Seed:           *seed,
@@ -104,7 +115,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("opinedbload: %v", err)
 		}
-		srv := &http.Server{Handler: fl.Handler}
+		srv = &http.Server{Handler: fl.Handler}
 		go srv.Serve(ln)
 		defer srv.Close()
 		base := "http://" + ln.Addr().String()
@@ -119,6 +130,18 @@ func main() {
 	}
 
 	res := harness.RunLoadMix(ctx, target, vocab, opts)
+	if srv != nil {
+		// Drain before judging the run: workers whose deadline expired
+		// mid-request abandoned the client side, but the server handlers
+		// are still journaling and folding those writes. The fingerprint
+		// gate compares journals against live state, so every in-flight
+		// commit must land first.
+		drainCtx, cancelDrain := context.WithTimeout(ctx, 30*time.Second)
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Fatalf("opinedbload: drain: %v", err)
+		}
+		cancelDrain()
+	}
 	if *jsonOut {
 		data, _ := json.MarshalIndent(res, "", "  ")
 		fmt.Println(string(data))
@@ -133,6 +156,11 @@ func main() {
 			log.Fatalf("opinedbload: smoke FAILED: %v", err)
 		}
 		log.Printf("smoke OK: %d ops, 0 errors", res.TotalOps)
+		if *fingerprint {
+			if err := checkFingerprint(ctx, fl); err != nil {
+				log.Fatalf("opinedbload: fingerprint FAILED: %v", err)
+			}
+		}
 	}
 }
 
@@ -170,6 +198,26 @@ func parseMix(spec string) (harness.LoadMix, error) {
 		return m, fmt.Errorf("mix %q has no operations", spec)
 	}
 	return m, nil
+}
+
+// checkFingerprint enforces the write-path byte-identity gate: every
+// journaled write replays into the monolithic database the fleet was
+// built from — each in its owner shard's commit order (see
+// LoadFleet.ReplayOwnedWrites) — and the routed fleet, which served
+// those writes concurrently and group-committed, must then answer the
+// complete query set byte-identically to that monolith.
+func checkFingerprint(ctx context.Context, fl *harness.LoadFleet) error {
+	applied, err := fl.ReplayOwnedWrites()
+	if err != nil {
+		return fmt.Errorf("replay into monolith: %w", err)
+	}
+	fleetFP, n := harness.QueryFingerprint(fl.Dataset, fl.Router.Engine(ctx))
+	monoFP, _ := harness.QueryFingerprint(fl.Dataset, fl.DB)
+	if fleetFP != monoFP {
+		return fmt.Errorf("routed fleet diverges from the replayed monolith over the %d-entry query set (%d journaled writes)", n, applied)
+	}
+	log.Printf("fingerprint OK: %d journaled writes replayed; %d-entry query set byte-identical (routed fleet vs monolith)", applied, n)
+	return nil
 }
 
 // checkSmoke enforces the self-check contract: traffic flowed on every

@@ -3,10 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-
-	"repro/internal/relstore"
-	"repro/internal/sentiment"
-	"repro/internal/textproc"
 )
 
 // WeightFn assigns an aggregation weight to one extraction. §4.2.2 leaves
@@ -144,83 +140,15 @@ func (db *DB) ServesEntity(entityID string) bool {
 // keeps interpretations byte-identical fleet-wide while the owner alone
 // carries the summary — mirroring the replicated/partitioned split of
 // ShardDB.
+// ApplyReview is PrepareReview followed by ApplyPrepared (see
+// prepare.go); concurrent write pipelines call the halves separately so
+// the linguistic work runs outside the serialized fold.
 func (db *DB) ApplyReview(rv ReviewData) error {
-	if rv.ID == "" || rv.EntityID == "" {
-		return fmt.Errorf("core: review needs ID and EntityID")
-	}
-	if _, exists := db.ReviewSentiments[rv.ID]; exists {
-		return fmt.Errorf("core: review %s already ingested", rv.ID)
-	}
-	reviews, err := db.Rel.Table("Reviews")
+	p, err := db.PrepareReview(rv)
 	if err != nil {
 		return err
 	}
-	extTable, err := db.Rel.Table("Extractions")
-	if err != nil {
-		return err
-	}
-	if err := reviews.Insert(relstore.Row{rv.ID, rv.EntityID, rv.Reviewer, int64(rv.Day), rv.Text}); err != nil {
-		return err
-	}
-
-	owned := db.ServesEntity(rv.EntityID)
-	toks := textproc.Tokenize(rv.Text)
-	senti := sentiment.ScoreTokens(toks)
-	db.ReviewSentiments[rv.ID] = senti
-	db.reviewsPerReviewer[rv.Reviewer]++
-	db.ReviewIndex.Add(rv.ID, toks)
-	if senti > 0 {
-		db.positiveReviews++
-	}
-
-	for _, sent := range textproc.Sentences(rv.Text) {
-		sToks := textproc.Tokenize(sent)
-		if len(sToks) == 0 {
-			continue
-		}
-		for _, op := range db.Extractor.Extract(sToks) {
-			if op.Phrase == "" {
-				continue
-			}
-			full := op.Phrase
-			if op.Aspect != "" {
-				full = op.Aspect + " " + op.Phrase
-			}
-			// Classify by nearest linguistic variation: at serving time the
-			// domain is fixed, so membership in it is the schema gate.
-			attr, marker, sim := db.nearestDomainVariation(full)
-			if attr == nil || sim < db.cfg.W2VThreshold {
-				continue
-			}
-			id := len(db.Extractions)
-			ext := Extraction{
-				ID:        id,
-				EntityID:  rv.EntityID,
-				ReviewID:  rv.ID,
-				Reviewer:  rv.Reviewer,
-				Day:       rv.Day,
-				Attribute: attr.Name,
-				Aspect:    op.Aspect,
-				Phrase:    full,
-				Marker:    marker,
-				Sentiment: sentiment.ScorePhrase(op.Phrase),
-			}
-			db.Extractions = append(db.Extractions, ext)
-			if err := extTable.Insert(relstore.Row{
-				int64(id), ext.EntityID, ext.ReviewID, ext.Reviewer,
-				int64(ext.Day), ext.Attribute, ext.Aspect, ext.Phrase,
-				int64(marker), ext.Sentiment,
-			}); err != nil {
-				return err
-			}
-			db.addIncremental(attr, ext, owned)
-		}
-	}
-	// Interpretations and precomputed degree lists may shift with new
-	// evidence; drop both caches.
-	db.interpCache.reset()
-	db.degreeLists.reset()
-	return nil
+	return db.ApplyPrepared(p)
 }
 
 // nearestDomainVariation finds the (attribute, marker) of the linguistic

@@ -159,6 +159,29 @@ func (db *DB) interpretW2V(predicate string, threshold float64) (Interpretation,
 // be enforced explicitly or positive queries would resolve to negated
 // variations and rank dirty hotels first.
 func (db *DB) bestDomainMatch(attr *SubjectiveAttribute, query string) (phrase string, marker int, sim float64) {
+	// The scan below is O(variations × embedding dim) and sits on both the
+	// query interpreter and the ingestion prepare path, where the same
+	// phrase texts recur constantly. Its inputs — the embedding model, the
+	// attribute's marker schema, and the domain phrase lists — are all
+	// frozen at build time (ingestion folds summaries, it never retrains),
+	// so the winning (phrase, marker, sim) is memoized per (attr, query)
+	// and never invalidated.
+	m := db.domainMatches.getOrCompute(attr.Name+"\x00"+query, func() domainMatch {
+		p, mk, s := db.scanDomainMatch(attr, query)
+		return domainMatch{phrase: p, marker: mk, sim: s}
+	})
+	return m.phrase, m.marker, m.sim
+}
+
+// domainMatch is the memoized result of scanDomainMatch.
+type domainMatch struct {
+	phrase string
+	marker int
+	sim    float64
+}
+
+// scanDomainMatch is the uncached scan behind bestDomainMatch.
+func (db *DB) scanDomainMatch(attr *SubjectiveAttribute, query string) (phrase string, marker int, sim float64) {
 	qRep := db.Embed.Rep(query)
 	if qRep.Norm() == 0 {
 		return "", -1, 0

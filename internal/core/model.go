@@ -289,11 +289,12 @@ type DB struct {
 	// degrees of truth, once computed, can also be indexed", §3.3). All
 	// five are sharded concurrent caches (cache.go) so readers never need
 	// external locking; degreeLists is keyed by AttrMarker.String().
-	domainLists  shardedCache[[]string]
-	phraseReps   shardedCache[embedding.Vector]
-	phraseSentis shardedCache[float64]
-	interpCache  shardedCache[Interpretation]
-	degreeLists  shardedCache[[]entityDegree]
+	domainLists   shardedCache[[]string]
+	domainMatches shardedCache[domainMatch]
+	phraseReps    shardedCache[embedding.Vector]
+	phraseSentis  shardedCache[float64]
+	interpCache   shardedCache[Interpretation]
+	degreeLists   shardedCache[[]entityDegree]
 
 	cfg Config
 }

@@ -396,6 +396,43 @@ type LoadFleet struct {
 	DB          *core.DB
 	Registry    *obs.Registry
 	JournalDirs []string
+	Manifest    *snapshot.Manifest
+	Replicas    int
+}
+
+// ReplayOwnedWrites folds every write the fleet journaled during a run
+// into the pre-fleet monolith (fl.DB), each in its OWNER's commit order:
+// shard by shard, replica 0's journal, applying only the writes that
+// shard owns. Every node journals every routed write, but concurrent
+// writers interleave differently at different nodes, and a summary's
+// incremental centroid is floating-point order-sensitive — so byte
+// identity with the live fleet (whose per-entity answers come from the
+// owners) requires replaying each entity's writes in its owner's order,
+// not any single node's. Corpus-global state is order-independent, so
+// the shard-major replay order does not disturb it. Returns the number
+// of writes applied.
+func (fl *LoadFleet) ReplayOwnedWrites() (int, error) {
+	applied := 0
+	for s, ms := range fl.Manifest.Shard {
+		jdir := fl.JournalDirs[s*fl.Replicas]
+		_, err := journal.Replay(jdir, func(seq uint64, rv journal.Review) error {
+			if rv.EntityID < ms.FirstEntity || rv.EntityID > ms.LastEntity {
+				return nil
+			}
+			if err := fl.DB.ApplyReview(core.ReviewData{
+				ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
+				Day: rv.Day, Text: rv.Text,
+			}); err != nil {
+				return fmt.Errorf("shard %d seq %d: %w", s, seq, err)
+			}
+			applied++
+			return nil
+		})
+		if err != nil {
+			return applied, fmt.Errorf("replay owned writes: %w", err)
+		}
+	}
+	return applied, nil
 }
 
 // LoadFleetOptions configure BuildLoadFleet.
@@ -421,6 +458,9 @@ type LoadFleetOptions struct {
 	// WrapBackend, when non-nil, wraps each node's backend after any
 	// SlowReplica delay — the kill-switch seam the replica smoke uses.
 	WrapBackend func(shard, replica int, b router.Backend) router.Backend
+	// DisableGroupCommit serializes each node's write path — the control
+	// arm of the group-commit A/B.
+	DisableGroupCommit bool
 }
 
 // BuildLoadFleet generates the small hotel corpus, builds the
@@ -455,8 +495,8 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	}
 
 	reg := obs.NewRegistry()
-	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, JournalDirs: make([]string, shards*replicas)}
-	rt, _, err := router.FromManifest(manifestPath, router.ManifestOptions{
+	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, JournalDirs: make([]string, shards*replicas), Replicas: replicas}
+	rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
 		Options: router.Options{
 			Metrics:        reg,
 			DisableHedging: opts.DisableHedging,
@@ -494,6 +534,18 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 							Day: rv.Day, Text: rv.Text,
 						})
 					},
+					AppendBatch: func(rvs []core.ReviewData) (uint64, error) {
+						batch := make([]journal.Review, len(rvs))
+						for i, rv := range rvs {
+							batch[i] = journal.Review{
+								ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
+								Day: rv.Day, Text: rv.Text,
+							}
+						}
+						return j.AppendBatch(batch)
+					},
+					AppendDurable:      true, // SyncEvery: 1 above
+					DisableGroupCommit: opts.DisableGroupCommit,
 				},
 			}
 		},
@@ -512,6 +564,7 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	}
 	fl.Router = rt
 	fl.Handler = router.NewHandler(rt)
+	fl.Manifest = m
 	return fl, nil
 }
 

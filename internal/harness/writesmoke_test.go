@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWriteHeavyFleetReplaysIdentically is the in-process half of the
+// `make write-smoke` gate: a write-heavy mix drives a journaled routed
+// fleet (group commit on) at high concurrency, then every journaled
+// write replays into the pre-fleet monolith in its owner's commit order,
+// and the fleet must answer the full query set byte-identically. This is
+// the contract ReplayOwnedWrites documents — single-node journal order
+// is NOT enough, because concurrent writers interleave differently at
+// different nodes and summary centroids are float-order-sensitive.
+func TestWriteHeavyFleetReplaysIdentically(t *testing.T) {
+	ctx := context.Background()
+	fl, err := BuildLoadFleet(t.TempDir(), LoadFleetOptions{Shards: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunLoadMix(ctx, HandlerLoadTarget(fl.Handler), fl.Dataset, LoadOptions{
+		Mix:         LoadMix{Query: 1, TopK: 1, Interpret: 1, Reviews: 6},
+		Concurrency: 16,
+		Duration:    1500 * time.Millisecond,
+		Seed:        1,
+		K:           10,
+	})
+	if res.Err != "" {
+		t.Fatalf("load run: %s", res.Err)
+	}
+	if res.TotalErrors != 0 {
+		t.Fatalf("%d request errors under write-heavy load", res.TotalErrors)
+	}
+	if res.PerOp["reviews"].Ops == 0 {
+		t.Fatal("no writes flowed; the gate proved nothing")
+	}
+	applied, err := fl.ReplayOwnedWrites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied < res.PerOp["reviews"].Ops {
+		t.Fatalf("replayed %d writes, but %d were acked", applied, res.PerOp["reviews"].Ops)
+	}
+	fleetFP, n := QueryFingerprint(fl.Dataset, fl.Router.Engine(ctx))
+	if n != 948 {
+		t.Errorf("fingerprint covers %d query-set entries, want the full 948", n)
+	}
+	monoFP, _ := QueryFingerprint(fl.Dataset, fl.DB)
+	if fleetFP != monoFP {
+		t.Fatalf("routed fleet diverges from the owner-order replayed monolith after %d concurrent writes", applied)
+	}
+}

@@ -1,0 +1,173 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readSegments concatenates every segment file's bytes in order.
+func readSegments(t *testing.T, dir string) []byte {
+	t.Helper()
+	paths, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	return all
+}
+
+// TestAppendBatchBytesIdentical: a batch append must leave exactly the
+// bytes sequential Append would — group commit changes durability
+// scheduling, never the on-disk format.
+func TestAppendBatchBytesIdentical(t *testing.T) {
+	var rvs []Review
+	for i := 0; i < 25; i++ {
+		rvs = append(rvs, testReview(i))
+	}
+
+	seqDir := filepath.Join(t.TempDir(), "seq")
+	js, err := Open(seqDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, js, 0, len(rvs))
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	batchDir := filepath.Join(t.TempDir(), "batch")
+	jb, err := Open(batchDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the same stream into uneven batches.
+	for _, span := range [][2]int{{0, 1}, {1, 8}, {8, 9}, {9, 25}} {
+		first, err := jb.AppendBatch(rvs[span[0]:span[1]])
+		if err != nil {
+			t.Fatalf("batch [%d:%d]: %v", span[0], span[1], err)
+		}
+		if want := uint64(span[0] + 1); first != want {
+			t.Fatalf("batch [%d:%d] firstSeq = %d, want %d", span[0], span[1], first, want)
+		}
+	}
+	if err := jb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(readSegments(t, seqDir), readSegments(t, batchDir)) {
+		t.Fatal("batch-appended journal bytes differ from sequential appends")
+	}
+	got, _ := replayAll(t, batchDir)
+	if !reflect.DeepEqual(got, rvs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(rvs))
+	}
+}
+
+// TestAppendBatchDurability: AppendBatch must fsync at batch end even
+// with a lazy SyncEvery, firing SyncObserver once per batch.
+func TestAppendBatchDurability(t *testing.T) {
+	syncs := 0
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{
+		SyncEvery:    1000,
+		SyncObserver: func(time.Duration) { syncs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	batch := []Review{testReview(0), testReview(1), testReview(2)}
+	if _, err := j.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 1 {
+		t.Fatalf("SyncObserver fired %d times for one batch, want 1", syncs)
+	}
+	if got := j.SyncedSeq(); got != 3 {
+		t.Fatalf("SyncedSeq = %d after batch, want 3 (every record durable)", got)
+	}
+	if _, err := j.AppendBatch(batch[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 2 || j.SyncedSeq() != 4 {
+		t.Fatalf("after second batch: syncs %d (want 2), synced %d (want 4)", syncs, j.SyncedSeq())
+	}
+}
+
+// TestAppendBatchRollsBeforeBatch: a batch that does not fit the active
+// segment lands whole in the next one — never split across a roll.
+func TestAppendBatchRollsBeforeBatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{SegmentMaxBytes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 0, 2)
+	var batch []Review
+	for i := 2; i < 8; i++ {
+		batch = append(batch, testReview(i))
+	}
+	first, err := j.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 {
+		t.Fatalf("firstSeq = %d, want 3", first)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected a roll, got %d segment(s)", len(paths))
+	}
+	// The batch's first record starts the rolled segment.
+	if seqs[len(seqs)-1] != 3 {
+		t.Fatalf("final segment starts at seq %d, want 3 (whole batch in one segment)", seqs[len(seqs)-1])
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 8 {
+		t.Fatalf("replayed %d records, want 8", len(got))
+	}
+}
+
+// TestAppendBatchValidation mirrors Append's input checks.
+func TestAppendBatchValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendBatch(nil); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Fatalf("empty batch: err = %v", err)
+	}
+	if _, err := j.AppendBatch([]Review{{EntityID: "e"}}); err == nil {
+		t.Fatal("batch with an invalid record was accepted")
+	}
+	// A rejected batch must not consume sequence numbers.
+	if got := j.NextSeq(); got != 1 {
+		t.Fatalf("NextSeq = %d after rejected batches, want 1", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendBatch([]Review{testReview(0)}); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("append on closed journal: err = %v", err)
+	}
+}

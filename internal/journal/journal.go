@@ -399,6 +399,73 @@ func (j *Journal) Append(rv Review) (uint64, error) {
 	return seq, nil
 }
 
+// AppendBatch writes a batch of review deltas as one contiguous write
+// and fsyncs once for the whole batch, returning the first record's
+// sequence number (the batch occupies firstSeq..firstSeq+len(rvs)-1).
+// This is the group-commit primitive: when AppendBatch returns nil,
+// every record of the batch is durable — regardless of Options.SyncEvery,
+// which only batches the per-record Append path. The batch is atomic on
+// failure: a failed write truncates the segment back to the batch start,
+// so either every record is journaled or none is, and no caller is ever
+// acknowledged on a half-written batch. The whole batch lands in one
+// segment (the journal rolls first if the active segment cannot hold
+// it), and SyncObserver fires exactly once, for the shared fsync.
+func (j *Journal) AppendBatch(rvs []Review) (uint64, error) {
+	if len(rvs) == 0 {
+		return 0, fmt.Errorf("journal: empty batch")
+	}
+	payloads := make([][]byte, len(rvs))
+	var total int64
+	for i, rv := range rvs {
+		p, err := encodeReview(rv)
+		if err != nil {
+			return 0, err
+		}
+		payloads[i] = p
+		total += int64(recordHeaderLen + len(p))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("journal: append on closed journal")
+	}
+	if j.broken != nil {
+		return 0, fmt.Errorf("journal: refusing append after unrecovered write failure: %w", j.broken)
+	}
+	if j.size+total > j.opts.SegmentMaxBytes && j.size > segmentHeaderLen {
+		if err := j.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	firstSeq := j.nextSeq
+	buf := make([]byte, 0, total)
+	for i, payload := range payloads {
+		var hdr [recordHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+		var seqBytes [8]byte
+		binary.LittleEndian.PutUint64(seqBytes[:], firstSeq+uint64(i))
+		crc := crc32.NewIEEE()
+		crc.Write(seqBytes[:])
+		crc.Write(payload)
+		binary.LittleEndian.PutUint32(hdr[4:], crc.Sum32())
+		copy(hdr[8:], seqBytes[:])
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	// One write, one fsync. j.size only advances after the write succeeds,
+	// so abortAppendLocked's truncate-to-size discards the whole batch.
+	if _, err := j.f.Write(buf); err != nil {
+		return 0, j.abortAppendLocked(err)
+	}
+	j.size += total
+	j.nextSeq += uint64(len(rvs))
+	j.unsynced += len(rvs)
+	if err := j.syncLocked(); err != nil {
+		return 0, err
+	}
+	return firstSeq, nil
+}
+
 // abortAppendLocked handles a failed record write (short write, ENOSPC):
 // the segment may now carry a partial record that a later append would
 // bury behind itself, turning recoverable tail damage into hard mid-file

@@ -38,6 +38,23 @@ const (
 	MetricTopKMemoMisses = "opinedb_topk_memo_misses_total"
 	// MetricAppliedSeq: journal sequence of the last applied review.
 	MetricAppliedSeq = "opinedb_journal_last_applied_seq"
+	// MetricCommitBatchSize: how many staged writes each group commit
+	// drained — 1 under light load, rising toward the queue depth as
+	// concurrent writers pile up behind one fsync.
+	MetricCommitBatchSize = "opinedb_commit_batch_size"
+	// MetricCommitWaitSeconds: how long a write waited from staging until
+	// its commit completed (fsync shared, delta applied, waiter woken).
+	MetricCommitWaitSeconds = "opinedb_commit_wait_seconds"
+	// MetricCommitQueueDepth: staged writes awaiting the next group
+	// commit, sampled at every stage/drain transition.
+	MetricCommitQueueDepth = "opinedb_commit_queue_depth"
+	// MetricCommitBackpressureTotal: writes refused with 503 because the
+	// commit queue was full.
+	MetricCommitBackpressureTotal = "opinedb_commit_backpressure_total"
+	// MetricPrefixChainDroppedTotal: times the in-memory prefix-hash
+	// chain desynced and was dropped, degrading /journal/status probes to
+	// on-disk segment scans until restart.
+	MetricPrefixChainDroppedTotal = "opinedb_prefix_chain_dropped_total"
 )
 
 // metricEndpoints are the instrumented endpoint labels, fixed up front
@@ -60,6 +77,11 @@ type serverMetrics struct {
 	topkHits       *obs.Counter
 	topkMisses     *obs.Counter
 	appliedSeq     *obs.Gauge
+	commitBatch    *obs.Histogram
+	commitWait     *obs.Histogram
+	queueDepth     *obs.Gauge
+	backpressure   *obs.Counter
+	chainDropped   *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -90,6 +112,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	m.topkMisses = reg.Counter(MetricTopKMemoMisses, "Topk fragment memo misses.")
 	m.appliedSeq = reg.Gauge(MetricAppliedSeq,
 		"Journal sequence of the last review applied to the serving database.")
+	m.commitBatch = reg.Histogram(MetricCommitBatchSize,
+		"Writes drained per group commit (shared-fsync batch size).")
+	m.commitWait = reg.Histogram(MetricCommitWaitSeconds,
+		"Seconds a write waited from staging to commit completion.")
+	m.queueDepth = reg.Gauge(MetricCommitQueueDepth,
+		"Writes staged and awaiting the next group commit.")
+	m.backpressure = reg.Counter(MetricCommitBackpressureTotal,
+		"Writes refused with 503 because the commit queue was full.")
+	m.chainDropped = reg.Counter(MetricPrefixChainDroppedTotal,
+		"Prefix-hash chain desyncs; probes fall back to segment scans.")
 	return m
 }
 

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -73,12 +74,34 @@ type ShardInfo struct {
 // enrichment of a serving database (§4.2.2's "the marker summaries can be
 // incrementally computed", journaled for durability).
 type IngestOptions struct {
-	// Append durably records a review delta before it is applied — the
-	// journal's append-then-apply contract: once the client is acked, a
-	// crash replays the delta from the journal. It returns the journal
-	// sequence number. nil ingests without journaling (volatile: test and
+	// Append records a review delta before it is applied — the journal's
+	// append-then-apply contract: once the client is acked, a crash
+	// replays the delta from the journal. It returns the journal sequence
+	// number. nil ingests without journaling (volatile: test and
 	// in-process-build servers).
 	Append func(rv core.ReviewData) (seq uint64, err error)
+	// AppendBatch journals a whole commit batch before it is applied:
+	// records land in order, one fsync covers the batch, and the first
+	// record's sequence is returned (the batch is seq, seq+1, ...). The
+	// call must be atomic — every record journaled and durable, or none —
+	// which journal.Journal.AppendBatch guarantees. When non-nil, the
+	// group-commit pipeline uses it so N concurrent writers share one
+	// fsync; when nil, the pipeline falls back to per-record Append.
+	AppendBatch func(rvs []core.ReviewData) (firstSeq uint64, err error)
+	// AppendDurable declares that Append's return already implies
+	// durability (the journal runs with SyncEvery <= 1). It only affects
+	// the Durable field reported to clients on the per-record fallback
+	// path; AppendBatch acks are durable by contract.
+	AppendDurable bool
+	// DisableGroupCommit serializes the write path the pre-group-commit
+	// way: validate → append → fsync → apply under one exclusive lock per
+	// request. It exists as the control arm of the benchall "groupcommit"
+	// experiment and as an operator escape hatch.
+	DisableGroupCommit bool
+	// MaxQueueDepth bounds the staged commit queue; a write arriving at a
+	// full queue is refused with 503 + Retry-After instead of growing the
+	// backlog without bound. <= 0 means DefaultCommitQueueDepth.
+	MaxQueueDepth int
 	// AcceptUnowned accepts router-replicated writes (ReviewRequest.
 	// Replica) for entities this instance does not serve. Shard replicas
 	// set it: a replicated write for another shard's entity still updates
@@ -159,6 +182,10 @@ type Server struct {
 	// on-disk scans.
 	phInit sync.Once
 	ph     atomic.Pointer[journal.PrefixHashes]
+	// cq is the group-commit staging queue (see groupcommit.go): /reviews
+	// handlers stage prepared deltas here and one of them — the leader —
+	// drains, journals and applies the batch with a single shared fsync.
+	cq commitQueue
 }
 
 // New wraps a built database in an HTTP serving surface. The database
@@ -170,6 +197,10 @@ func New(db *core.DB, opts Options) *Server {
 	s := &Server{db: db, opts: opts, mux: http.NewServeMux(), started: time.Now()}
 	if opts.Ingest != nil {
 		s.appliedSeq = opts.Ingest.JournalLastSeq
+		s.cq.depth = opts.Ingest.MaxQueueDepth
+		if s.cq.depth <= 0 {
+			s.cq.depth = DefaultCommitQueueDepth
+		}
 	}
 	s.metrics = newServerMetrics(opts.Metrics)
 	s.metrics.appliedSeq.Set(float64(s.appliedSeq))
@@ -736,9 +767,15 @@ type ReviewResponse struct {
 	// Extractions is how many opinions the extractor materialized from
 	// the review on this instance.
 	Extractions int `json:"extractions"`
-	// Seq is the journal sequence number; 0 when the server ingests
-	// without a journal.
-	Seq uint64 `json:"seq,omitempty"`
+	// Seq is the journal sequence number assigned to this review. Always
+	// present: 0 means the server ingests without a journal (volatile),
+	// never "field omitted" — clients must be able to tell the two apart.
+	Seq uint64 `json:"seq"`
+	// Durable is true when the journaled record was fsynced before this
+	// acknowledgement was written — the group-commit contract. False only
+	// on volatile (journal-less) ingestion or a journal configured with a
+	// lazy sync batch (SyncEvery > 1) on the per-record append path.
+	Durable bool `json:"durable"`
 }
 
 // DecodeReviewRequest parses a POST /reviews body with the missing-field
@@ -758,12 +795,15 @@ func DecodeReviewRequest(r *http.Request) (ReviewRequest, error) {
 	return req, nil
 }
 
-// handleReviews is the live-enrichment write path: append the delta to
-// the journal, then apply it to the serving database, both under the
-// exclusive half of the server's lock so readers never observe a
-// half-applied review. Append-before-apply is what makes a crash safe —
-// an acknowledged review is either in the served state or replayed from
-// the journal at the next load.
+// handleReviews is the live-enrichment write path. The default pipeline
+// is group commit (see groupcommit.go): the handler prepares the delta
+// outside every lock, stages it on the commit queue, and one staged
+// writer — the leader — journals the whole queue with a single shared
+// fsync before applying it in sequence order, so every 200 response
+// implies durability regardless of how many writers arrived together.
+// Append-before-apply is what makes a crash safe — an acknowledged
+// review is either in the served state or replayed from the journal at
+// the next load.
 func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -780,7 +820,17 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rv := core.ReviewData{ID: req.ID, EntityID: req.EntityID, Reviewer: req.Reviewer, Day: req.Day, Text: req.Text}
+	if s.opts.Ingest.DisableGroupCommit {
+		s.handleReviewSerialized(w, req, rv)
+		return
+	}
+	s.handleReviewGrouped(w, req, rv)
+}
 
+// handleReviewSerialized is the pre-group-commit write path, kept as the
+// DisableGroupCommit control arm: validate → append → apply, all under
+// one exclusive lock per request.
+func (s *Server) handleReviewSerialized(w http.ResponseWriter, req ReviewRequest, rv core.ReviewData) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.db.HasReview(rv.ID) {
@@ -793,9 +843,17 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var seq uint64
-	if s.opts.Ingest.Append != nil {
+	var durable bool
+	var err error
+	if s.opts.Ingest.Append != nil || s.opts.Ingest.AppendBatch != nil {
 		t0 := time.Now()
-		seq, err = s.opts.Ingest.Append(rv)
+		if s.opts.Ingest.Append != nil {
+			seq, err = s.opts.Ingest.Append(rv)
+			durable = s.opts.Ingest.AppendDurable
+		} else {
+			seq, err = s.opts.Ingest.AppendBatch([]core.ReviewData{rv})
+			durable = true
+		}
 		s.metrics.journalAppend.ObserveSince(t0)
 		if err != nil {
 			WriteError(w, http.StatusInternalServerError, "journal append: %v", err)
@@ -803,16 +861,8 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 		}
 		// Extend the in-memory prefix-hash chain with exactly what was
 		// journaled — the chain mirrors the journal, not the applied
-		// state, so it advances before the apply below. A chain error
-		// (cannot happen while this server owns the journal) drops the
-		// chain; status probes fall back to on-disk scans.
-		if ph := s.prefixHashes(); ph != nil {
-			if perr := ph.Append(seq, journal.Review{
-				ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer, Day: rv.Day, Text: rv.Text,
-			}); perr != nil {
-				s.ph.Store(nil)
-			}
-		}
+		// state, so it advances before the apply below.
+		s.extendPrefixChain(seq, rv)
 	}
 	before := len(s.db.Extractions)
 	t0 := time.Now()
@@ -820,7 +870,12 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 	s.metrics.apply.ObserveSince(t0)
 	if err != nil {
 		// The delta is journaled but not applied; the next load replays it.
-		// Surfacing the inconsistency beats hiding it.
+		// Surfacing the inconsistency beats hiding it. The apply may have
+		// mutated state before failing, so memoized fragments are
+		// conservatively dropped — a stale fragment would serve wrong bytes.
+		if s.topkMemo != nil {
+			s.topkMemo.invalidate()
+		}
 		WriteError(w, http.StatusInternalServerError, "apply (journaled at seq %d): %v", seq, err)
 		return
 	}
@@ -839,5 +894,24 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 		Owned:       owned,
 		Extractions: len(s.db.Extractions) - before,
 		Seq:         seq,
+		Durable:     durable,
 	})
+}
+
+// extendPrefixChain advances the in-memory prefix-hash chain with one
+// journaled record. A chain error (cannot happen while this server owns
+// the journal) drops the chain with an operator signal — a counter and a
+// log line — and status probes fall back to on-disk scans.
+func (s *Server) extendPrefixChain(seq uint64, rv core.ReviewData) {
+	ph := s.prefixHashes()
+	if ph == nil {
+		return
+	}
+	if err := ph.Append(seq, journal.Review{
+		ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer, Day: rv.Day, Text: rv.Text,
+	}); err != nil {
+		s.ph.Store(nil)
+		s.metrics.chainDropped.Inc()
+		log.Printf("server: prefix-hash chain dropped at seq %d (journal/status probes degrade to segment scans until restart): %v", seq, err)
+	}
 }
