@@ -97,10 +97,13 @@ write-smoke:
 	go run ./cmd/opinedbload -smoke -duration 5s -concurrency 16 \
 		-mix query=1,topk=1,interpret=1,reviews=6 -fingerprint
 
-# Replication smoke test: build an R=2 fleet, kill one replica of one
-# range outright, drive the mixed load through the router, and fail
-# unless every request served (balancer failover + partial replication)
-# and the surviving fleet stays byte-identical to the enriched monolith.
+# Replication smoke test: build an R=2 fleet, drive the mixed load
+# through the router, and mid-load JOIN a third replica on the hot range
+# (snapshot + journal catch-up, admitted with the byte-identity proof)
+# then KILL an original replica outright. Fail unless every request
+# served through both transitions, the joiner's journal is hash-identical
+# to a survivor's, and the fleet stays byte-identical to the enriched
+# monolith.
 replica-smoke:
 	go run ./cmd/opinedbb -replica-smoke
 

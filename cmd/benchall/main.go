@@ -26,7 +26,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
-	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load,replication,groupcommit)")
+	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load,replication,replicaops,groupcommit)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -163,6 +163,19 @@ func main() {
 				log.Printf("BENCH_replication.json: %v", err)
 			} else {
 				fmt.Println("wrote BENCH_replication.json")
+			}
+		}
+	}
+
+	if run("replicaops") {
+		fmt.Println("running replicaops (live replica join vs rebuild + hot-range scaling 1→3)...")
+		opsRes := harness.RunReplicaOps(context.Background(), *seed+1300)
+		fmt.Println(harness.FormatReplicaOps(opsRes))
+		if data, err := json.MarshalIndent(opsRes, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_replicaops.json", data, 0o644); err != nil {
+				log.Printf("BENCH_replicaops.json: %v", err)
+			} else {
+				fmt.Println("wrote BENCH_replicaops.json")
 			}
 		}
 	}

@@ -46,14 +46,14 @@ func main() {
 	labels := flag.Int("labels", 800, "membership-function training labels")
 	subindex := flag.Bool("subindex", true, "build the Appendix B substitution index into the snapshot")
 	shards := flag.Int("shards", 1, "partition the entity space into N per-shard snapshots plus a manifest (1 = monolithic)")
-	replicas := flag.Int("replicas", 1, "with -shards > 1: record a per-range replica-set size in the manifest (opinedbd -router serves each range with R equivalent backends)")
+	replicas := flag.String("replicas", "", `with -shards > 1: record the replica-set shape in the manifest — "3" for a uniform R, or "0=3,1=1" per-range pairs (unlisted ranges default to 1) so a hot range runs R=3 while cold ranges stay single-replica (opinedbd -router serves each range accordingly)`)
 	verify := flag.Bool("verify", false, "after writing, reload the artifact(s) and check query equivalence against the in-memory build")
 	compact := flag.String("compact", "", "fold a review journal back into a fresh snapshot instead of building: pass a snapshot path (compacted in place, or to -o when -o is set) or a shard manifest (*.json: every shard journal is folded and the manifest digests refreshed)")
 	journalSmoke := flag.Bool("journal-smoke", false, "crash-recovery smoke test: build → snapshot → ingest from a child process → SIGKILL it mid-write → reload snapshot+journal → fingerprint check against direct application")
 	rebalance := flag.Int("rebalance", 0, "rebalance the stopped fleet described by -manifest to N shards without a rebuild: merge the loaded shards (snapshots + journals), re-partition, and commit a fresh snapshot set + manifest crash-safely")
 	manifestFlag := flag.String("manifest", "", "shard manifest path for -rebalance")
 	rebalanceSmoke := flag.Bool("rebalance-smoke", false, "rebalancing smoke test: build a 4-shard fleet → ingest through the router → rebalance to 2 and to 8 → fingerprint check against the enriched monolith")
-	replicaSmoke := flag.Bool("replica-smoke", false, "replication smoke test: build an R=2 fleet → kill one replica of one range → run the mixed load → assert zero request errors and fingerprint byte-identity against the enriched monolith")
+	replicaSmoke := flag.Bool("replica-smoke", false, "replication smoke test: build an R=2 fleet → run the mixed load → join a third replica on the hot range mid-load → kill an original replica mid-load → assert zero request errors, joiner journal identity, and fingerprint byte-identity against the enriched monolith")
 	flag.Parse()
 
 	if os.Getenv(smokeChildEnv) != "" {
@@ -144,27 +144,28 @@ func shardBase(out string) string { return strings.TrimSuffix(out, filepath.Ext(
 // when R > 1 — replicas serve the same artifacts, so only the manifest
 // changes shape), and optionally verifies that a router over the
 // reloaded shards answers byte-identically to the in-memory monolith.
-func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards, replicas int, seed int64, buildSecs float64, verify bool) {
+func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, replicaSpec string, seed int64, buildSecs float64, verify bool) {
 	base := shardBase(out)
 	shardDBs, parts, err := db.Shards(shards)
 	if err != nil {
 		log.Fatalf("shard: %v", err)
 	}
-	if replicas < 1 {
-		log.Fatalf("shard: -replicas %d (need >= 1)", replicas)
+	perRange, uniform, err := snapshot.ParseReplicaSpec(replicaSpec, shards)
+	if err != nil {
+		log.Fatalf("shard: -replicas: %v", err)
 	}
-	manifestReplicas := replicas
-	if manifestReplicas == 1 {
-		manifestReplicas = 0 // canonical single-replica manifest: field absent
+	if uniform == 1 {
+		uniform = 0 // canonical single-replica manifest: field absent
 	}
 	manifest := &snapshot.Manifest{
-		FormatVersion: snapshot.FormatVersion,
-		Name:          db.Name,
-		BuildSeed:     seed,
-		Shards:        shards,
-		Replicas:      manifestReplicas,
-		TotalEntities: len(db.EntityIDs()),
-		CreatedUnix:   time.Now().Unix(),
+		FormatVersion:    snapshot.FormatVersion,
+		Name:             db.Name,
+		BuildSeed:        seed,
+		Shards:           shards,
+		Replicas:         uniform,
+		ReplicasPerRange: perRange,
+		TotalEntities:    len(db.EntityIDs()),
+		CreatedUnix:      time.Now().Unix(),
 	}
 	start := time.Now()
 	for i, shardDB := range shardDBs {
@@ -200,8 +201,12 @@ func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards, replicas i
 	if err := snapshot.WriteManifest(manifestPath, manifest); err != nil {
 		log.Fatalf("manifest: %v", err)
 	}
-	log.Printf("wrote %s: %d shards × %d replicas, %d entities (%.2fs)",
-		manifestPath, shards, replicas, manifest.TotalEntities, time.Since(start).Seconds())
+	nodes := 0
+	for i := 0; i < shards; i++ {
+		nodes += manifest.ReplicaCount(i)
+	}
+	log.Printf("wrote %s: %d shards, %d serving nodes, %d entities (%.2fs)",
+		manifestPath, shards, nodes, manifest.TotalEntities, time.Since(start).Seconds())
 
 	if verify {
 		// FromManifest honors the manifest's replica count, so an R>1 build

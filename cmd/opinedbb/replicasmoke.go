@@ -2,19 +2,23 @@ package main
 
 // Replication smoke drill (`opinedbb -replica-smoke`, `make
 // replica-smoke`): prove the replicated read fleet serves through a
-// replica failure without losing a request or a byte. Build a small
-// R=2 fleet, kill one replica of one range outright, drive the mixed
-// read/write load through the router's front door, and require (a)
-// zero request errors — the balancer routes around the corpse and
-// writes succeed partially-replicated — and (b) that the surviving
-// fleet, queried with hedging enabled, stays byte-identical to the
-// monolith enriched with the same fleet-ordered write sequence.
+// replica-set membership change AND a replica failure without losing a
+// request or a byte. Build a small R=2 fleet, drive the mixed
+// read/write load through the router's front door, and mid-load (a)
+// JOIN a third replica on the hot range — snapshot + journal-suffix
+// catch-up, admitted under the write mutex with the byte-identity
+// proof — then (b) KILL one of the range's original replicas outright.
+// Require zero request errors through both transitions, the joiner's
+// journal hash-identical to a surviving original's, and the fleet
+// byte-identical to the monolith enriched with the same fleet-ordered
+// write sequence.
 
 import (
 	"context"
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,43 +69,92 @@ func runReplicaSmoke(seed int64) {
 		log.Fatalf("replica-smoke: fleet: %v", err)
 	}
 
-	// Kill replica 1 of range 0 before any traffic: every scatter leg the
-	// balancer sends there fails instantly and must fail over to the
-	// surviving replica, and every write's fan-out to it must degrade to
-	// a partial (not an error).
-	victim.dead.Store(true)
-	log.Printf("replica-smoke: killed %s; driving the mixed load...", victim.Name())
-
+	// Two mid-load transitions on the hot range: at ~1/4 of the run a
+	// third replica joins (catch-up + admission under the write mutex —
+	// writes queue behind the admission, they never pause), and at ~2/3 an
+	// ORIGINAL replica dies. Between the kill and the end of the run the
+	// joiner is load-bearing: it and replica 0 are the range's only live
+	// nodes.
 	ctx := context.Background()
+	var (
+		wg      sync.WaitGroup
+		admit   *router.AdmitReport
+		joinErr error
+	)
+	wg.Add(2)
+	time.AfterFunc(700*time.Millisecond, func() {
+		defer wg.Done()
+		joiner, err := fl.NewJoinerBackend(0)
+		if err != nil {
+			joinErr = err
+			return
+		}
+		log.Printf("replica-smoke: joining %s to range 0 mid-load...", joiner.Name())
+		admit, joinErr = fl.Router.AdmitReplica(ctx, 0, joiner)
+	})
+	time.AfterFunc(1900*time.Millisecond, func() {
+		defer wg.Done()
+		victim.dead.Store(true)
+		log.Printf("replica-smoke: killed %s mid-load...", victim.Name())
+	})
+
 	res := harness.RunLoadMix(ctx, harness.HandlerLoadTarget(fl.Handler), fl.Dataset, harness.LoadOptions{
 		Mix:         harness.DefaultLoadMix(),
 		Concurrency: 4,
-		Duration:    2 * time.Second,
+		Duration:    3 * time.Second,
 		Seed:        seed,
 	})
+	wg.Wait()
 	if res.Err != "" {
 		log.Fatalf("replica-smoke: load: %s", res.Err)
 	}
 	fmt.Print(harness.FormatLoad(res))
+	if joinErr != nil {
+		log.Fatalf("replica-smoke: mid-load join failed: %v", joinErr)
+	}
+	if admit == nil || admit.Final == nil || !admit.Final.Identical {
+		log.Fatalf("replica-smoke: join admitted without the byte-identity proof: %+v", admit)
+	}
+	log.Printf("replica-smoke: joined shard0 replica %d (backfilled %d records, fleet now %d nodes)",
+		admit.Replica, admit.Presync.Backfilled+admit.Final.Backfilled, admit.Nodes)
 	if res.TotalErrors != 0 {
-		log.Fatalf("replica-smoke: %d of %d requests failed with one replica down — the fleet must serve through a replica loss", res.TotalErrors, res.TotalOps)
+		log.Fatalf("replica-smoke: %d of %d requests failed across a join and a kill — the fleet must serve through both", res.TotalErrors, res.TotalOps)
 	}
 
-	// Byte-identity under failure: every surviving node journaled the
-	// full fleet-ordered write sequence, so replaying any live journal
-	// into the build-time monolith reproduces the state the fleet now
-	// serves. Node 0 (shard 0, replica 0) is the dead node's own
-	// set-mate — if anyone missed a write it would be this one.
-	st, err := journal.ApplyAll(fl.DB, fl.JournalDirs[0])
+	// The joiner must have kept pace after admission too: its journal's
+	// full hash chain must match a surviving original's, record for
+	// record, through the end of the run.
+	origHash, origSeq := journalChain(fl.JournalDirs[0][0])
+	joinHash, joinSeq := journalChain(fl.JournalDirs[0][2])
+	if origSeq != joinSeq || origHash != joinHash {
+		log.Fatalf("replica-smoke: joiner journal (seq %d, %s) diverges from original (seq %d, %s)",
+			joinSeq, joinHash, origSeq, origHash)
+	}
+
+	// Byte-identity through both transitions: every surviving node
+	// journaled the full fleet-ordered write sequence, so replaying any
+	// live journal into the build-time monolith reproduces the state the
+	// fleet now serves. Node (0,0) is the dead node's own set-mate — if
+	// anyone missed a write it would be this one.
+	st, err := journal.ApplyAll(fl.DB, fl.JournalDirs[0][0])
 	if err != nil {
 		log.Fatalf("replica-smoke: replay: %v", err)
 	}
 	monoFP, n := harness.QueryFingerprint(fl.Dataset, fl.DB)
 	routedFP, _ := harness.QueryFingerprint(fl.Dataset, fl.Router.Engine(ctx))
 	if monoFP != routedFP {
-		log.Fatalf("replica-smoke: degraded fleet diverges from the enriched monolith over %d query-set entries", n)
+		log.Fatalf("replica-smoke: fleet diverges from the enriched monolith over %d query-set entries", n)
 	}
 	fired, wins := fl.Router.HedgeStats()
-	fmt.Printf("replica-smoke OK: %d ops, 0 errors with one replica down; %d reviews replayed; %d query-set entries byte-identical (hedges fired %d, won %d)\n",
-		res.TotalOps, st.Applied, n, fired, wins)
+	fmt.Printf("replica-smoke OK: %d ops, 0 errors through a mid-load join and a replica kill; joiner hash-identical at seq %d; %d reviews replayed; %d query-set entries byte-identical (hedges fired %d, won %d)\n",
+		res.TotalOps, joinSeq, st.Applied, n, fired, wins)
+}
+
+// journalChain reads a journal directory's full prefix-hash chain.
+func journalChain(dir string) (hash string, seq uint64) {
+	p, err := journal.NewPrefixHashes(dir)
+	if err != nil {
+		log.Fatalf("replica-smoke: hash chain for %s: %v", dir, err)
+	}
+	return p.Last()
 }

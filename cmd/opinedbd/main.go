@@ -79,7 +79,7 @@ func main() {
 	shardReplica := flag.Int("shard-replica", 0, "which replica of the shard this process is (>0 suffixes the auto journal directory so co-located replicas do not share a journal)")
 	routerManifest := flag.String("router", "", "shard manifest; act as the scatter-gather router over the fleet")
 	routerBackends := flag.String("router-backends", "", "comma-separated shard base URLs for -router, ordered by shard index; within a shard, separate replica URLs with '|' (http://a:8081|http://a2:8081). Empty loads every shard in process")
-	replicas := flag.Int("replicas", 0, "router role, in-process fleet: serve each shard range with this many replicas (0 follows the manifest)")
+	replicas := flag.String("replicas", "", `router role, in-process fleet: replica-set shape override — "3" serves every range with 3 replicas, "0=3,1=1" per-range pairs (unlisted ranges default to 1); "" follows the manifest`)
 	noHedge := flag.Bool("no-hedge", false, "router role: disable hedged scatter legs (load balancing across replicas stays on)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "router role: fixed hedge delay (0 = adapt to each shard's scatter p95)")
 	repairEvery := flag.Duration("repair-interval", 0, "router role: run a fleet-wide anti-entropy write-repair pass on this interval (0 disables; POST /repair triggers one on demand, and partial writes always heal automatically)")
@@ -299,9 +299,10 @@ func replicaJournalDir(dir string, replica int) string {
 
 // routerHandler assembles the scatter-gather router: remote backends when
 // -router-backends is given, otherwise every shard loaded in process
-// (replicas > 0 overrides the manifest's replica count there).
+// (a non-empty -replicas spec overrides the manifest's replica shape
+// there).
 // repairEvery > 0 starts a background anti-entropy loop over the fleet.
-func routerHandler(manifestPath, backendList string, topK int, journalMode string, tun ingestTuning, repairEvery time.Duration, replicas int, noHedge bool, hedgeDelay time.Duration) http.Handler {
+func routerHandler(manifestPath, backendList string, topK int, journalMode string, tun ingestTuning, repairEvery time.Duration, replicas string, noHedge bool, hedgeDelay time.Duration) http.Handler {
 	opts := router.Options{
 		DefaultTopK:    topK,
 		Metrics:        metricsReg,
@@ -309,9 +310,18 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 		HedgeDelay:     hedgeDelay,
 	}
 	if backendList == "" {
+		pm, err := snapshot.LoadManifest(manifestPath)
+		if err != nil {
+			log.Fatalf("router manifest %s: %v", manifestPath, err)
+		}
+		perRange, uniform, err := snapshot.ParseReplicaSpec(replicas, pm.Shards)
+		if err != nil {
+			log.Fatalf("router: -replicas: %v", err)
+		}
 		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
-			Options:  opts,
-			Replicas: replicas,
+			Options:          opts,
+			Replicas:         uniform,
+			ReplicasPerRange: perRange,
 			ShardServer: func(shard, replica int, path string, db *core.DB, meta *snapshot.Meta) server.Options {
 				// Each in-process node needs its own journal chain: with an
 				// explicit -journal dir, derive a per-shard subdirectory (a

@@ -387,17 +387,24 @@ func percentile(sorted []float64, q float64) float64 {
 // runs: the router's HTTP front door, the generated dataset behind it
 // (the request vocabulary), the monolithic database the fleet was built
 // from (the byte-identity reference), the shared metrics registry, and
-// each node's journal directory (flat, shard-major — one per replica of
-// every shard).
+// each node's journal directory, indexed [shard][replica]. Counts holds
+// each range's replica-set size; a live join grows JournalDirs[shard]
+// past Counts[shard].
 type LoadFleet struct {
 	Router      *router.Router
 	Handler     http.Handler
 	Dataset     *corpus.Dataset
 	DB          *core.DB
 	Registry    *obs.Registry
-	JournalDirs []string
+	JournalDirs [][]string
 	Manifest    *snapshot.Manifest
-	Replicas    int
+	Counts      []int
+
+	// The pieces a live join needs to assemble a fresh node exactly the
+	// way BuildLoadFleet assembled the originals.
+	manifestPath string
+	shardServer  func(shard, replica int, path string, db *core.DB, meta *snapshot.Meta) server.Options
+	wrap         func(shard, replica int, b router.Backend) router.Backend
 }
 
 // ReplayOwnedWrites folds every write the fleet journaled during a run
@@ -414,7 +421,7 @@ type LoadFleet struct {
 func (fl *LoadFleet) ReplayOwnedWrites() (int, error) {
 	applied := 0
 	for s, ms := range fl.Manifest.Shard {
-		jdir := fl.JournalDirs[s*fl.Replicas]
+		jdir := fl.JournalDirs[s][0]
 		_, err := journal.Replay(jdir, func(seq uint64, rv journal.Review) error {
 			if rv.EntityID < ms.FirstEntity || rv.EntityID > ms.LastEntity {
 				return nil
@@ -441,6 +448,11 @@ type LoadFleetOptions struct {
 	Shards int
 	// Replicas is each shard range's replica-set size. <= 0 means 1.
 	Replicas int
+	// ReplicasPerRange gives each range its own replica-set size
+	// (index-aligned with shards; entries <= 0 mean 1). Takes precedence
+	// over Replicas, so a hot range can run R=3 while cold ranges stay
+	// single-replica.
+	ReplicasPerRange []int
 	// Seed drives corpus generation and the build.
 	Seed int64
 	// DisableTopKMemo turns off per-shard /topk fragment memoization —
@@ -473,9 +485,18 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	if shards <= 0 {
 		shards = 4
 	}
-	replicas := opts.Replicas
-	if replicas <= 0 {
-		replicas = 1
+	if n := len(opts.ReplicasPerRange); n > 0 && n != shards {
+		return nil, fmt.Errorf("load fleet: %d replica counts for %d shards", n, shards)
+	}
+	counts := make([]int, shards)
+	for i := range counts {
+		counts[i] = opts.Replicas
+		if i < len(opts.ReplicasPerRange) {
+			counts[i] = opts.ReplicasPerRange[i]
+		}
+		if counts[i] <= 0 {
+			counts[i] = 1
+		}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("load fleet: %w", err)
@@ -489,75 +510,88 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load fleet: build: %w", err)
 	}
-	manifestPath, err := WriteReplicatedFleet(db, dir, "load", shards, replicas, opts.Seed)
+	var manifestPath string
+	if len(opts.ReplicasPerRange) > 0 {
+		manifestPath, err = WritePerRangeFleet(db, dir, "load", shards, counts, opts.Seed)
+	} else {
+		manifestPath, err = WriteReplicatedFleet(db, dir, "load", shards, counts[0], opts.Seed)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("load fleet: %w", err)
 	}
 
 	reg := obs.NewRegistry()
-	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, JournalDirs: make([]string, shards*replicas), Replicas: replicas}
+	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, JournalDirs: make([][]string, shards), Counts: counts, manifestPath: manifestPath}
+	for s := range fl.JournalDirs {
+		fl.JournalDirs[s] = make([]string, counts[s])
+	}
+	fl.shardServer = func(shard, replica int, path string, sdb *core.DB, meta *snapshot.Meta) server.Options {
+		// Replica 0 keeps the pre-replication journal dir name so
+		// single-replica artifacts stay where tooling expects them.
+		name := fmt.Sprintf("shard-%d.journal", shard)
+		if replica > 0 {
+			name = fmt.Sprintf("shard-%d-r%d.journal", shard, replica)
+		}
+		jdir := filepath.Join(dir, name)
+		if err := os.MkdirAll(jdir, 0o755); err != nil {
+			return server.Options{}
+		}
+		j, jerr := journal.Open(jdir, journal.Options{
+			SyncEvery:    1,
+			SyncObserver: server.FsyncObserver(reg),
+		})
+		if jerr != nil {
+			return server.Options{}
+		}
+		for len(fl.JournalDirs[shard]) <= replica {
+			fl.JournalDirs[shard] = append(fl.JournalDirs[shard], "")
+		}
+		fl.JournalDirs[shard][replica] = jdir
+		return server.Options{
+			Metrics:         reg,
+			DisableTopKMemo: opts.DisableTopKMemo,
+			Ingest: &server.IngestOptions{
+				AcceptUnowned:  true,
+				JournalDir:     jdir,
+				JournalLastSeq: j.NextSeq() - 1,
+				Append: func(rv core.ReviewData) (uint64, error) {
+					return j.Append(journal.Review{
+						ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
+						Day: rv.Day, Text: rv.Text,
+					})
+				},
+				AppendBatch: func(rvs []core.ReviewData) (uint64, error) {
+					batch := make([]journal.Review, len(rvs))
+					for i, rv := range rvs {
+						batch[i] = journal.Review{
+							ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
+							Day: rv.Day, Text: rv.Text,
+						}
+					}
+					return j.AppendBatch(batch)
+				},
+				AppendDurable:      true, // SyncEvery: 1 above
+				DisableGroupCommit: opts.DisableGroupCommit,
+			},
+		}
+	}
+	fl.wrap = func(shard, replica int, b router.Backend) router.Backend {
+		if opts.SlowReplica > 0 && shard == 0 && replica == counts[0]-1 {
+			b = &router.DelayBackend{Inner: b, Delay: opts.SlowReplica}
+		}
+		if opts.WrapBackend != nil {
+			b = opts.WrapBackend(shard, replica, b)
+		}
+		return b
+	}
 	rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
 		Options: router.Options{
 			Metrics:        reg,
 			DisableHedging: opts.DisableHedging,
 			HedgeDelay:     opts.HedgeDelay,
 		},
-		ShardServer: func(shard, replica int, path string, sdb *core.DB, meta *snapshot.Meta) server.Options {
-			// Replica 0 keeps the pre-replication journal dir name so
-			// single-replica artifacts stay where tooling expects them.
-			name := fmt.Sprintf("shard-%d.journal", shard)
-			if replica > 0 {
-				name = fmt.Sprintf("shard-%d-r%d.journal", shard, replica)
-			}
-			jdir := filepath.Join(dir, name)
-			if err := os.MkdirAll(jdir, 0o755); err != nil {
-				return server.Options{}
-			}
-			j, jerr := journal.Open(jdir, journal.Options{
-				SyncEvery:    1,
-				SyncObserver: server.FsyncObserver(reg),
-			})
-			if jerr != nil {
-				return server.Options{}
-			}
-			fl.JournalDirs[shard*replicas+replica] = jdir
-			return server.Options{
-				Metrics:         reg,
-				DisableTopKMemo: opts.DisableTopKMemo,
-				Ingest: &server.IngestOptions{
-					AcceptUnowned:  true,
-					JournalDir:     jdir,
-					JournalLastSeq: j.NextSeq() - 1,
-					Append: func(rv core.ReviewData) (uint64, error) {
-						return j.Append(journal.Review{
-							ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
-							Day: rv.Day, Text: rv.Text,
-						})
-					},
-					AppendBatch: func(rvs []core.ReviewData) (uint64, error) {
-						batch := make([]journal.Review, len(rvs))
-						for i, rv := range rvs {
-							batch[i] = journal.Review{
-								ID: rv.ID, EntityID: rv.EntityID, Reviewer: rv.Reviewer,
-								Day: rv.Day, Text: rv.Text,
-							}
-						}
-						return j.AppendBatch(batch)
-					},
-					AppendDurable:      true, // SyncEvery: 1 above
-					DisableGroupCommit: opts.DisableGroupCommit,
-				},
-			}
-		},
-		WrapBackend: func(shard, replica int, b router.Backend) router.Backend {
-			if opts.SlowReplica > 0 && shard == 0 && replica == replicas-1 {
-				b = &router.DelayBackend{Inner: b, Delay: opts.SlowReplica}
-			}
-			if opts.WrapBackend != nil {
-				b = opts.WrapBackend(shard, replica, b)
-			}
-			return b
-		},
+		ShardServer: fl.shardServer,
+		WrapBackend: fl.wrap,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("load fleet: %w", err)
@@ -566,6 +600,29 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	fl.Handler = router.NewHandler(rt)
 	fl.Manifest = m
 	return fl, nil
+}
+
+// NewJoinerBackend assembles a fresh node for one shard range exactly
+// the way BuildLoadFleet assembled the originals: the digest-verified
+// shard snapshot, its own journal directory (appended to
+// JournalDirs[shard]), and the same wrapping. The node is live but NOT
+// in the router — hand it to Router.AdmitReplica to join the range's
+// replica set.
+func (fl *LoadFleet) NewJoinerBackend(shard int) (router.Backend, error) {
+	if shard < 0 || shard >= len(fl.Manifest.Shard) {
+		return nil, fmt.Errorf("load fleet: joiner for shard %d of %d", shard, len(fl.Manifest.Shard))
+	}
+	db, meta, err := snapshot.LoadVerifiedShard(fl.manifestPath, fl.Manifest, shard)
+	if err != nil {
+		return nil, fmt.Errorf("load fleet: joiner: %w", err)
+	}
+	replica := len(fl.JournalDirs[shard])
+	srvOpts := fl.shardServer(shard, replica, snapshot.ShardPath(fl.manifestPath, fl.Manifest.Shard[shard]), db, meta)
+	if srvOpts.Ingest == nil {
+		return nil, fmt.Errorf("load fleet: joiner for shard %d could not open a journal", shard)
+	}
+	name := fmt.Sprintf("shard%d.r%d", shard, replica)
+	return fl.wrap(shard, replica, router.NewLocalBackend(name, db, srvOpts)), nil
 }
 
 // FormatLoad renders a load run as the SLO table operators read.

@@ -95,9 +95,11 @@ func TestRunLoadMixJournaledFleet(t *testing.T) {
 	}
 	// The ingested reviews must have reached the shard journals.
 	var journaled bool
-	for _, dir := range fl.JournalDirs {
-		if dir != "" {
-			journaled = true
+	for _, set := range fl.JournalDirs {
+		for _, dir := range set {
+			if dir != "" {
+				journaled = true
+			}
 		}
 	}
 	if !journaled {

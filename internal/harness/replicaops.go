@@ -1,0 +1,211 @@
+package harness
+
+// The benchall "replicaops" experiment: what operable replica sets buy.
+// Two arms over one fleet whose HOT range (shard 0) is paced to a fixed
+// serial service time while the cold ranges serve at full speed — the
+// skewed shape per-range replica counts exist for:
+//
+//   - Join vs rebuild: wall time of a live replica join on the hot
+//     range (digest-verified snapshot load + journal-suffix catch-up +
+//     admission under the write mutex) against the full
+//     build-and-write-fleet path, the only alternative before live
+//     membership changes existed.
+//
+//   - Targeted scaling: scatter read throughput before and after
+//     growing ONLY the hot range 1→3 with live joins. The hot range
+//     gates every scatter, so its capacity sets fleet throughput; the
+//     cold ranges never pay for replicas they do not need.
+//
+// Closes with the byte-identity check: the scaled fleet, joiners load-
+// bearing, must reproduce the write-enriched monolith exactly.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/router"
+)
+
+// JoinTiming is one live join's cost.
+type JoinTiming struct {
+	Replica    int     `json:"replica"`
+	Seconds    float64 `json:"seconds"`
+	Backfilled int     `json:"backfilled"`
+}
+
+// ReplicaOpsArm is one side of the before/after throughput comparison.
+type ReplicaOpsArm struct {
+	HotReplicas  int     `json:"hot_replicas"`
+	Nodes        int     `json:"nodes"`
+	OpsPerSecond float64 `json:"ops_per_second"`
+	TopKP99      float64 `json:"topk_p99_micros"`
+	Errors       int     `json:"errors"`
+}
+
+// ReplicaOpsResult is the full "replicaops" experiment.
+type ReplicaOpsResult struct {
+	// ServiceMillis is the paced per-request service floor of the hot
+	// range's backends; the cold ranges are unpaced.
+	ServiceMillis float64 `json:"service_millis"`
+	Shards        int     `json:"shards"`
+	HotRange      int     `json:"hot_range"`
+	// RebuildSeconds is the full corpus→build→write-fleet→serve path —
+	// what adding a replica cost before live joins.
+	RebuildSeconds float64       `json:"rebuild_seconds"`
+	Joins          []JoinTiming  `json:"joins"`
+	Before         ReplicaOpsArm `json:"before"`
+	After          ReplicaOpsArm `json:"after"`
+	// Identical reports whether the scaled fleet (joiners in the pick)
+	// matched the write-enriched monolith byte-for-byte.
+	Identical      bool   `json:"identical"`
+	QueriesChecked int    `json:"queries_checked"`
+	Err            string `json:"error,omitempty"`
+}
+
+const (
+	replicaOpsShards  = 3
+	replicaOpsHot     = 0
+	replicaOpsService = 5 * time.Millisecond
+)
+
+// RunReplicaOps measures live-join cost against a full rebuild and the
+// read-throughput win of scaling only the hot range 1→3, then closes
+// with the byte-identity check. ctx bounds every routed call.
+func RunReplicaOps(ctx context.Context, seed int64) ReplicaOpsResult {
+	res := ReplicaOpsResult{
+		ServiceMillis: float64(replicaOpsService.Microseconds()) / 1000,
+		Shards:        replicaOpsShards,
+		HotRange:      replicaOpsHot,
+	}
+	dir, err := os.MkdirTemp("", "opinedb-replicaops-*")
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer os.RemoveAll(dir)
+
+	buildStart := time.Now()
+	fl, err := BuildLoadFleet(dir, LoadFleetOptions{
+		Shards:         replicaOpsShards,
+		Seed:           seed,
+		DisableHedging: true, // this experiment measures capacity, not tail rescue
+		WrapBackend: func(shard, replica int, b router.Backend) router.Backend {
+			if shard == replicaOpsHot {
+				return &pacedBackend{inner: b, service: replicaOpsService}
+			}
+			return b
+		},
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.RebuildSeconds = time.Since(buildStart).Seconds()
+
+	// Seed the journals with real write traffic (and warm the memo), so
+	// the joins below catch up on an actual suffix rather than an empty
+	// chain.
+	RunLoadMix(ctx, HandlerLoadTarget(fl.Handler), fl.Dataset, LoadOptions{
+		Mix:         LoadMix{TopK: 2, Reviews: 1},
+		Concurrency: 4,
+		Duration:    800 * time.Millisecond,
+		Seed:        seed + 17,
+		K:           5,
+	})
+
+	measure := func() (ReplicaOpsArm, error) {
+		load := RunLoadMix(ctx, HandlerLoadTarget(fl.Handler), fl.Dataset, LoadOptions{
+			Mix:         LoadMix{TopK: 1},
+			Concurrency: 8,
+			Duration:    1500 * time.Millisecond,
+			Seed:        seed,
+			K:           5,
+		})
+		if load.Err != "" {
+			return ReplicaOpsArm{}, fmt.Errorf("%s", load.Err)
+		}
+		return ReplicaOpsArm{
+			HotReplicas:  len(fl.JournalDirs[replicaOpsHot]),
+			Nodes:        fl.Router.NumNodes(),
+			OpsPerSecond: load.OpsPerSecond,
+			TopKP99:      load.PerOp["topk"].P99Micros,
+			Errors:       load.TotalErrors,
+		}, nil
+	}
+	if res.Before, err = measure(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	// Scale the hot range 1→3 with live joins, timing each.
+	for len(fl.JournalDirs[replicaOpsHot]) < 3 {
+		t0 := time.Now()
+		joiner, err := fl.NewJoinerBackend(replicaOpsHot)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		rep, err := fl.Router.AdmitReplica(ctx, replicaOpsHot, joiner)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Joins = append(res.Joins, JoinTiming{
+			Replica:    rep.Replica,
+			Seconds:    time.Since(t0).Seconds(),
+			Backfilled: rep.Presync.Backfilled + rep.Final.Backfilled,
+		})
+	}
+	if res.After, err = measure(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	// Byte-identity with the joiners load-bearing: fold the fleet-ordered
+	// writes into the build-time monolith, then fingerprint both.
+	if _, err := fl.ReplayOwnedWrites(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	monoFP, n := QueryFingerprint(fl.Dataset, fl.DB)
+	routedFP, _ := QueryFingerprint(fl.Dataset, fl.Router.Engine(ctx))
+	res.Identical = monoFP == routedFP
+	res.QueriesChecked = n
+	return res
+}
+
+// FormatReplicaOps renders the replicaops experiment for benchall's
+// stdout.
+func FormatReplicaOps(r ReplicaOpsResult) string {
+	var b strings.Builder
+	if r.Err != "" {
+		fmt.Fprintf(&b, "  FAILED: %s\n", r.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  fleet: %d shards, hot range %d paced to %.0fms service, cold ranges unpaced\n",
+		r.Shards, r.HotRange, r.ServiceMillis)
+	var joinTotal float64
+	for _, j := range r.Joins {
+		fmt.Fprintf(&b, "  live join replica %d: %7.3fs (%d records backfilled)\n", j.Replica, j.Seconds, j.Backfilled)
+		joinTotal += j.Seconds
+	}
+	if len(r.Joins) > 0 {
+		avg := joinTotal / float64(len(r.Joins))
+		fmt.Fprintf(&b, "  join vs full rebuild: %.3fs avg vs %.1fs (%.0fx faster)\n",
+			avg, r.RebuildSeconds, r.RebuildSeconds/avg)
+	}
+	for _, a := range []ReplicaOpsArm{r.Before, r.After} {
+		fmt.Fprintf(&b, "  hot range R=%d (%d nodes): %7.0f ops/s   topk p99 %8.0f µs   errors %d\n",
+			a.HotReplicas, a.Nodes, a.OpsPerSecond, a.TopKP99, a.Errors)
+	}
+	if r.Before.OpsPerSecond > 0 {
+		fmt.Fprintf(&b, "  scatter throughput win from scaling only the hot range: %.2fx\n",
+			r.After.OpsPerSecond/r.Before.OpsPerSecond)
+	}
+	fmt.Fprintf(&b, "  byte-identity with joiners load-bearing: %v (%d query-set entries)\n",
+		r.Identical, r.QueriesChecked)
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package router
+
+// Retirement contracts: a retired replica disappears from the pick set
+// immediately, the drain completes once its in-flight legs finish, and
+// a range can never lose its only server.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRetireReplicaRemovesFromPickSet(t *testing.T) {
+	rt := newReplicatedRouter(t, Options{PickSeed: 7},
+		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"}, &fakeBackend{name: "r2"})
+
+	report, err := rt.RetireReplica(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Backend != "r1" || report.Nodes != 2 || !report.Drained {
+		t.Fatalf("report = %+v, want r1 retired, 2 nodes, drained", report)
+	}
+	if got := rt.NumNodes(); got != 2 {
+		t.Fatalf("NumNodes = %d after retire, want 2", got)
+	}
+	for i := 0; i < 200; i++ {
+		if rep := rt.pickReplica(0, -1); rep == nil || rep.backend.Name() == "r1" {
+			t.Fatalf("pick %d returned retired replica (got %v)", i, rep)
+		}
+	}
+}
+
+func TestRetireReplicaDrainWaitsForInflight(t *testing.T) {
+	rt := newReplicatedRouter(t, Options{},
+		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"})
+	target := rt.view.Load().reps[0][1]
+	target.inflight.Store(1)
+	go func() {
+		// A straggler leg finishing shortly after the view swap.
+		target.inflight.Store(0)
+	}()
+	report, err := rt.RetireReplica(context.Background(), 0, target.idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Drained {
+		t.Fatalf("report = %+v, want drained once in-flight hit zero", report)
+	}
+}
+
+func TestRetireReplicaRefusals(t *testing.T) {
+	rt := newReplicatedRouter(t, Options{},
+		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"})
+
+	if _, err := rt.RetireReplica(context.Background(), 5, 0); err == nil {
+		t.Fatal("retire accepted an out-of-range shard")
+	}
+	if _, err := rt.RetireReplica(context.Background(), 0, 9); err == nil {
+		t.Fatal("retire accepted an unknown replica index")
+	}
+	if _, err := rt.RetireReplica(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// r0 is now shard 0's last server.
+	if _, err := rt.RetireReplica(context.Background(), 0, 0); err == nil {
+		t.Fatal("retire removed a range's last replica")
+	}
+	if got := rt.NumNodes(); got != 1 {
+		t.Fatalf("NumNodes = %d, want 1", got)
+	}
+}

@@ -37,6 +37,7 @@ func NewHandler(r *Router) *Handler {
 	h.handle("topk", "/topk", h.handleTopK)
 	h.handle("reviews", "/reviews", h.handleReviews)
 	h.handle("repair", "/repair", h.handleRepair)
+	h.handle("admin", "/admin/replicas", h.handleAdminReplicas)
 	h.mux.Handle("/metrics", r.metrics.reg.Handler())
 	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
@@ -76,17 +77,25 @@ func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bo
 
 // RouterHealthResponse is the router's /healthz payload.
 type RouterHealthResponse struct {
-	// Status is "ok" with every node live, "degraded" otherwise.
+	// Status is "ok" with every node live and in the pick, "degraded"
+	// otherwise — a probe failure OR an ejection degrades the fleet,
+	// so a hedged-around brownout can no longer hide behind green
+	// probes.
 	Status string `json:"status"`
 	// Role distinguishes the router from a shard server's /healthz.
 	Role string `json:"role"`
 	// Shards is the number of shard ranges; Nodes the fleet's total
 	// backend count (every replica of every range). Shard carries one
 	// probe entry per node.
-	Shards   int           `json:"shards"`
-	Nodes    int           `json:"nodes,omitempty"`
-	Entities int           `json:"entities"`
-	Shard    []ShardHealth `json:"shard"`
+	Shards   int `json:"shards"`
+	Nodes    int `json:"nodes,omitempty"`
+	Entities int `json:"entities"`
+	// Degraded rolls the per-node state up: true when any probe failed
+	// or any replica is currently ejected from the pick. EjectedNodes
+	// counts the replicas sitting out.
+	Degraded     bool          `json:"degraded,omitempty"`
+	EjectedNodes int           `json:"ejected_nodes,omitempty"`
+	Shard        []ShardHealth `json:"shard"`
 }
 
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -98,9 +107,6 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if h.r.NumNodes() > h.r.NumShards() {
 		resp.Nodes = h.r.NumNodes()
 	}
-	if !ok {
-		resp.Status = "degraded"
-	}
 	// Entities counts each range once — replicas serve copies of the same
 	// entities, not more of them. The first live replica of each range
 	// speaks for it.
@@ -110,6 +116,13 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 			counted[s.Index] = true
 			resp.Entities += s.Entities
 		}
+		if s.Ejected {
+			resp.EjectedNodes++
+		}
+	}
+	resp.Degraded = !ok || resp.EjectedNodes > 0
+	if resp.Degraded {
+		resp.Status = "degraded"
 	}
 	server.WriteJSON(w, http.StatusOK, resp)
 }
@@ -194,6 +207,50 @@ func (h *Handler) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	server.WriteJSON(w, http.StatusOK, report)
+}
+
+// handleAdminReplicas is the replica lifecycle surface. POST joins a
+// fresh node into a range's replica set (two-phase catch-up with a
+// byte-identity gate — Router.AdmitReplica); DELETE retires one
+// (drain-then-remove — Router.RetireReplica).
+func (h *Handler) handleAdminReplicas(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req struct {
+			Shard int    `json:"shard"`
+			URL   string `json:"url"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			server.WriteError(w, http.StatusBadRequest, "bad join request: %v", err)
+			return
+		}
+		if req.URL == "" {
+			server.WriteError(w, http.StatusBadRequest, "join needs the new replica's base url")
+			return
+		}
+		report, err := h.r.AdmitReplica(r.Context(), req.Shard, &HTTPBackend{BaseURL: req.URL})
+		if err != nil {
+			server.WriteError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, report)
+	case http.MethodDelete:
+		shard, err1 := strconv.Atoi(r.URL.Query().Get("shard"))
+		idx, err2 := strconv.Atoi(r.URL.Query().Get("replica"))
+		if err1 != nil || err2 != nil {
+			server.WriteError(w, http.StatusBadRequest, "retire needs integer shard and replica query parameters")
+			return
+		}
+		report, err := h.r.RetireReplica(r.Context(), shard, idx)
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, report)
+	default:
+		w.Header().Set("Allow", "POST, DELETE")
+		server.WriteError(w, http.StatusMethodNotAllowed, "use POST to join or DELETE to retire")
+	}
 }
 
 func (h *Handler) handleEvidence(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,152 @@
+package router
+
+// Table-driven /healthz contract for the per-replica ejection payload:
+// the router's health report must expose the load balancer's own view
+// (ejected, remaining cooldown, strikes, picks, hedge wins) and roll it
+// up into degraded/ejected_nodes — a node that answers probes while the
+// pick routes around it is a brownout, and it must not look green.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func healthzBackend(name string, entities int) *fakeBackend {
+	return &fakeBackend{name: name, replies: map[string]fakeReply{
+		"GET /healthz": {status: 200, body: map[string]interface{}{
+			"status": "ok", "entities": entities,
+		}},
+	}}
+}
+
+func TestHealthzReportsEjectionState(t *testing.T) {
+	const ejectFor = time.Minute
+	eject := func(rep *replica) {
+		for i := 0; i < ejectAfterFailures; i++ {
+			rep.recordFailure(ejectFor)
+		}
+	}
+	cases := []struct {
+		name string
+		// arrange ejects replicas before the probe.
+		arrange func(set []*replica)
+		// wantEjected maps replica index -> expected ejected flag.
+		wantEjected  map[int]bool
+		wantDegraded bool
+		wantStatus   string
+	}{
+		{
+			name:         "healthy",
+			arrange:      func([]*replica) {},
+			wantEjected:  map[int]bool{0: false, 1: false},
+			wantDegraded: false,
+			wantStatus:   "ok",
+		},
+		{
+			name:         "one ejected",
+			arrange:      func(set []*replica) { eject(set[1]) },
+			wantEjected:  map[int]bool{0: false, 1: true},
+			wantDegraded: true,
+			wantStatus:   "degraded",
+		},
+		{
+			name:         "all ejected, pick falls back",
+			arrange:      func(set []*replica) { eject(set[0]); eject(set[1]) },
+			wantEjected:  map[int]bool{0: true, 1: true},
+			wantDegraded: true,
+			wantStatus:   "degraded",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newReplicatedRouter(t, Options{PickSeed: 19},
+				healthzBackend("r0", 5), healthzBackend("r1", 5))
+			set := rt.view.Load().reps[0]
+			// A few picks so the payload's pick counters have signal.
+			for i := 0; i < 8; i++ {
+				rt.pickReplica(0, -1)
+			}
+			tc.arrange(set)
+
+			// Even with every replica ejected the fleet must keep serving:
+			// the pick falls back to the full set.
+			if rt.pickReplica(0, -1) == nil {
+				t.Fatal("pick returned nil — ejection must never kill a shard")
+			}
+
+			rec := httptest.NewRecorder()
+			NewHandler(rt).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("/healthz status %d", rec.Code)
+			}
+			var resp RouterHealthResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("bad /healthz payload: %v", err)
+			}
+
+			if resp.Status != tc.wantStatus || resp.Degraded != tc.wantDegraded {
+				t.Fatalf("status=%q degraded=%v, want %q/%v", resp.Status, resp.Degraded, tc.wantStatus, tc.wantDegraded)
+			}
+			wantEjectedCount := 0
+			for _, e := range tc.wantEjected {
+				if e {
+					wantEjectedCount++
+				}
+			}
+			if resp.EjectedNodes != wantEjectedCount {
+				t.Fatalf("ejected_nodes=%d, want %d", resp.EjectedNodes, wantEjectedCount)
+			}
+			if len(resp.Shard) != 2 {
+				t.Fatalf("want one entry per node, got %d", len(resp.Shard))
+			}
+			var picks uint64
+			for _, sh := range resp.Shard {
+				want, known := tc.wantEjected[sh.Replica]
+				if !known {
+					t.Fatalf("unexpected replica %d in payload", sh.Replica)
+				}
+				if sh.Ejected != want {
+					t.Errorf("replica %d ejected=%v, want %v", sh.Replica, sh.Ejected, want)
+				}
+				if want && sh.EjectedForMs <= 0 {
+					t.Errorf("replica %d ejected without a remaining cooldown", sh.Replica)
+				}
+				if !want && sh.EjectedForMs != 0 {
+					t.Errorf("healthy replica %d reports cooldown %v", sh.Replica, sh.EjectedForMs)
+				}
+				if want && sh.Ejections == 0 {
+					t.Errorf("replica %d ejected but ejections counter is 0", sh.Replica)
+				}
+				// Probes bypass the pick, so even ejected nodes answer.
+				if !sh.OK {
+					t.Errorf("replica %d probe failed: %s", sh.Replica, sh.Error)
+				}
+				picks += sh.Picks
+			}
+			if picks == 0 {
+				t.Error("payload carries no pick counts despite prior picks")
+			}
+		})
+	}
+}
+
+// TestHealthzProbeFailureStillDegrades: the pre-existing contract — a
+// node that fails its probe degrades the fleet even with nothing
+// ejected — must survive the rollup change.
+func TestHealthzProbeFailureStillDegrades(t *testing.T) {
+	down := &fakeBackend{name: "r1"} // 404s /healthz: a live process without the surface
+	rt := newReplicatedRouter(t, Options{PickSeed: 19}, healthzBackend("r0", 5), down)
+	rec := httptest.NewRecorder()
+	NewHandler(rt).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var resp RouterHealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad /healthz payload: %v", err)
+	}
+	if resp.Status != "degraded" || !resp.Degraded || resp.EjectedNodes != 0 {
+		t.Fatalf("probe failure: status=%q degraded=%v ejected=%d, want degraded/true/0",
+			resp.Status, resp.Degraded, resp.EjectedNodes)
+	}
+}

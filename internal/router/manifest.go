@@ -18,6 +18,11 @@ type ManifestOptions struct {
 	// snapshot, so replicas share no mutable state — exactly like a
 	// remote fleet). 0 follows the manifest.
 	Replicas int
+	// ReplicasPerRange overrides the replica count per shard range
+	// (index-aligned with the manifest's shards; entries <= 0 mean 1).
+	// Takes precedence over Replicas and the manifest. Hot ranges can
+	// run R=3 while cold ranges stay at R=1.
+	ReplicasPerRange []int
 	// ShardServer, when non-nil, customizes each in-process shard's server
 	// options (entity naming, /healthz snapshot report, journaling); path
 	// is the shard's resolved snapshot file and replica the backend's
@@ -43,13 +48,31 @@ func FromManifest(manifestPath string, opts ManifestOptions) (*Router, *snapshot
 	if err != nil {
 		return nil, nil, err
 	}
-	replicas := opts.Replicas
-	if replicas <= 0 {
-		replicas = m.ReplicaCount()
+	if n := len(opts.ReplicasPerRange); n > 0 && n != m.Shards {
+		return nil, nil, fmt.Errorf("router: ReplicasPerRange lists %d ranges for %d shards", n, m.Shards)
+	}
+	countFor := func(shard int) int {
+		if shard < len(opts.ReplicasPerRange) {
+			if n := opts.ReplicasPerRange[shard]; n > 0 {
+				return n
+			}
+			return 1
+		}
+		if opts.Replicas > 0 {
+			return opts.Replicas
+		}
+		return m.ReplicaCount(shard)
+	}
+	multi := false
+	for i := 0; i < m.Shards; i++ {
+		if countFor(i) > 1 {
+			multi = true
+		}
 	}
 	shards := make([]Shard, 0, m.Shards)
 	for _, ms := range m.Shard {
 		sh := Shard{FirstEntity: ms.FirstEntity, LastEntity: ms.LastEntity}
+		replicas := countFor(ms.Index)
 		for j := 0; j < replicas; j++ {
 			db, meta, err := snapshot.LoadVerifiedShard(manifestPath, m, ms.Index)
 			if err != nil {
@@ -60,7 +83,7 @@ func FromManifest(manifestPath string, opts ManifestOptions) (*Router, *snapshot
 				srvOpts = opts.ShardServer(ms.Index, j, snapshot.ShardPath(manifestPath, ms), db, meta)
 			}
 			name := fmt.Sprintf("shard%d", ms.Index)
-			if replicas > 1 {
+			if multi {
 				name = fmt.Sprintf("shard%d.r%d", ms.Index, j)
 			}
 			var b Backend = NewLocalBackend(name, db, srvOpts)

@@ -55,6 +55,10 @@ const (
 	// replica — labeled {shard,replica}; a starved replica is ejected or
 	// persistently loaded.
 	MetricRouterReplicaPicked = "opinedb_router_replica_picked_total"
+	// MetricRouterReplicaHedgeWins: hedge legs won, attributed to the
+	// replica whose second leg beat the original — labeled
+	// {shard,replica}.
+	MetricRouterReplicaHedgeWins = "opinedb_router_replica_hedge_wins_total"
 	// MetricRouterHedgesFired / MetricRouterHedgeWins: hedge legs
 	// launched and hedge legs that beat the original.
 	MetricRouterHedgesFired = "opinedb_router_hedges_fired_total"
@@ -65,11 +69,16 @@ const (
 // front so every scrape exposes the full set.
 var routerEndpoints = []string{
 	"healthz", "schema", "query", "interpret", "evidence", "topk",
-	"reviews", "repair",
+	"reviews", "repair", "admin",
 }
 
 // routerMetrics pre-resolves the router's instruments so the request
-// path never takes the registry lock.
+// path never takes the registry lock. Per-replica series (leg latency,
+// picks, hedge wins, repair lag) are NOT held here: each replica
+// carries its own handles (replica.go), resolved by the replica*
+// methods below when the replica is built — so a live-joined replica
+// brings new series into the same families without the router keeping
+// shard×replica arrays that a join would have to grow.
 type routerMetrics struct {
 	reg            *obs.Registry
 	requestSeconds map[string]*obs.Histogram
@@ -83,18 +92,13 @@ type routerMetrics struct {
 	dirtyShards    *obs.Gauge
 	repairPasses   *obs.Counter
 	repairBackfill *obs.Counter
-	// repairLag is node-indexed (shard-major, like Router.nodes).
-	repairLag []*obs.Gauge
-	// replicaSeconds/replicaPicked are [shard][replica].
-	replicaSeconds [][]*obs.Histogram
-	replicaPicked  [][]*obs.Counter
 	hedgeFired     *obs.Counter
 	hedgeWins      *obs.Counter
 }
 
-// newRouterMetrics resolves the router's instruments; counts[i] is shard
-// i's replica-set size, so per-replica families get one series per node.
-func newRouterMetrics(reg *obs.Registry, counts []int) *routerMetrics {
+// newRouterMetrics resolves the router's fixed instruments; shards is
+// the range count (immutable — only replica sets grow and shrink).
+func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -117,27 +121,11 @@ func newRouterMetrics(reg *obs.Registry, counts []int) *routerMetrics {
 	m.parse = stage("parse")
 	m.scatter = stage("scatter")
 	m.merge = stage("merge")
-	shards := len(counts)
 	m.shardSeconds = make([]*obs.Histogram, shards)
-	m.replicaSeconds = make([][]*obs.Histogram, shards)
-	m.replicaPicked = make([][]*obs.Counter, shards)
 	for i := 0; i < shards; i++ {
 		m.shardSeconds[i] = reg.Histogram(MetricRouterShardSeconds,
 			"One shard's scatter round-trip in seconds.",
 			obs.L("shard", strconv.Itoa(i)))
-		m.replicaSeconds[i] = make([]*obs.Histogram, counts[i])
-		m.replicaPicked[i] = make([]*obs.Counter, counts[i])
-		for j := 0; j < counts[i]; j++ {
-			m.replicaSeconds[i][j] = reg.Histogram(MetricRouterReplicaSeconds,
-				"One replica's successful request-leg latency in seconds.",
-				obs.L("shard", strconv.Itoa(i)), obs.L("replica", strconv.Itoa(j)))
-			m.replicaPicked[i][j] = reg.Counter(MetricRouterReplicaPicked,
-				"Load-balancer picks, by replica.",
-				obs.L("shard", strconv.Itoa(i)), obs.L("replica", strconv.Itoa(j)))
-			m.repairLag = append(m.repairLag, reg.Gauge(MetricRouterRepairLag,
-				"Journal sequences behind the repair reference after the last pass.",
-				obs.L("shard", strconv.Itoa(i)), obs.L("replica", strconv.Itoa(j))))
-		}
 	}
 	m.hedgeFired = reg.Counter(MetricRouterHedgesFired,
 		"Hedge legs launched against a second replica.")
@@ -156,23 +144,56 @@ func newRouterMetrics(reg *obs.Registry, counts []int) *routerMetrics {
 	return m
 }
 
+// replicaLabels renders one node's {shard,replica} label pair.
+func replicaLabels(shard, idx int) []obs.Label {
+	return []obs.Label{obs.L("shard", strconv.Itoa(shard)), obs.L("replica", strconv.Itoa(idx))}
+}
+
+// replicaSeconds / replicaPicked / replicaHedgeWins / replicaRepairLag
+// get-or-create one node's series; the registry returns the same
+// instance for the same (shard, replica), so a joiner reusing a retired
+// slot continues its series.
+func (m *routerMetrics) replicaSeconds(shard, idx int) *obs.Histogram {
+	return m.reg.Histogram(MetricRouterReplicaSeconds,
+		"One replica's successful request-leg latency in seconds.",
+		replicaLabels(shard, idx)...)
+}
+
+func (m *routerMetrics) replicaPicked(shard, idx int) *obs.Counter {
+	return m.reg.Counter(MetricRouterReplicaPicked,
+		"Load-balancer picks, by replica.", replicaLabels(shard, idx)...)
+}
+
+func (m *routerMetrics) replicaHedgeWins(shard, idx int) *obs.Counter {
+	return m.reg.Counter(MetricRouterReplicaHedgeWins,
+		"Hedge legs won, by the replica that served the winning leg.",
+		replicaLabels(shard, idx)...)
+}
+
+func (m *routerMetrics) replicaRepairLag(shard, idx int) *obs.Gauge {
+	return m.reg.Gauge(MetricRouterRepairLag,
+		"Journal sequences behind the repair reference after the last pass.",
+		replicaLabels(shard, idx)...)
+}
+
 // observeRepair folds one anti-entropy report into the repair families:
 // the pass counter, the backfilled-record counter, and each probed
-// node's lag behind the reference journal.
-func (m *routerMetrics) observeRepair(report *fleet.RepairReport) {
+// node's lag behind the reference journal. nodes is the flat node list
+// the report's indexes refer to (the view the pass ran against).
+func (m *routerMetrics) observeRepair(report *fleet.RepairReport, nodes []*replica) {
 	m.repairPasses.Inc()
 	for _, n := range report.Nodes {
 		if n.Backfilled > 0 {
 			m.repairBackfill.Add(uint64(n.Backfilled))
 		}
-		if n.Index < 0 || n.Index >= len(m.repairLag) {
+		if n.Index < 0 || n.Index >= len(nodes) {
 			continue
 		}
 		lag := 0.0
 		if report.ReferenceSeq > n.After {
 			lag = float64(report.ReferenceSeq - n.After)
 		}
-		m.repairLag[n.Index].Set(lag)
+		nodes[n.Index].repairLag.Set(lag)
 	}
 }
 

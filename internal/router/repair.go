@@ -20,14 +20,14 @@ import (
 	"repro/internal/fleet"
 )
 
-// fleetBackends adapts the router's fleet — every replica of every
-// shard, in flat node order — to the control plane's Backend interface
-// (structurally identical). Repair is a per-node concern: each node
-// journals the fleet write order independently, so each converges (or
-// lags) independently of its set-mates.
-func (r *Router) fleetBackends() []fleet.Backend {
-	out := make([]fleet.Backend, len(r.nodes))
-	for i, n := range r.nodes {
+// fleetBackends adapts one view of the router's fleet — every replica
+// of every shard, in flat node order — to the control plane's Backend
+// interface (structurally identical). Repair is a per-node concern:
+// each node journals the fleet write order independently, so each
+// converges (or lags) independently of its set-mates.
+func fleetBackends(v *fleetView) []fleet.Backend {
+	out := make([]fleet.Backend, len(v.nodes))
+	for i, n := range v.nodes {
 		out[i] = n.backend
 	}
 	return out
@@ -59,7 +59,8 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 	// backends themselves carry no deadline of their own).
 	ctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
-	report, err := fleet.Repair(ctx, r.fleetBackends(), fleet.RepairOptions{Only: only})
+	v := r.view.Load()
+	report, err := fleet.Repair(ctx, fleetBackends(v), fleet.RepairOptions{Only: only})
 	if errors.Is(err, fleet.ErrNoJournalSurface) {
 		// Volatile ingestion: there is no fleet-ordered log to heal from,
 		// so a repair pass can never succeed. Stop paying the probe cost
@@ -72,7 +73,7 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 	if err != nil {
 		return nil
 	}
-	r.metrics.observeRepair(report)
+	r.metrics.observeRepair(report, v.nodes)
 	var healed []int
 	for i := range only {
 		if report.Converged(i) {
@@ -108,13 +109,14 @@ func (r *Router) DirtyShards() []int {
 func (r *Router) RunRepair(ctx context.Context) (*fleet.RepairReport, error) {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
-	report, err := fleet.Repair(ctx, r.fleetBackends(), fleet.RepairOptions{})
+	v := r.view.Load()
+	report, err := fleet.Repair(ctx, fleetBackends(v), fleet.RepairOptions{})
 	if err != nil {
 		return nil, err
 	}
-	r.metrics.observeRepair(report)
+	r.metrics.observeRepair(report, v.nodes)
 	repaired := false
-	for i := range r.nodes {
+	for i := range v.nodes {
 		if report.Converged(i) {
 			delete(r.dirty, i)
 		}

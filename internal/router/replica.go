@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -45,16 +47,26 @@ const (
 // replica is one backend of a shard's replica set plus the mutable
 // balancing state the pick reads: in-flight count (power-of-two-choices
 // compares these), consecutive-failure strikes, and the ejection
-// deadline.
+// deadline. Its position in the fleet is (shard, idx); the flat node
+// index is a property of the current fleetView, not of the replica —
+// join and retire renumber the flat space, never the replica itself.
 type replica struct {
 	backend Backend
 	shard   int // shard (range) index
 	idx     int // position within the shard's replica set
-	node    int // flat fleet-wide node index (shard-major)
 
 	inflight     atomic.Int64
 	fails        atomic.Int64
 	ejectedUntil atomic.Int64 // unix nanos; 0 = healthy
+	ejections    atomic.Uint64
+
+	// Pre-resolved per-replica instruments (metrics.go). They live on
+	// the replica — not in shard×replica arrays — so a joined replica
+	// brings its own series and a retired one simply stops moving.
+	seconds   *obs.Histogram
+	picked    *obs.Counter
+	hedgeWins *obs.Counter
+	repairLag *obs.Gauge
 }
 
 // healthy reports whether the replica is currently in the pick.
@@ -68,10 +80,23 @@ func (rep *replica) recordSuccess() {
 }
 
 // recordFailure adds a strike and ejects the replica once it
-// accumulates ejectAfterFailures of them.
+// accumulates ejectAfterFailures of them. Arming an ejection resets the
+// strike count, so a reinstated replica faces a fresh
+// ejectAfterFailures budget — not an instant re-ejection on its first
+// post-cooldown wobble. Failures recorded while the replica is already
+// ejected are ignored: they come from full-set fallback traffic (on a
+// single-replica range every leg keeps failing for as long as the node
+// is down), and extending ejectedUntil on each one would push the lazy
+// reinstatement probe out indefinitely.
 func (rep *replica) recordFailure(ejectFor time.Duration) {
+	now := time.Now().UnixNano()
+	if !rep.healthy(now) {
+		return
+	}
 	if rep.fails.Add(1) >= ejectAfterFailures {
-		rep.ejectedUntil.Store(time.Now().Add(ejectFor).UnixNano())
+		rep.fails.Store(0)
+		rep.ejectedUntil.Store(now + ejectFor.Nanoseconds())
+		rep.ejections.Add(1)
 	}
 }
 
@@ -86,15 +111,21 @@ type NodeError struct {
 	Error   string `json:"error"`
 }
 
-// pickReplica chooses a replica of shard for one request leg:
+// pickReplica chooses a replica of shard for one request leg from the
+// current fleet view. Kept as the single-call form for tests and
+// callers that do not already hold a view.
+func (r *Router) pickReplica(shard, exclude int) *replica {
+	return r.pickFrom(r.view.Load().reps[shard], exclude)
+}
+
+// pickFrom chooses a replica from one range's replica set:
 // power-of-two-choices on in-flight count among the healthy replicas,
 // excluding replica index exclude (-1 excludes nothing). When every
 // candidate is ejected the pick falls back to the full set — ejection
 // sheds load from a flapping replica, it must not turn a degraded
 // shard into a dead one. Returns nil only when exclusion empties the
 // set.
-func (r *Router) pickReplica(shard, exclude int) *replica {
-	set := r.reps[shard]
+func (r *Router) pickFrom(set []*replica, exclude int) *replica {
 	now := time.Now().UnixNano()
 	cands := make([]*replica, 0, len(set))
 	for _, rep := range set {
@@ -132,7 +163,7 @@ func (r *Router) pickReplica(shard, exclude int) *replica {
 			chosen = cands[b]
 		}
 	}
-	r.metrics.replicaPicked[shard][chosen.idx].Inc()
+	chosen.picked.Inc()
 	return chosen
 }
 
@@ -162,7 +193,7 @@ func (r *Router) doReplica(legCtx context.Context, rep *replica, method, target 
 		return out
 	}
 	rep.recordSuccess()
-	r.metrics.replicaSeconds[rep.shard][rep.idx].ObserveSince(t0)
+	rep.seconds.ObserveSince(t0)
 	return out
 }
 
@@ -196,11 +227,14 @@ func (r *Router) hedgeDelayFor(shard int) time.Duration {
 // and cancel the losing leg. Single-replica sets take the plain path —
 // the R=1 fleet pays nothing for the machinery.
 func (r *Router) shardRequest(ctx context.Context, shard int, method, target string, body []byte) shardReply {
-	first := r.pickReplica(shard, -1)
+	// One view per fragment: both legs of a hedged pair come from the
+	// same topology even if a join or retire swaps the view mid-flight.
+	set := r.view.Load().reps[shard]
+	first := r.pickFrom(set, -1)
 	if first == nil {
 		return shardReply{err: fmt.Errorf("shard %d has no replicas", shard), replica: -1}
 	}
-	if len(r.reps[shard]) == 1 {
+	if len(set) == 1 {
 		return r.doReplica(ctx, first, method, target, body)
 	}
 
@@ -226,15 +260,17 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 	}
 	secondLaunched := false
 	hedged := false
+	var secondRep *replica
 	launchSecond := func(isHedge bool) {
 		if secondLaunched {
 			return
 		}
-		second := r.pickReplica(shard, first.idx)
+		second := r.pickFrom(set, first.idx)
 		if second == nil {
 			return
 		}
 		secondLaunched = true
+		secondRep = second
 		pending++
 		if isHedge {
 			hedged = true
@@ -254,6 +290,9 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 				cancelLegs()
 				if hedged && rep.replica != first.idx {
 					r.metrics.hedgeWins.Inc()
+					if secondRep != nil {
+						secondRep.hedgeWins.Inc()
+					}
 				}
 				return rep
 			}
@@ -306,12 +345,14 @@ func legFailures(r *Router, shard int, fails []shardReply) []NodeError {
 	return out
 }
 
-// backendName resolves a replica's display name; out-of-range indexes
-// (synthetic replies) get the shard's primary.
+// backendName resolves a replica's display name by its in-set index;
+// unknown indexes (synthetic replies, or a replica retired since the
+// reply was produced) get the shard's primary.
 func (r *Router) backendName(shard, replicaIdx int) string {
-	set := r.reps[shard]
-	if replicaIdx >= 0 && replicaIdx < len(set) {
-		return set[replicaIdx].backend.Name()
+	for _, rep := range r.view.Load().reps[shard] {
+		if rep.idx == replicaIdx {
+			return rep.backend.Name()
+		}
 	}
 	return r.shards[shard].Backend.Name()
 }
@@ -335,23 +376,24 @@ func (r *Router) nodeFailures(shard int, rep shardReply) []NodeError {
 // shard — concurrently. Health and identity checks use it: they are
 // about the nodes themselves, so load balancing and hedging must not
 // hide one.
-func (r *Router) scatterNodes(ctx context.Context, method, target string) []shardReply {
+func (r *Router) scatterNodes(ctx context.Context, method, target string) (*fleetView, []shardReply) {
 	ctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
-	replies := make([]shardReply, len(r.nodes))
-	done := make(chan int, len(r.nodes))
-	for i := range r.nodes {
+	v := r.view.Load()
+	replies := make([]shardReply, len(v.nodes))
+	done := make(chan int, len(v.nodes))
+	for i := range v.nodes {
 		go func(i int) {
-			rep := r.nodes[i]
+			rep := v.nodes[i]
 			status, b, err := rep.backend.Do(ctx, method, target, nil)
 			replies[i] = shardReply{status: status, body: b, err: err, replica: rep.idx}
 			done <- i
 		}(i)
 	}
-	for range r.nodes {
+	for range v.nodes {
 		<-done
 	}
-	return replies
+	return v, replies
 }
 
 // HedgeStats reports how many hedge legs the router has fired and how

@@ -34,7 +34,7 @@ func newReplicatedRouter(t *testing.T, opts Options, backends ...Backend) *Route
 func TestPickReplicaPrefersLowInFlight(t *testing.T) {
 	rt := newReplicatedRouter(t, Options{PickSeed: 42},
 		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"}, &fakeBackend{name: "r2"})
-	loaded := rt.reps[0][1]
+	loaded := rt.view.Load().reps[0][1]
 	loaded.inflight.Store(5)
 	for i := 0; i < 500; i++ {
 		if got := rt.pickReplica(0, -1); got.idx == loaded.idx {
@@ -130,18 +130,18 @@ func TestHedgeFiresAndCancelsLoser(t *testing.T) {
 	// No leaked legs: both replicas' in-flight counts drain to zero.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if rt.reps[0][0].inflight.Load() == 0 && rt.reps[0][1].inflight.Load() == 0 {
+		if rt.view.Load().reps[0][0].inflight.Load() == 0 && rt.view.Load().reps[0][1].inflight.Load() == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("in-flight counts did not drain: r0=%d r1=%d",
-				rt.reps[0][0].inflight.Load(), rt.reps[0][1].inflight.Load())
+				rt.view.Load().reps[0][0].inflight.Load(), rt.view.Load().reps[0][1].inflight.Load())
 		}
 		time.Sleep(time.Millisecond)
 	}
 
 	// Cancellation says nothing about replica health: no strikes anywhere.
-	for _, rep := range rt.reps[0] {
+	for _, rep := range rt.view.Load().reps[0] {
 		if rep.fails.Load() != 0 {
 			t.Fatalf("replica %d took a strike for being hedged away from", rep.idx)
 		}
@@ -183,7 +183,7 @@ func TestReplicaEjectionAndReinstatement(t *testing.T) {
 	const ejectFor = 40 * time.Millisecond
 	rt := newReplicatedRouter(t, Options{PickSeed: 9, EjectFor: ejectFor},
 		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"})
-	bad := rt.reps[0][1]
+	bad := rt.view.Load().reps[0][1]
 
 	bad.recordFailure(ejectFor)
 	bad.recordFailure(ejectFor)
@@ -215,13 +215,84 @@ func TestReplicaEjectionAndReinstatement(t *testing.T) {
 	}
 }
 
+// TestReinstatedReplicaGetsFreshStrikeBudget pins the 3-strike
+// contract across an ejection cycle: arming an ejection resets the
+// strike counter, so a replica reinstated after its cooldown must
+// survive a single failure — it takes a fresh ejectAfterFailures
+// strikes to eject it again. (The old behaviour left fails >= 3
+// forever, so one post-cooldown wobble re-ejected the replica
+// instantly.)
+func TestReinstatedReplicaGetsFreshStrikeBudget(t *testing.T) {
+	const ejectFor = 30 * time.Millisecond
+	rt := newReplicatedRouter(t, Options{PickSeed: 13, EjectFor: ejectFor},
+		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"})
+	bad := rt.view.Load().reps[0][1]
+
+	for i := 0; i < ejectAfterFailures; i++ {
+		bad.recordFailure(ejectFor)
+	}
+	if bad.healthy(time.Now().UnixNano()) {
+		t.Fatal("three strikes should eject")
+	}
+	time.Sleep(ejectFor + 10*time.Millisecond)
+	if !bad.healthy(time.Now().UnixNano()) {
+		t.Fatal("cooldown elapsed, replica should be back in the pick")
+	}
+
+	// One failure after reinstatement: still healthy — the budget is
+	// fresh, not carried over from before the ejection.
+	bad.recordFailure(ejectFor)
+	if !bad.healthy(time.Now().UnixNano()) {
+		t.Fatal("a single post-cooldown failure re-ejected the replica — strike budget not reset")
+	}
+	// Two more complete the fresh budget and eject again.
+	bad.recordFailure(ejectFor)
+	bad.recordFailure(ejectFor)
+	if bad.healthy(time.Now().UnixNano()) {
+		t.Fatal("a full fresh strike budget should eject again")
+	}
+	if got := bad.ejections.Load(); got != 2 {
+		t.Fatalf("ejections counter = %d, want 2", got)
+	}
+}
+
+// TestEjectionCooldownNotExtendedWhileEjected: failures recorded while
+// a replica is already ejected (full-set fallback traffic) must not
+// push ejectedUntil out — otherwise a single-replica range under
+// sustained load never reaches its lazy reinstatement probe.
+func TestEjectionCooldownNotExtendedWhileEjected(t *testing.T) {
+	const ejectFor = 50 * time.Millisecond
+	rt := newReplicatedRouter(t, Options{PickSeed: 17, EjectFor: ejectFor},
+		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"})
+	bad := rt.view.Load().reps[0][1]
+
+	for i := 0; i < ejectAfterFailures; i++ {
+		bad.recordFailure(ejectFor)
+	}
+	armed := bad.ejectedUntil.Load()
+	if armed == 0 {
+		t.Fatal("ejection did not arm")
+	}
+	// Hammer it the way fallback traffic does while the node is down.
+	for i := 0; i < 100; i++ {
+		bad.recordFailure(ejectFor)
+	}
+	if got := bad.ejectedUntil.Load(); got != armed {
+		t.Fatalf("cooldown extended while ejected: %d -> %d", armed, got)
+	}
+	time.Sleep(ejectFor + 10*time.Millisecond)
+	if !bad.healthy(time.Now().UnixNano()) {
+		t.Fatal("replica never reinstated despite continuous fallback failures")
+	}
+}
+
 // TestPickFallsBackWhenAllEjected: ejection sheds load, it must not
 // turn a fully-struck replica set into a dead shard — with everyone
 // ejected the pick uses the full set anyway.
 func TestPickFallsBackWhenAllEjected(t *testing.T) {
 	rt := newReplicatedRouter(t, Options{PickSeed: 5, EjectFor: time.Minute},
 		&fakeBackend{name: "r0"}, &fakeBackend{name: "r1"})
-	for _, rep := range rt.reps[0] {
+	for _, rep := range rt.view.Load().reps[0] {
 		for i := 0; i < ejectAfterFailures; i++ {
 			rep.recordFailure(time.Minute)
 		}

@@ -28,6 +28,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lru"
@@ -118,12 +119,13 @@ type Router struct {
 	shards   []Shard
 	timeout  time.Duration
 	defaultK int
-	// reps mirrors shards with per-replica balancing state; nodes is the
-	// same set flattened fleet-wide in shard-major order (the indexing
-	// writes, repair and the dirty set use — with single-replica shards
-	// a node index IS the shard index).
-	reps  [][]*replica
-	nodes []*replica
+	// view is the current fleet topology (admin.go): per-shard replica
+	// sets plus the same set flattened in shard-major node order. Reads
+	// load it once per operation; AdmitReplica/RetireReplica swap in a
+	// fresh view under writeMu, so the pick hot path never takes a lock
+	// to see the fleet and a mid-flight request keeps a consistent
+	// topology.
+	view atomic.Pointer[fleetView]
 	// pickRng drives power-of-two-choices sampling (replica.go), guarded
 	// by pickMu — the pick is two Intn calls, never worth a sharded RNG.
 	pickMu  sync.Mutex
@@ -193,28 +195,41 @@ func New(shards []Shard, opts Options) (*Router, error) {
 		dirty:       map[int]bool{},
 		interpCache: lru.New[string, *server.InterpretResponse](maxInterpretCacheEntries),
 	}
-	counts := make([]int, len(shards))
-	for i, s := range shards {
-		counts[i] = 1 + len(s.Replicas)
-	}
-	r.metrics = newRouterMetrics(opts.Metrics, counts)
+	r.metrics = newRouterMetrics(opts.Metrics, len(shards))
+	v := &fleetView{}
 	for i, s := range shards {
 		set := make([]*replica, 0, 1+len(s.Replicas))
 		for j, b := range s.set() {
-			set = append(set, &replica{backend: b, shard: i, idx: j, node: len(r.nodes) + j})
+			set = append(set, r.newReplica(i, j, b))
 		}
-		r.reps = append(r.reps, set)
-		r.nodes = append(r.nodes, set...)
+		v.reps = append(v.reps, set)
+		v.nodes = append(v.nodes, set...)
 	}
+	r.view.Store(v)
 	return r, nil
+}
+
+// newReplica builds one node's balancing state with its per-replica
+// instruments pre-resolved (the registry get-or-creates, so a joiner
+// taking a retired replica's (shard, idx) slot shares its series).
+func (r *Router) newReplica(shard, idx int, b Backend) *replica {
+	return &replica{
+		backend:   b,
+		shard:     shard,
+		idx:       idx,
+		seconds:   r.metrics.replicaSeconds(shard, idx),
+		picked:    r.metrics.replicaPicked(shard, idx),
+		hedgeWins: r.metrics.replicaHedgeWins(shard, idx),
+		repairLag: r.metrics.replicaRepairLag(shard, idx),
+	}
 }
 
 // NumShards returns the number of shard ranges.
 func (r *Router) NumShards() int { return len(r.shards) }
 
 // NumNodes returns the fleet's total backend count — every replica of
-// every shard.
-func (r *Router) NumNodes() int { return len(r.nodes) }
+// every shard — under the current view.
+func (r *Router) NumNodes() int { return len(r.view.Load().nodes) }
 
 // shardReply is one shard fragment's raw outcome.
 type shardReply struct {
@@ -677,17 +692,34 @@ type ShardHealth struct {
 	Error    string                 `json:"error,omitempty"`
 	Entities int                    `json:"entities"`
 	Health   *server.HealthResponse `json:"health,omitempty"`
+	// Ejection state from the router's own load balancer — the honest
+	// view a probe cannot give: a node can answer /healthz while the
+	// pick is routing around it. Ejected is true while the replica sits
+	// out of the pick; EjectedForMs is the remaining cooldown; Strikes
+	// the current consecutive-failure count toward the next ejection;
+	// Ejections how many times this replica has been ejected in total.
+	Ejected      bool    `json:"ejected,omitempty"`
+	EjectedForMs float64 `json:"ejected_for_ms,omitempty"`
+	Strikes      int64   `json:"strikes,omitempty"`
+	Ejections    uint64  `json:"ejections,omitempty"`
+	// Picks and HedgeWins mirror the per-replica balancer counters so an
+	// operator can see starvation (an ejected or slow replica stops
+	// getting picked) without scraping /metrics.
+	Picks     uint64 `json:"picks"`
+	HedgeWins uint64 `json:"hedge_wins,omitempty"`
 }
 
 // Health probes every node's /healthz — directly, not through the
 // load-balanced pick, which exists to route around exactly the nodes a
-// health probe must expose — and aggregates. ok is true only when every
-// replica of every shard answered.
+// health probe must expose — and aggregates, folding in each replica's
+// balancer state (ejection, strikes, picks, hedge wins). ok is true
+// only when every replica of every shard answered.
 func (r *Router) Health(ctx context.Context) (ok bool, shards []ShardHealth) {
-	replies := r.scatterNodes(ctx, "GET", "/healthz")
+	v, replies := r.scatterNodes(ctx, "GET", "/healthz")
+	now := time.Now().UnixNano()
 	ok = true
 	for i, rep := range replies {
-		node := r.nodes[i]
+		node := v.nodes[i]
 		sh := ShardHealth{Index: node.shard, Replica: node.idx, Backend: node.backend.Name()}
 		if msg := replyError(rep); msg != "" {
 			ok = false
@@ -704,6 +736,14 @@ func (r *Router) Health(ctx context.Context) (ok bool, shards []ShardHealth) {
 				sh.Health = &hc
 			}
 		}
+		if until := node.ejectedUntil.Load(); until > now {
+			sh.Ejected = true
+			sh.EjectedForMs = float64(until-now) / 1e6
+		}
+		sh.Strikes = node.fails.Load()
+		sh.Ejections = node.ejections.Load()
+		sh.Picks = node.picked.Value()
+		sh.HedgeWins = node.hedgeWins.Value()
 		shards = append(shards, sh)
 	}
 	return ok, shards

@@ -148,8 +148,10 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 	// authoritative — a deliberate rejection must abort, not hop to a
 	// peer that would accept. A replica skipped here still receives the
 	// replicate fan-out below (it answers 409 if the failed attempt
-	// actually landed server-side).
-	ownerSet := r.reps[owner]
+	// actually landed server-side). The view is stable for the whole
+	// write: joins and retires serialize on writeMu, which we hold.
+	v := r.view.Load()
+	ownerSet := v.reps[owner]
 	var ownerRep *replica
 	var status int
 	var respBody []byte
@@ -167,14 +169,23 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 			}
 			continue
 		}
-		rep.recordSuccess()
+		// Health accounting mirrors the read path (doReplica): a 5xx is
+		// authoritative for THIS write (failing over could double-apply a
+		// review that landed before the failure) but still a strike; any
+		// deliberate answer — 200, 409 dup, 404 ghost — proves the replica
+		// alive and must never strike.
+		if st >= 500 {
+			rep.recordFailure(r.ejectFor)
+		} else {
+			rep.recordSuccess()
+		}
 		ownerRep, status, respBody = rep, st, b
 		break
 	}
 	if ownerRep == nil {
 		return nil, firstErr
 	}
-	ownerNode := ownerRep.node
+	ownerNode := v.nodeIndex(ownerRep)
 	if status == http.StatusConflict {
 		// The owner already committed this review — the signature of a
 		// client retry after a partial replication failure. The retry's
@@ -183,7 +194,7 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 		// ones that missed it backfill now) and report the outcome with
 		// the duplicate so the client knows whether the fleet converged.
 		heal := &ReviewResult{OwnerShard: owner, OwnerReplica: ownerRep.idx}
-		failed := r.replicate(ctx, ownerNode, replicaBody, heal)
+		failed := r.replicate(ctx, v, ownerNode, replicaBody, heal)
 		heal.Partial = len(failed) > 0
 		if heal.fresh > 0 {
 			// Only a node that newly absorbed the write changes
@@ -208,7 +219,7 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 	}
 
 	res := &ReviewResult{ReviewResponse: ack, OwnerShard: owner, OwnerReplica: ownerRep.idx}
-	failed := r.replicate(ctx, ownerNode, replicaBody, res)
+	failed := r.replicate(ctx, v, ownerNode, replicaBody, res)
 	res.Partial = len(failed) > 0
 	// The fleet accepted new evidence; the front door's interpretation
 	// memo is stale.
@@ -252,40 +263,52 @@ func mergeHealed(a, b []int) []int {
 // key space the dirty set and repair use). The fan-out is concurrent —
 // nodes commute for a single review, and the write mutex already orders
 // distinct reviews.
-func (r *Router) replicate(ctx context.Context, ownerNode int, replicaBody []byte, res *ReviewResult) map[int]string {
+func (r *Router) replicate(ctx context.Context, v *fleetView, ownerNode int, replicaBody []byte, res *ReviewResult) map[int]string {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	failed := map[int]string{}
-	for _, n := range r.nodes {
-		if n.node == ownerNode {
+	for i, n := range v.nodes {
+		if i == ownerNode {
 			continue
 		}
 		wg.Add(1)
-		go func(n *replica) {
+		go func(i int, n *replica) {
 			defer wg.Done()
 			repCtx, cancel := context.WithTimeout(ctx, r.timeout)
 			defer cancel()
 			status, b, err := n.backend.Do(repCtx, "POST", "/reviews", replicaBody)
 			mu.Lock()
 			defer mu.Unlock()
+			// Strike accounting matches the read path: transport failures
+			// (unless we gave up) and 5xx strike; every deliberate status —
+			// including the 4xx rejections below — proves the node alive.
 			switch {
 			case err != nil:
-				failed[n.node] = err.Error()
+				if repCtx.Err() == nil && ctx.Err() == nil {
+					n.recordFailure(r.ejectFor)
+				}
+				failed[i] = err.Error()
 			case status == http.StatusOK, status == http.StatusConflict:
 				// 409 means the node already journaled this review (a
 				// retried write after a partial failure); that is the
 				// desired end state, not an error.
+				n.recordSuccess()
 				res.Replicated++
 				if status == http.StatusOK {
 					res.fresh++
 				}
 			default:
-				failed[n.node] = replyError(shardReply{status: status, body: b})
+				if status >= 500 {
+					n.recordFailure(r.ejectFor)
+				} else {
+					n.recordSuccess()
+				}
+				failed[i] = replyError(shardReply{status: status, body: b})
 			}
-		}(n)
+		}(i, n)
 	}
 	wg.Wait()
-	r.foldNodeFailures(failed, res)
+	r.foldNodeFailures(v, failed, res)
 	return failed
 }
 
@@ -295,13 +318,13 @@ func (r *Router) replicate(ctx context.Context, ownerNode int, replicaBody []byt
 // message when a single replica of the range failed, so single-replica
 // fleets report byte-identically to the pre-replication router, else a
 // joined message naming each replica).
-func (r *Router) foldNodeFailures(failed map[int]string, res *ReviewResult) {
+func (r *Router) foldNodeFailures(v *fleetView, failed map[int]string, res *ReviewResult) {
 	if len(failed) == 0 {
 		return
 	}
 	perShard := map[int][]string{}
-	for _, n := range r.nodes {
-		msg, ok := failed[n.node]
+	for i, n := range v.nodes {
+		msg, ok := failed[i]
 		if !ok {
 			continue
 		}
@@ -309,7 +332,7 @@ func (r *Router) foldNodeFailures(failed map[int]string, res *ReviewResult) {
 			Shard: n.shard, Replica: n.idx, Backend: n.backend.Name(), Error: msg,
 		})
 		part := msg
-		if len(r.reps[n.shard]) > 1 {
+		if len(v.reps[n.shard]) > 1 {
 			part = fmt.Sprintf("replica %d (%s): %s", n.idx, n.backend.Name(), msg)
 		}
 		perShard[n.shard] = append(perShard[n.shard], part)

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -68,6 +70,13 @@ type Manifest struct {
 	// means single-replica — manifests written before replication
 	// existed load (and checksum-verify) unchanged.
 	Replicas int `json:"replicas,omitempty"`
+	// ReplicasPerRange, when present, gives each shard range its own
+	// replica-set size (index-aligned with Shard) so a hot range can run
+	// R=3 while a cold one runs R=1. It takes precedence over Replicas;
+	// entries <= 0 normalize to single-replica. Absent means the uniform
+	// Replicas field (or single-replica) applies to every range, so
+	// manifests from uniform builds load unchanged.
+	ReplicasPerRange []int `json:"replicas_per_range,omitempty"`
 	// TotalEntities is the monolithic entity count (sum over shards).
 	TotalEntities int `json:"total_entities"`
 	// CreatedUnix is when the manifest was written (Unix seconds).
@@ -79,13 +88,76 @@ type Manifest struct {
 	Checksum string `json:"checksum"`
 }
 
-// ReplicaCount normalizes the Replicas field: manifests written before
-// replication existed (and explicit 0/1 builds) are single-replica.
-func (m *Manifest) ReplicaCount() int {
-	if m.Replicas < 1 {
+// ReplicaCount normalizes the replica-count fields for one shard range:
+// a per-range entry wins when present, the uniform Replicas field
+// applies otherwise, and manifests written before replication existed
+// (and explicit 0/1 builds) are single-replica. Out-of-range shard
+// indices normalize like absent entries rather than panicking, so
+// callers can ask about a shard before validating.
+func (m *Manifest) ReplicaCount(shard int) int {
+	n := m.Replicas
+	if shard >= 0 && shard < len(m.ReplicasPerRange) {
+		n = m.ReplicasPerRange[shard]
+	}
+	if n < 1 {
 		return 1
 	}
-	return m.Replicas
+	return n
+}
+
+// ParseReplicaSpec parses the -replicas flag grammar shared by opinedbb
+// and opinedbd. Two forms:
+//
+//	"3"              uniform: every range gets 3 replicas → (nil, 3)
+//	"0=3,2=2"        per-range: listed ranges get the given count, the
+//	                 rest default to 1 → ([]int of length shards, 0)
+//
+// "" and "0" mean "follow the manifest / single-replica" → (nil, 0).
+// The two forms cannot be mixed ("3,0=2" is an error): a bare count is
+// a fleet-wide statement and a pair list is a complete per-range
+// assignment; mixing them has no unambiguous reading.
+func ParseReplicaSpec(spec string, shards int) (perRange []int, uniform int, err error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, 0, nil
+	}
+	parts := strings.Split(spec, ",")
+	pairs := strings.Contains(parts[0], "=")
+	if !pairs {
+		if len(parts) > 1 {
+			return nil, 0, fmt.Errorf("replica spec %q mixes a bare count with more fields; use N or shard=N pairs", spec)
+		}
+		n, err := strconv.Atoi(parts[0])
+		if err != nil || n < 0 {
+			return nil, 0, fmt.Errorf("replica spec %q: want a non-negative count or shard=N pairs", spec)
+		}
+		return nil, n, nil
+	}
+	perRange = make([]int, shards)
+	for i := range perRange {
+		perRange[i] = 1
+	}
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if !ok {
+			return nil, 0, fmt.Errorf("replica spec %q mixes shard=N pairs with a bare count", spec)
+		}
+		shard, err := strconv.Atoi(k)
+		if err != nil || shard < 0 || shard >= shards {
+			return nil, 0, fmt.Errorf("replica spec %q: shard %q out of range [0,%d)", spec, k, shards)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, 0, fmt.Errorf("replica spec %q: count %q for shard %d must be >= 1", spec, v, shard)
+		}
+		if seen[shard] {
+			return nil, 0, fmt.Errorf("replica spec %q assigns shard %d twice", spec, shard)
+		}
+		seen[shard] = true
+		perRange[shard] = n
+	}
+	return perRange, 0, nil
 }
 
 // checksum computes the manifest's self-checksum: SHA-256 over the
@@ -112,6 +184,15 @@ func (m *Manifest) validate() error {
 	}
 	if m.Replicas < 0 {
 		return fmt.Errorf("%w: negative replica count %d", ErrManifest, m.Replicas)
+	}
+	if len(m.ReplicasPerRange) > 0 && len(m.ReplicasPerRange) != m.Shards {
+		return fmt.Errorf("%w: replicas_per_range lists %d ranges for %d shards",
+			ErrManifest, len(m.ReplicasPerRange), m.Shards)
+	}
+	for i, n := range m.ReplicasPerRange {
+		if n < 0 {
+			return fmt.Errorf("%w: negative replica count %d for range %d", ErrManifest, n, i)
+		}
 	}
 	total := 0
 	for i, s := range m.Shard {

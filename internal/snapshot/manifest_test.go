@@ -82,6 +82,8 @@ func TestManifestValidation(t *testing.T) {
 		"missing digest":    func(m *snapshot.Manifest) { m.Shard[0].SnapshotSHA256 = "" },
 		"empty shard":       func(m *snapshot.Manifest) { m.Shard[0].Entities = 0 },
 		"entity accounting": func(m *snapshot.Manifest) { m.TotalEntities = 99 },
+		"per-range length":  func(m *snapshot.Manifest) { m.ReplicasPerRange = []int{2} },
+		"per-range sign":    func(m *snapshot.Manifest) { m.ReplicasPerRange = []int{2, -1} },
 	} {
 		m := validManifest()
 		mutate(m)
@@ -90,6 +92,95 @@ func TestManifestValidation(t *testing.T) {
 			t.Errorf("%s: write accepted an invalid manifest", name)
 		} else if !errors.Is(err, snapshot.ErrManifest) {
 			t.Errorf("%s: got %v, want ErrManifest", name, err)
+		}
+	}
+}
+
+// TestReplicaCountNormalization pins the backward-compatible replica
+// shape: bare manifests are single-replica, the uniform field applies
+// everywhere, and per-range entries win over it.
+func TestReplicaCountNormalization(t *testing.T) {
+	cases := []struct {
+		name     string
+		uniform  int
+		perRange []int
+		want     []int // per shard of a 2-shard manifest
+	}{
+		{"bare", 0, nil, []int{1, 1}},
+		{"uniform", 3, nil, []int{3, 3}},
+		{"per-range", 0, []int{3, 1}, []int{3, 1}},
+		{"per-range wins over uniform", 2, []int{3, 0}, []int{3, 1}},
+	}
+	for _, tc := range cases {
+		m := validManifest()
+		m.Replicas = tc.uniform
+		m.ReplicasPerRange = tc.perRange
+		path := filepath.Join(t.TempDir(), "m.json")
+		if err := snapshot.WriteManifest(path, m); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		loaded, err := snapshot.LoadManifest(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for shard, want := range tc.want {
+			if got := loaded.ReplicaCount(shard); got != want {
+				t.Errorf("%s: ReplicaCount(%d) = %d, want %d", tc.name, shard, got, want)
+			}
+		}
+		// Out-of-range shards normalize rather than panic.
+		if got := loaded.ReplicaCount(99); got < 1 {
+			t.Errorf("%s: ReplicaCount(99) = %d", tc.name, got)
+		}
+	}
+}
+
+func TestParseReplicaSpec(t *testing.T) {
+	cases := []struct {
+		spec        string
+		shards      int
+		wantPer     []int
+		wantUniform int
+		wantErr     bool
+	}{
+		{"", 3, nil, 0, false},
+		{"0", 3, nil, 0, false},
+		{"3", 3, nil, 3, false},
+		{" 2 ", 3, nil, 2, false},
+		{"0=3,2=2", 3, []int{3, 1, 2}, 0, false},
+		{"1=2", 3, []int{1, 2, 1}, 0, false},
+		{"-1", 3, nil, 0, true},
+		{"x", 3, nil, 0, true},
+		{"3,0=2", 3, nil, 0, true},   // mixed forms
+		{"0=2,1", 3, nil, 0, true},   // mixed forms, pair first
+		{"3=2", 3, nil, 0, true},     // shard out of range
+		{"0=0", 3, nil, 0, true},     // per-range count must be >= 1
+		{"0=2,0=3", 3, nil, 0, true}, // duplicate shard
+	}
+	for _, tc := range cases {
+		per, uniform, err := snapshot.ParseReplicaSpec(tc.spec, tc.shards)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("spec %q: accepted, want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("spec %q: %v", tc.spec, err)
+			continue
+		}
+		if uniform != tc.wantUniform {
+			t.Errorf("spec %q: uniform = %d, want %d", tc.spec, uniform, tc.wantUniform)
+		}
+		if len(per) != len(tc.wantPer) {
+			t.Errorf("spec %q: perRange = %v, want %v", tc.spec, per, tc.wantPer)
+			continue
+		}
+		for i := range per {
+			if per[i] != tc.wantPer[i] {
+				t.Errorf("spec %q: perRange = %v, want %v", tc.spec, per, tc.wantPer)
+				break
+			}
 		}
 	}
 }
