@@ -1,7 +1,7 @@
 # Tier-1 verification gate (referenced from ROADMAP.md): gofmt
 # cleanliness, vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run `make verify`.
-.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke write-smoke replica-smoke compact rebalance
+.PHONY: verify fmtcheck build test race bench cover fuzz-smoke serve snapshot snapshot-smoke shard-smoke journal-smoke rebalance-smoke load-smoke write-smoke replica-smoke trace-smoke slo-check compact rebalance
 
 verify: fmtcheck
 	go vet ./...
@@ -106,6 +106,25 @@ write-smoke:
 # monolith.
 replica-smoke:
 	go run ./cmd/opinedbb -replica-smoke
+
+# Tracing smoke test: build a routed R=2 fleet with one artificially
+# slow replica, drive the mixed load over real TCP, and fail unless the
+# shared trace store holds a hedge-won request whose scatter legs carry
+# shard/replica attribution and whose server-side spans joined the same
+# trace — the end-to-end proof that header propagation, hedging
+# attribution, and tail sampling compose. -fingerprint keeps the
+# byte-identity gate on the same run: tracing must not perturb answers.
+trace-smoke:
+	go run ./cmd/opinedbload -smoke -trace-smoke -duration 5s -concurrency 8 \
+		-replicas 2 -slow-replica 25ms -slow-ms 25 -fingerprint
+
+# Advisory SLO gate: rerun the quick load experiment and compare its
+# per-op p95s and throughput against the committed baseline. Warn-only —
+# shared CI runners are too noisy for a hard latency gate; a human reads
+# the warnings next to the diff that caused them.
+slo-check:
+	go run ./cmd/benchall -quick -baseline BENCH_baseline.json \
+		-skip table3,table4,table5,table6,table7,table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,replication,replicaops,groupcommit
 
 # Fold a served snapshot's review journal back into a fresh artifact:
 #   make compact SNAP=opinedb.snap     (or SNAP=hotel.manifest.json)

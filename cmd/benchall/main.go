@@ -27,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced corpus and trial counts (~10x faster)")
 	seed := flag.Int64("seed", 1, "master random seed")
 	skip := flag.String("skip", "", "comma-separated experiments to skip (table3..table8,figure7,figure8,appendixB,appendixC,concurrency,persistence,sharding,rebalance,load,replication,replicaops,groupcommit)")
+	baseline := flag.String("baseline", "", "compare the load experiment's SLOs against this committed baseline JSON (BENCH_baseline.json) and WARN on regressions — advisory only, never fails the run (shared CI machines are too noisy for a hard latency gate)")
 	flag.Parse()
 
 	skipped := map[string]bool{}
@@ -153,6 +154,9 @@ func main() {
 				fmt.Println("wrote BENCH_load.json")
 			}
 		}
+		if *baseline != "" {
+			compareBaseline(*baseline, loadRes)
+		}
 	}
 	if run("replication") {
 		fmt.Println("running replication (replica-set read scaling + hedged-scatter tail A/B)...")
@@ -195,4 +199,44 @@ func main() {
 
 	fmt.Printf("total time: %.1fs\n", time.Since(start).Seconds())
 	os.Exit(0)
+}
+
+// compareBaseline reads a committed load baseline and reports, warn-only,
+// where the current run regressed: per-op p95 latency more than 1.5x the
+// baseline, or overall throughput below 2/3 of it. Advisory output for
+// `make slo-check` — machine noise (shared CI runners, thermal state)
+// makes a hard latency gate flakier than it is protective, so a human
+// reads the warnings next to the diff that caused them.
+func compareBaseline(path string, cur harness.LoadBenchResult) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("slo-check: baseline %s: %v", path, err)
+		return
+	}
+	var base harness.LoadBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Printf("slo-check: baseline %s: %v", path, err)
+		return
+	}
+	fmt.Printf("slo-check: comparing against %s\n", path)
+	warned := false
+	for op, bst := range base.Mixed.PerOp {
+		cst, ok := cur.Mixed.PerOp[op]
+		if !ok || bst.P95Micros <= 0 || cst.Ops == 0 {
+			continue
+		}
+		if cst.P95Micros > bst.P95Micros*1.5 {
+			fmt.Printf("slo-check: WARN %s p95 %.0fµs vs baseline %.0fµs (%.1fx)\n",
+				op, cst.P95Micros, bst.P95Micros, cst.P95Micros/bst.P95Micros)
+			warned = true
+		}
+	}
+	if base.Mixed.OpsPerSecond > 0 && cur.Mixed.OpsPerSecond < base.Mixed.OpsPerSecond*2/3 {
+		fmt.Printf("slo-check: WARN throughput %.0f ops/s vs baseline %.0f ops/s\n",
+			cur.Mixed.OpsPerSecond, base.Mixed.OpsPerSecond)
+		warned = true
+	}
+	if !warned {
+		fmt.Println("slo-check: OK — no SLO regressions against the baseline")
+	}
 }

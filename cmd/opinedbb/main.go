@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,7 +35,13 @@ import (
 	"repro/internal/harness"
 	"repro/internal/router"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
+
+// tracer backs the builder's /debug/traces when -debug-addr is set; the
+// -verify scatter check wires it through the throwaway router so even a
+// batch run's queries are traceable.
+var tracer = trace.New(trace.Options{})
 
 func main() {
 	out := flag.String("o", "opinedb.snap", "snapshot output path; with -shards > 1 the base name for <base>-shardK.snap and <base>.manifest.json")
@@ -54,7 +61,17 @@ func main() {
 	manifestFlag := flag.String("manifest", "", "shard manifest path for -rebalance")
 	rebalanceSmoke := flag.Bool("rebalance-smoke", false, "rebalancing smoke test: build a 4-shard fleet → ingest through the router → rebalance to 2 and to 8 → fingerprint check against the enriched monolith")
 	replicaSmoke := flag.Bool("replica-smoke", false, "replication smoke test: build an R=2 fleet → run the mixed load → join a third replica on the hot range mid-load → kill an original replica mid-load → assert zero request errors, joiner journal identity, and fingerprint byte-identity against the enriched monolith")
+	debugAddr := flag.String("debug-addr", "", "serve the debug surface (net/http/pprof under /debug/pprof/, traces under /debug/traces) on this address for the duration of the run; empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug surface listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, trace.DebugMux(tracer)); err != nil {
+				log.Printf("debug surface: %v", err)
+			}
+		}()
+	}
 
 	if os.Getenv(smokeChildEnv) != "" {
 		journalSmokeChild()
@@ -211,7 +228,9 @@ func writeSharded(d *corpus.Dataset, db *core.DB, out string, shards int, replic
 	if verify {
 		// FromManifest honors the manifest's replica count, so an R>1 build
 		// verifies the replicated fleet it describes.
-		rt, _, err := router.FromManifest(manifestPath, router.ManifestOptions{})
+		rt, _, err := router.FromManifest(manifestPath, router.ManifestOptions{
+			Options: router.Options{Trace: tracer},
+		})
 		if err != nil {
 			log.Fatalf("verify: %v", err)
 		}

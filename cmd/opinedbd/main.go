@@ -44,7 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,12 +60,27 @@ import (
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // metricsReg is the process-wide registry behind GET /metrics. All
 // roles share it: in -router mode the front door and every in-process
 // shard feed one registry, so a single scrape covers both tiers.
 var metricsReg = obs.NewRegistry()
+
+// tracer is the process-wide trace collector. Like the metrics
+// registry, every role shares it: in -router mode the front door's
+// spans and every in-process shard's spans land in one record per
+// request, exactly as a distributed fleet's would after header
+// propagation. Tail sampling keeps it cheap enough to leave on.
+var tracer = trace.New(trace.Options{})
+
+// fatal logs an error through the structured logger and exits — the
+// slog-era replacement for log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -91,7 +106,17 @@ func main() {
 	tagged := flag.Int("tagged", 800, "gold sentences for extractor training (in-process build; match opinedbb's flag)")
 	labels := flag.Int("labels", 800, "membership-function training labels (in-process build; match opinedbb's flag)")
 	topK := flag.Int("k", 10, "default result size")
+	debugAddr := flag.String("debug-addr", "", "serve the debug surface (net/http/pprof under /debug/pprof/, traces under /debug/traces) on this extra address; empty disables (the main mux always serves /debug/traces)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go func() {
+			slog.Info("debug surface listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, trace.DebugMux(tracer)); err != nil {
+				slog.Error("debug surface failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+	}
 
 	tuning := ingestTuning{
 		syncEvery:     *journalSync,
@@ -143,7 +168,7 @@ func journalDir(mode, artifactPath string) string {
 // ingestion.
 func attachJournal(db *core.DB, dir string, tun ingestTuning, acceptUnowned bool) *server.IngestOptions {
 	if dir == "" {
-		log.Printf("ingestion enabled without a journal; reviews ingested live will NOT survive a restart")
+		slog.Warn("ingestion enabled without a journal; reviews ingested live will NOT survive a restart")
 		return &server.IngestOptions{
 			AcceptUnowned:      acceptUnowned,
 			DisableGroupCommit: tun.noGroupCommit,
@@ -155,18 +180,18 @@ func attachJournal(db *core.DB, dir string, tun ingestTuning, acceptUnowned bool
 		SyncObserver: server.FsyncObserver(metricsReg),
 	})
 	if err != nil {
-		log.Fatalf("journal %s: %v", dir, err)
+		fatal("journal open failed", "dir", dir, "err", err)
 	}
 	if rec := j.Recovery(); rec.Err != nil {
-		log.Printf("journal %s: crash recovery dropped %d torn tail bytes (%v)", dir, rec.DroppedBytes, rec.Err)
+		slog.Warn("journal crash recovery dropped a torn tail", "dir", dir, "dropped_bytes", rec.DroppedBytes, "err", rec.Err)
 	}
 	st, err := journal.ApplyAll(db, dir)
 	if err != nil {
-		log.Fatalf("journal %s: replay: %v", dir, err)
+		fatal("journal replay failed", "dir", dir, "err", err)
 	}
 	if st.Records > 0 {
-		log.Printf("journal %s: replayed %d reviews through seq %d (%d applied, %d already in the snapshot)",
-			dir, st.Records, st.LastSeq, st.Applied, st.Skipped)
+		slog.Info("journal replayed", "dir", dir, "records", st.Records,
+			"last_seq", st.LastSeq, "applied", st.Applied, "already_present", st.Skipped)
 	}
 	return &server.IngestOptions{
 		AcceptUnowned: acceptUnowned,
@@ -213,20 +238,20 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 			if meta.Shard != nil {
 				// A shard artifact silently serving as "the database" would
 				// answer with a fraction of the entity space.
-				log.Fatalf("snapshot %s is shard %d/%d of a sharded build; serve it with -shard-manifest/-shard-index",
-					snapPath, meta.Shard.Index, meta.Shard.Count)
+				fatal("snapshot is one shard of a sharded build; serve it with -shard-manifest/-shard-index",
+					"path", snapPath, "shard", meta.Shard.Index, "shards", meta.Shard.Count)
 			}
 			db = loaded
 			snapInfo = snapshotInfo(snapPath, meta)
-			log.Printf("loaded snapshot %s: %s, %d entities, %d reviews, %d extractions, seed %d (%.1fms)",
-				snapPath, meta.Name, meta.Entities, meta.Reviews, meta.Extractions,
-				meta.BuildSeed, snapInfo.LoadMillis)
+			slog.Info("loaded snapshot", "path", snapPath, "name", meta.Name,
+				"entities", meta.Entities, "reviews", meta.Reviews, "extractions", meta.Extractions,
+				"seed", meta.BuildSeed, "load_ms", snapInfo.LoadMillis)
 		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("snapshot %s not found; falling back to in-process build", snapPath)
+			slog.Warn("snapshot not found; falling back to in-process build", "path", snapPath)
 		default:
 			// A present-but-unusable artifact is an operator problem;
 			// silently rebuilding would mask it across a fleet.
-			log.Fatalf("snapshot %s: %v", snapPath, err)
+			fatal("snapshot load failed", "path", snapPath, "err", err)
 		}
 	}
 
@@ -234,16 +259,16 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 		// Build through the same helper as opinedbb with matching flags, so
 		// a replica that fell back serves the same database its peers
 		// loaded from a snapshot of the same domain/size/seed.
-		log.Printf("generating %s corpus and building subjective database...", domain)
+		slog.Info("generating corpus and building subjective database", "domain", domain)
 		start := time.Now()
 		d, built, err := harness.BuildDomain(domain, small, seed, workers, tagged, labels, subindex)
 		if err != nil {
-			log.Fatalf("build: %v", err)
+			fatal("build failed", "err", err)
 		}
 		db = built
-		log.Printf("ready: %d entities, %d reviews, %d extractions, %d subjective attributes (%.1fs)",
-			len(d.Entities), len(d.Reviews), len(db.Extractions), len(db.Attrs),
-			time.Since(start).Seconds())
+		slog.Info("build ready", "entities", len(d.Entities), "reviews", len(d.Reviews),
+			"extractions", len(db.Extractions), "attrs", len(db.Attrs),
+			"seconds", time.Since(start).Seconds())
 	}
 
 	// Load order: snapshot → journal replay → serve. The journal lives
@@ -256,6 +281,7 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 		Snapshot:    snapInfo,
 		Ingest:      ingest,
 		Metrics:     metricsReg,
+		Trace:       tracer,
 	})
 }
 
@@ -265,16 +291,18 @@ func monolithHandler(snapPath, domain string, small bool, seed int64, workers, t
 func shardHandler(manifestPath string, index, replica, topK int, journalMode string, tun ingestTuning) http.Handler {
 	m, err := snapshot.LoadManifest(manifestPath)
 	if err != nil {
-		log.Fatalf("shard manifest %s: %v", manifestPath, err)
+		fatal("shard manifest load failed", "path", manifestPath, "err", err)
 	}
 	db, meta, err := snapshot.LoadVerifiedShard(manifestPath, m, index)
 	if err != nil {
-		log.Fatalf("shard %d of %s: %v", index, manifestPath, err)
+		fatal("shard load failed", "shard", index, "path", manifestPath, "err", err)
 	}
 	shardPath := snapshot.ShardPath(manifestPath, m.Shard[index])
 	info := snapshotInfo(shardPath, meta)
-	log.Printf("serving shard %d/%d (replica %d) of %s: %d entities [%s .. %s] (%.1fms load)",
-		index, m.Shards, replica, m.Name, meta.Shard.Entities, meta.Shard.FirstEntity, meta.Shard.LastEntity, info.LoadMillis)
+	slog.Info("serving shard", "shard", index, "shards", m.Shards, "replica", replica,
+		"name", m.Name, "entities", meta.Shard.Entities,
+		"first_entity", meta.Shard.FirstEntity, "last_entity", meta.Shard.LastEntity,
+		"load_ms", info.LoadMillis)
 	// AcceptUnowned: a shard journals and absorbs replicated writes for
 	// entities other shards own (corpus-global state must not drift).
 	ingest := attachJournal(db, replicaJournalDir(journalDir(journalMode, shardPath), replica), tun, true)
@@ -284,6 +312,7 @@ func shardHandler(manifestPath string, index, replica, topK int, journalMode str
 		Snapshot:    info,
 		Ingest:      ingest,
 		Metrics:     metricsReg,
+		Trace:       tracer,
 	})
 }
 
@@ -306,17 +335,18 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 	opts := router.Options{
 		DefaultTopK:    topK,
 		Metrics:        metricsReg,
+		Trace:          tracer,
 		DisableHedging: noHedge,
 		HedgeDelay:     hedgeDelay,
 	}
 	if backendList == "" {
 		pm, err := snapshot.LoadManifest(manifestPath)
 		if err != nil {
-			log.Fatalf("router manifest %s: %v", manifestPath, err)
+			fatal("router manifest load failed", "path", manifestPath, "err", err)
 		}
 		perRange, uniform, err := snapshot.ParseReplicaSpec(replicas, pm.Shards)
 		if err != nil {
-			log.Fatalf("router: -replicas: %v", err)
+			fatal("router -replicas spec invalid", "spec", replicas, "err", err)
 		}
 		rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
 			Options:          opts,
@@ -338,23 +368,24 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 					Snapshot:    snapshotInfo(path, meta),
 					Ingest:      attachJournal(db, replicaJournalDir(dir, replica), tun, true),
 					Metrics:     metricsReg,
+					Trace:       tracer,
 				}
 			},
 		})
 		if err != nil {
-			log.Fatalf("router: %v", err)
+			fatal("router assembly failed", "err", err)
 		}
-		log.Printf("routing %s over %d in-process shards (%d nodes)", m.Name, m.Shards, rt.NumNodes())
+		slog.Info("routing over in-process shards", "name", m.Name, "shards", m.Shards, "nodes", rt.NumNodes())
 		startRepairLoop(rt, repairEvery)
 		return router.NewHandler(rt)
 	}
 	m, err := snapshot.LoadManifest(manifestPath)
 	if err != nil {
-		log.Fatalf("router manifest %s: %v", manifestPath, err)
+		fatal("router manifest load failed", "path", manifestPath, "err", err)
 	}
 	groups := strings.Split(backendList, ",")
 	if len(groups) != m.Shards {
-		log.Fatalf("router-backends names %d shards, manifest %s has %d", len(groups), manifestPath, m.Shards)
+		fatal("router-backends shard count mismatch", "backends", len(groups), "path", manifestPath, "shards", m.Shards)
 	}
 	var shards []router.Shard
 	for i, g := range groups {
@@ -367,7 +398,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 		for j, u := range strings.Split(g, "|") {
 			u = strings.TrimSpace(u)
 			if u == "" {
-				log.Fatalf("router-backends: shard %d has an empty replica URL", i)
+				fatal("router-backends has an empty replica URL", "shard", i)
 			}
 			b := &router.HTTPBackend{BaseURL: u}
 			if j == 0 {
@@ -380,7 +411,7 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 	}
 	rt, err := router.New(shards, opts)
 	if err != nil {
-		log.Fatalf("router: %v", err)
+		fatal("router assembly failed", "err", err)
 	}
 	// A misordered backend list misroutes /evidence silently; refuse to
 	// start if any reachable backend reports the wrong shard identity.
@@ -388,9 +419,9 @@ func routerHandler(manifestPath, backendList string, topK int, journalMode strin
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := rt.VerifyShardIdentities(ctx); err != nil {
-		log.Fatalf("%v", err)
+		fatal("shard identity verification failed", "err", err)
 	}
-	log.Printf("routing %s over %d remote shards (%d nodes)", m.Name, m.Shards, rt.NumNodes())
+	slog.Info("routing over remote shards", "name", m.Name, "shards", m.Shards, "nodes", rt.NumNodes())
 	startRepairLoop(rt, repairEvery)
 	return router.NewHandler(rt)
 }
@@ -412,14 +443,15 @@ func startRepairLoop(rt *router.Router, every time.Duration) {
 			cancel()
 			switch {
 			case err != nil:
-				log.Printf("repair: %v", err)
+				slog.Warn("repair pass failed", "err", err)
 			case report.InSync:
 				// Quiet when healthy.
 			default:
 				for _, n := range report.Nodes {
 					if n.Backfilled > 0 || n.ReverseBackfilled > 0 || n.Err != "" {
-						log.Printf("repair: node %d (%s): backfilled %d (seq %d→%d), reverse %d, full_sync=%v err=%q",
-							n.Index, n.Name, n.Backfilled, n.Before, n.After, n.ReverseBackfilled, n.FullSync, n.Err)
+						slog.Info("repair backfilled a node", "node", n.Index, "name", n.Name,
+							"backfilled", n.Backfilled, "seq_before", n.Before, "seq_after", n.After,
+							"reverse", n.ReverseBackfilled, "full_sync", n.FullSync, "err", n.Err)
 					}
 				}
 			}
@@ -466,11 +498,11 @@ func serve(addr string, handler http.Handler) {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving on %s", addr)
+	slog.Info("serving", "addr", addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve failed", "err", err)
 	}
-	log.Print("shut down")
+	slog.Info("shut down")
 }
 
 // entityNamer resolves display names from the Entities relation's "name"
@@ -489,11 +521,19 @@ func entityNamer(db *core.DB) func(id string) string {
 	}
 }
 
-// logRequests is a minimal access-log middleware.
+// logRequests is a minimal access-log middleware. Requests that arrive
+// with a propagated trace id (a router's scatter legs, or a traced
+// client) log it, so one slow request correlates from access log to
+// /debug/traces in a single grep.
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%.1fms)", r.Method, r.URL.RequestURI(), float64(time.Since(start).Microseconds())/1000)
+		args := []any{"method", r.Method, "uri", r.URL.RequestURI(),
+			"ms", float64(time.Since(start).Microseconds()) / 1000}
+		if id := r.Header.Get(trace.TraceHeader); id != "" {
+			args = append(args, "trace", id)
+		}
+		slog.Info("request", args...)
 	})
 }

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -58,6 +59,8 @@ func main() {
 	hedgeDelay := flag.Duration("hedge-delay", 0, "-smoke mode: fixed hedge delay (0 = adapt to each shard's scatter p95)")
 	k := flag.Int("k", 10, "result size for query/topk operations")
 	fingerprint := flag.Bool("fingerprint", false, "-smoke mode: after the run, replay one node's journal into the pre-fleet monolith and require the routed fleet to answer the full query set byte-identically (write-path identity gate)")
+	slowMS := flag.Float64("slow-ms", 0, "after the run, print the retained traces slower than this many milliseconds — from the fleet's /debug/traces in -addr mode, from the in-process collector in -smoke mode (where it also lowers the tail-sampling retention cutoff to match)")
+	traceSmoke := flag.Bool("trace-smoke", false, "-smoke mode tracing gate: requires -replicas >= 2 and -slow-replica, and fails unless the trace store holds a hedge-won request whose scatter legs carry shard/replica attribution and whose server-side spans joined the same trace")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of the SLO table")
 	flag.Parse()
 
@@ -66,6 +69,14 @@ func main() {
 	}
 	if *fingerprint && !*smoke {
 		log.Fatal("opinedbload: -fingerprint requires -smoke (it replays the in-process fleet's journals)")
+	}
+	if *traceSmoke {
+		if !*smoke {
+			log.Fatal("opinedbload: -trace-smoke requires -smoke")
+		}
+		if *replicas < 2 || *slowReplica <= 0 || *noHedge {
+			log.Fatal("opinedbload: -trace-smoke needs a hedge-win to assert on: use -replicas >= 2 and -slow-replica > 0, without -no-hedge")
+		}
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -94,6 +105,17 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		log.Printf("building %d-shard journaled fleet (replicas %d, seed %d)...", *shards, *replicas, *seed)
+		tropts := &trace.Options{}
+		if *slowMS > 0 {
+			tropts.SlowCutoff = time.Duration(*slowMS * float64(time.Millisecond))
+		}
+		if *traceSmoke {
+			// A hedge-won request is FAST — that is hedging working — so it
+			// would rarely clear the slow-retention cutoff. Sample every
+			// trace and widen the ring so the gate has wins to inspect.
+			tropts.SampleRate = 1
+			tropts.Capacity = 4096
+		}
 		fl, err = harness.BuildLoadFleet(dir, harness.LoadFleetOptions{
 			Shards:         *shards,
 			Replicas:       *replicas,
@@ -101,6 +123,7 @@ func main() {
 			DisableHedging: *noHedge,
 			HedgeDelay:     *hedgeDelay,
 			SlowReplica:    *slowReplica,
+			Trace:          tropts,
 		})
 		if err != nil {
 			log.Fatalf("opinedbload: %v", err)
@@ -151,17 +174,103 @@ func main() {
 	if res.Err != "" {
 		os.Exit(1)
 	}
+	if *slowMS > 0 {
+		if err := printSlowTraces(*addr, fl, *slowMS); err != nil {
+			log.Fatalf("opinedbload: slow traces: %v", err)
+		}
+	}
 	if *smoke {
 		if err := checkSmoke(res); err != nil {
 			log.Fatalf("opinedbload: smoke FAILED: %v", err)
 		}
 		log.Printf("smoke OK: %d ops, 0 errors", res.TotalOps)
+		if *traceSmoke {
+			if err := checkTraceSmoke(fl); err != nil {
+				log.Fatalf("opinedbload: trace-smoke FAILED: %v", err)
+			}
+		}
 		if *fingerprint {
 			if err := checkFingerprint(ctx, fl); err != nil {
 				log.Fatalf("opinedbload: fingerprint FAILED: %v", err)
 			}
 		}
 	}
+}
+
+// printSlowTraces renders every retained trace slower than minMS, the
+// "chase one slow request" workflow: run the load, then read exactly the
+// traces tail sampling kept for you. Smoke mode reads the in-process
+// collector; -addr mode asks the live fleet's /debug/traces.
+func printSlowTraces(addr string, fl *harness.LoadFleet, minMS float64) error {
+	var traces []trace.TraceJSON
+	if fl != nil {
+		for _, t := range fl.Trace.Snapshot() {
+			if t.DurationMS >= minMS {
+				traces = append(traces, t)
+			}
+		}
+	} else {
+		resp, err := http.Get(strings.TrimRight(addr, "/") + fmt.Sprintf("/debug/traces?min_ms=%g", minMS))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("/debug/traces answered %d (is the fleet running with tracing enabled?)", resp.StatusCode)
+		}
+		var body struct {
+			Traces []trace.TraceJSON `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return err
+		}
+		traces = body.Traces
+	}
+	log.Printf("%d retained traces slower than %gms", len(traces), minMS)
+	for _, t := range traces {
+		data, _ := json.MarshalIndent(t, "", "  ")
+		fmt.Println(string(data))
+	}
+	return nil
+}
+
+// checkTraceSmoke enforces the end-to-end tracing contract on the
+// smoke fleet's collector: some retained trace must show a hedge that
+// fired and won — its winning scatter leg attributed to a shard and
+// replica — and that same trace must carry server-side spans, proving
+// the trace id propagated across the (real TCP) process boundary and
+// the whole request assembled into one record.
+func checkTraceSmoke(fl *harness.LoadFleet) error {
+	traces := fl.Trace.Snapshot()
+	if len(traces) == 0 {
+		return fmt.Errorf("trace store is empty after the run")
+	}
+	attr := func(s trace.SpanJSON, key string) string {
+		for _, a := range s.Attrs {
+			if a.Key == key {
+				return a.Value
+			}
+		}
+		return ""
+	}
+	for _, t := range traces {
+		var hedgeWon, serverSide bool
+		for _, s := range t.Spans {
+			if s.Name == "router.leg" && attr(s, "hedge_won") == "true" &&
+				attr(s, "shard") != "" && attr(s, "replica") != "" {
+				hedgeWon = true
+			}
+			if strings.HasPrefix(s.Name, "server.") {
+				serverSide = true
+			}
+		}
+		if hedgeWon && serverSide {
+			log.Printf("trace-smoke OK: trace %s (%.1fms, %d spans) shows a hedge-won leg with shard/replica attribution and propagated server spans",
+				t.TraceID, t.DurationMS, len(t.Spans))
+			return nil
+		}
+	}
+	return fmt.Errorf("no retained trace shows a hedge-won leg with server-side spans (%d traces inspected)", len(traces))
 }
 
 // parseMix reads "query=4,topk=3,interpret=2,reviews=1"; omitted ops
@@ -207,6 +316,16 @@ func parseMix(spec string) (harness.LoadMix, error) {
 // those writes concurrently and group-committed, must then answer the
 // complete query set byte-identically to that monolith.
 func checkFingerprint(ctx context.Context, fl *harness.LoadFleet) error {
+	// Converge before auditing: a replication the loaded replica refused
+	// (the injected-slow node shedding under -slow-replica, say) is healed
+	// by the write path's next heal-before-write pass — but writes landing
+	// at the very end of the run have no later write to trigger it, which
+	// would leave one replica honestly stale and fail the identity check
+	// below for scheduling reasons, not correctness ones. One anti-entropy
+	// pass settles the fleet exactly the way an operator would.
+	if _, err := fl.Router.RunRepair(ctx); err != nil {
+		return fmt.Errorf("pre-fingerprint repair pass: %w", err)
+	}
 	applied, err := fl.ReplayOwnedWrites()
 	if err != nil {
 		return fmt.Errorf("replay into monolith: %w", err)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 // LoadMix weights the four operation kinds. Zero-valued kinds are not
@@ -399,6 +400,13 @@ type LoadFleet struct {
 	JournalDirs [][]string
 	Manifest    *snapshot.Manifest
 	Counts      []int
+	// Trace is the fleet's shared trace collector (nil when the fleet was
+	// built without tracing). In-process fleets share ONE collector across
+	// the router front door and every shard replica, so a routed request's
+	// spans — front door, scatter legs, per-shard server work — land in a
+	// single record exactly as a distributed fleet's would after
+	// cross-process propagation.
+	Trace *trace.Collector
 
 	// The pieces a live join needs to assemble a fresh node exactly the
 	// way BuildLoadFleet assembled the originals.
@@ -473,6 +481,11 @@ type LoadFleetOptions struct {
 	// DisableGroupCommit serializes each node's write path — the control
 	// arm of the group-commit A/B.
 	DisableGroupCommit bool
+	// Trace, when non-nil, builds the fleet with request tracing: one
+	// shared collector wired into the router and every shard server. The
+	// collector's sampler RNG is its own (never the router's pick RNG), so
+	// tracing cannot perturb replica choice or the query fingerprint.
+	Trace *trace.Options
 }
 
 // BuildLoadFleet generates the small hotel corpus, builds the
@@ -521,7 +534,11 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	}
 
 	reg := obs.NewRegistry()
-	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, JournalDirs: make([][]string, shards), Counts: counts, manifestPath: manifestPath}
+	var tracer *trace.Collector
+	if opts.Trace != nil {
+		tracer = trace.New(*opts.Trace)
+	}
+	fl := &LoadFleet{Dataset: d, DB: db, Registry: reg, Trace: tracer, JournalDirs: make([][]string, shards), Counts: counts, manifestPath: manifestPath}
 	for s := range fl.JournalDirs {
 		fl.JournalDirs[s] = make([]string, counts[s])
 	}
@@ -549,6 +566,7 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 		fl.JournalDirs[shard][replica] = jdir
 		return server.Options{
 			Metrics:         reg,
+			Trace:           tracer,
 			DisableTopKMemo: opts.DisableTopKMemo,
 			Ingest: &server.IngestOptions{
 				AcceptUnowned:  true,
@@ -587,6 +605,7 @@ func BuildLoadFleet(dir string, opts LoadFleetOptions) (*LoadFleet, error) {
 	rt, m, err := router.FromManifest(manifestPath, router.ManifestOptions{
 		Options: router.Options{
 			Metrics:        reg,
+			Trace:          tracer,
 			DisableHedging: opts.DisableHedging,
 			HedgeDelay:     opts.HedgeDelay,
 		},

@@ -107,6 +107,16 @@ type Histogram struct {
 	buckets []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-added
+	// ex is the last traced observation — the exemplar joining this
+	// series to /debug/traces on a trace id. One atomic pointer swap per
+	// traced observation; plain Observe never touches it.
+	ex atomic.Pointer[exemplar]
+}
+
+// exemplar joins one observation to the request trace that produced it.
+type exemplar struct {
+	traceID string
+	v       float64
 }
 
 // defaultBounds: 1µs doubling through ~9m (1e-6 * 2^29 ≈ 537s), 30
@@ -145,6 +155,31 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the elapsed seconds since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// ObserveWithExemplar records v and, when traceID is non-empty, stores
+// (traceID, v) as the series' exemplar — rendered as an `# EXEMPLAR`
+// comment in the exposition so an operator can jump from a latency
+// series straight to the trace behind its most recent traced request.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&exemplar{traceID: traceID, v: v})
+	}
+}
+
+// ObserveSinceWithExemplar is ObserveWithExemplar over elapsed seconds.
+func (h *Histogram) ObserveSinceWithExemplar(t0 time.Time, traceID string) {
+	h.ObserveWithExemplar(time.Since(t0).Seconds(), traceID)
+}
+
+// Exemplar returns the last traced observation, if any.
+func (h *Histogram) Exemplar() (traceID string, v float64, ok bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.traceID, e.v, true
+}
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -376,6 +411,12 @@ func (r *Registry) WriteText(w *strings.Builder) {
 				fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", s.labels, L("le", "+Inf")), cum)
 				fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", s.labels), formatFloat(h.Sum()))
 				fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", s.labels), h.Count())
+				// Exemplars ride in comments: the 0.0.4 text format has no
+				// exemplar syntax, and comments are ignored by scrapers.
+				if tid, v, ok := h.Exemplar(); ok {
+					fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q %s\n",
+						seriesName(f.name, s.labels), tid, formatFloat(v))
+				}
 			}
 		}
 		if f.kind == kindHistogram {

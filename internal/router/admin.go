@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/fleet"
@@ -137,10 +138,20 @@ func (r *Router) AdmitReplica(ctx context.Context, shard int, b Backend) (*Admit
 
 	// Phase 1: bulk catch-up with writes still flowing. The fleet
 	// position may advance while this streams; phase 2 closes the gap.
-	pre, err := fleet.JoinReplica(ctx, fleetBackends(r.view.Load()), b, fleet.JoinOptions{})
+	// Each phase gets its own span — the presync/final duration split is
+	// exactly the "how long did writes queue" question an operator asks
+	// about a join.
+	preCtx, preSpan := r.tracer.Start(ctx, "admin.presync")
+	preSpan.SetAttr("shard", strconv.Itoa(shard))
+	preSpan.SetAttr("backend", b.Name())
+	pre, err := fleet.JoinReplica(preCtx, fleetBackends(r.view.Load()), b, fleet.JoinOptions{})
 	if err != nil {
+		preSpan.SetError(err.Error())
+		preSpan.End()
 		return nil, fmt.Errorf("router: admit shard %d (%s): presync: %w", shard, b.Name(), err)
 	}
+	preSpan.SetAttr("backfilled", strconv.Itoa(pre.Backfilled))
+	preSpan.End()
 
 	// Phase 2: freeze the fleet journal position, sync the delta, prove
 	// byte identity, then enter the pick. Writes queue on the mutex for
@@ -148,10 +159,18 @@ func (r *Router) AdmitReplica(ctx context.Context, shard int, b Backend) (*Admit
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	v := r.view.Load()
-	fin, err := fleet.JoinReplica(ctx, fleetBackends(v), b, fleet.JoinOptions{})
+	finCtx, finSpan := r.tracer.Start(ctx, "admin.final")
+	finSpan.SetAttr("shard", strconv.Itoa(shard))
+	finSpan.SetAttr("backend", b.Name())
+	fin, err := fleet.JoinReplica(finCtx, fleetBackends(v), b, fleet.JoinOptions{})
 	if err != nil {
+		finSpan.SetError(err.Error())
+		finSpan.End()
 		return nil, fmt.Errorf("router: admit shard %d (%s): final sync: %w", shard, b.Name(), err)
 	}
+	finSpan.SetAttr("backfilled", strconv.Itoa(fin.Backfilled))
+	finSpan.SetAttr("identical", strconv.FormatBool(fin.Identical))
+	finSpan.End()
 	if !fin.Identical {
 		return nil, fmt.Errorf("router: admit shard %d (%s): joiner stopped at seq %d of %d without proving identity — not admitted",
 			shard, b.Name(), fin.After, fin.ReferenceSeq)

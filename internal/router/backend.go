@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // defaultClient is shared by every HTTPBackend without an explicit
@@ -67,6 +68,9 @@ func (b *HTTPBackend) Do(ctx context.Context, method, target string, body []byte
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the active trace so the replica's spans join this
+	// request's trace id across the process boundary.
+	trace.Inject(ctx, req.Header)
 	client := b.Client
 	if client == nil {
 		client = defaultClient
@@ -113,6 +117,10 @@ func (b *LocalBackend) Do(ctx context.Context, method, target string, body []byt
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Same propagation contract as the HTTP backend: in-process fleets
+	// are behaviorally indistinguishable from remote ones, headers
+	// included.
+	trace.Inject(ctx, req.Header)
 	rec := &memResponse{header: http.Header{}}
 	b.handler.ServeHTTP(rec, req)
 	return rec.status(), rec.buf.Bytes(), nil

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // Handler wraps a Router in the shard-compatible HTTP JSON API.
@@ -39,6 +40,9 @@ func NewHandler(r *Router) *Handler {
 	h.handle("repair", "/repair", h.handleRepair)
 	h.handle("admin", "/admin/replicas", h.handleAdminReplicas)
 	h.mux.Handle("/metrics", r.metrics.reg.Handler())
+	if r.tracer != nil {
+		h.mux.Handle("/debug/traces", r.tracer.TracesHandler())
+	}
 	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 	})
@@ -46,16 +50,60 @@ func NewHandler(r *Router) *Handler {
 }
 
 // handle registers fn wrapped in the endpoint's counter and latency
-// histogram.
+// histogram. With tracing enabled this is the fleet's trace front door:
+// the root span (or, for traced clients, the continuation of their
+// trace) starts here, and the latency observation carries the trace id
+// as an exemplar.
 func (h *Handler) handle(endpoint, path string, fn http.HandlerFunc) {
 	hist := h.r.metrics.requestSeconds[endpoint]
 	total := h.r.metrics.requestsTotal[endpoint]
 	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		total.Inc()
 		t0 := time.Now()
+		if c := h.r.tracer; c != nil {
+			ctx := trace.Extract(r.Context(), r.Header)
+			ctx, sp := c.Start(ctx, "router."+endpoint)
+			sw := &statusWriter{ResponseWriter: w}
+			fn(sw, r.WithContext(ctx))
+			sp.SetAttr("status", strconv.Itoa(sw.status()))
+			if sw.status() >= http.StatusInternalServerError {
+				sp.SetError(http.StatusText(sw.status()))
+			}
+			sp.End()
+			hist.ObserveSinceWithExemplar(t0, sp.Trace)
+			return
+		}
 		fn(w, r)
 		hist.ObserveSince(t0)
 	})
+}
+
+// statusWriter captures the response status so the front-door span can
+// be annotated (and error-marked on 5xx) after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusWriter) WriteHeader(c int) {
+	if s.code == 0 {
+		s.code = c
+	}
+	s.ResponseWriter.WriteHeader(c)
+}
+
+func (s *statusWriter) Write(p []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *statusWriter) status() int {
+	if s.code == 0 {
+		return http.StatusOK
+	}
+	return s.code
 }
 
 // ServeHTTP implements http.Handler.

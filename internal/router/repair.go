@@ -16,6 +16,7 @@ package router
 import (
 	"context"
 	"errors"
+	"strconv"
 
 	"repro/internal/fleet"
 )
@@ -46,7 +47,7 @@ func (r *Router) markDirtyLocked(failed map[int]string) {
 // clearing the ones that converged. Caller holds writeMu. It returns the
 // node indexes healed by this pass (nil when there was nothing to do or
 // the pass could not run).
-func (r *Router) repairDirtyLocked(ctx context.Context) []int {
+func (r *Router) repairDirtyLocked(ctx context.Context) (healed []int) {
 	if len(r.dirty) == 0 {
 		return nil
 	}
@@ -54,6 +55,12 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 	for i := range r.dirty {
 		only[i] = true
 	}
+	ctx, span := r.tracer.Start(ctx, "repair.pass")
+	span.SetAttr("dirty", strconv.Itoa(len(only)))
+	defer func() {
+		span.SetAttr("healed", strconv.Itoa(len(healed)))
+		span.End()
+	}()
 	// The pass runs under writeMu: bound it by the router's timeout so a
 	// hung dirty shard cannot stall every subsequent routed write (the
 	// backends themselves carry no deadline of their own).
@@ -74,7 +81,6 @@ func (r *Router) repairDirtyLocked(ctx context.Context) []int {
 		return nil
 	}
 	r.metrics.observeRepair(report, v.nodes)
-	var healed []int
 	for i := range only {
 		if report.Converged(i) {
 			delete(r.dirty, i)
@@ -110,10 +116,20 @@ func (r *Router) RunRepair(ctx context.Context) (*fleet.RepairReport, error) {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	v := r.view.Load()
+	ctx, span := r.tracer.Start(ctx, "repair.pass")
+	span.SetAttr("nodes", strconv.Itoa(len(v.nodes)))
 	report, err := fleet.Repair(ctx, fleetBackends(v), fleet.RepairOptions{})
 	if err != nil {
+		span.SetError(err.Error())
+		span.End()
 		return nil, err
 	}
+	backfilled := 0
+	for _, n := range report.Nodes {
+		backfilled += n.Backfilled
+	}
+	span.SetAttr("backfilled", strconv.Itoa(backfilled))
+	span.End()
 	r.metrics.observeRepair(report, v.nodes)
 	repaired := false
 	for i := range v.nodes {

@@ -19,6 +19,7 @@ package router
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -115,7 +116,8 @@ type NodeError struct {
 // current fleet view. Kept as the single-call form for tests and
 // callers that do not already hold a view.
 func (r *Router) pickReplica(shard, exclude int) *replica {
-	return r.pickFrom(r.view.Load().reps[shard], exclude)
+	rep, _ := r.pickFrom(r.view.Load().reps[shard], exclude)
+	return rep
 }
 
 // pickFrom chooses a replica from one range's replica set:
@@ -123,9 +125,10 @@ func (r *Router) pickReplica(shard, exclude int) *replica {
 // excluding replica index exclude (-1 excludes nothing). When every
 // candidate is ejected the pick falls back to the full set — ejection
 // sheds load from a flapping replica, it must not turn a degraded
-// shard into a dead one. Returns nil only when exclusion empties the
+// shard into a dead one; fallback reports that this happened so the
+// leg's span can say so. Returns nil only when exclusion empties the
 // set.
-func (r *Router) pickFrom(set []*replica, exclude int) *replica {
+func (r *Router) pickFrom(set []*replica, exclude int) (chosen *replica, fallback bool) {
 	now := time.Now().UnixNano()
 	cands := make([]*replica, 0, len(set))
 	for _, rep := range set {
@@ -135,16 +138,16 @@ func (r *Router) pickFrom(set []*replica, exclude int) *replica {
 		cands = append(cands, rep)
 	}
 	if len(cands) == 0 {
+		fallback = true
 		for _, rep := range set {
 			if rep.idx != exclude {
 				cands = append(cands, rep)
 			}
 		}
 	}
-	var chosen *replica
 	switch len(cands) {
 	case 0:
-		return nil
+		return nil, fallback
 	case 1:
 		chosen = cands[0]
 	default:
@@ -164,7 +167,7 @@ func (r *Router) pickFrom(set []*replica, exclude int) *replica {
 		}
 	}
 	chosen.picked.Inc()
-	return chosen
+	return chosen, fallback
 }
 
 // authoritative reports whether a leg's reply settles the fragment: any
@@ -178,20 +181,40 @@ func authoritative(rep shardReply) bool {
 // doReplica runs one request leg against a replica, maintaining its
 // in-flight count and health state. A leg cancelled by its own context
 // (a hedge loser, or the caller giving up) is neither a success nor a
-// strike — cancellation says nothing about the replica.
-func (r *Router) doReplica(legCtx context.Context, rep *replica, method, target string, body []byte) shardReply {
+// strike — cancellation says nothing about the replica; its span is
+// marked cancelled, never errored, so a hedge loser cannot force its
+// trace into the error-retained ring. fallback annotates legs served
+// through the all-ejected full-set fallback.
+func (r *Router) doReplica(legCtx context.Context, rep *replica, fallback bool, method, target string, body []byte) shardReply {
+	legCtx, span := r.tracer.Start(legCtx, "router.leg")
+	span.SetAttr("shard", strconv.Itoa(rep.shard))
+	span.SetAttr("replica", strconv.Itoa(rep.idx))
+	span.SetAttr("backend", rep.backend.Name())
+	if fallback {
+		span.SetAttr("ejection_fallback", "true")
+	}
 	rep.inflight.Add(1)
 	t0 := time.Now()
 	status, b, err := rep.backend.Do(legCtx, method, target, body)
 	rep.inflight.Add(-1)
-	out := shardReply{status: status, body: b, err: err, replica: rep.idx}
+	out := shardReply{status: status, body: b, err: err, replica: rep.idx, span: span}
 	if err != nil && legCtx.Err() != nil {
+		span.SetAttr("cancelled", "true")
+		span.End()
 		return out
 	}
 	if err != nil || status >= 500 {
+		if err != nil {
+			span.SetError(err.Error())
+		} else {
+			span.SetError(fmt.Sprintf("status %d", status))
+		}
+		span.End()
 		rep.recordFailure(r.ejectFor)
 		return out
 	}
+	span.SetAttr("status", strconv.Itoa(status))
+	span.End()
 	rep.recordSuccess()
 	rep.seconds.ObserveSince(t0)
 	return out
@@ -230,12 +253,12 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 	// One view per fragment: both legs of a hedged pair come from the
 	// same topology even if a join or retire swaps the view mid-flight.
 	set := r.view.Load().reps[shard]
-	first := r.pickFrom(set, -1)
+	first, firstFallback := r.pickFrom(set, -1)
 	if first == nil {
 		return shardReply{err: fmt.Errorf("shard %d has no replicas", shard), replica: -1}
 	}
 	if len(set) == 1 {
-		return r.doReplica(ctx, first, method, target, body)
+		return r.doReplica(ctx, first, firstFallback, method, target, body)
 	}
 
 	// Legs get individually cancellable contexts under one parent; the
@@ -244,12 +267,12 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 	legCtx, cancelLegs := context.WithCancel(ctx)
 	defer cancelLegs()
 	results := make(chan shardReply, 2)
-	launch := func(rep *replica) {
+	launch := func(rep *replica, fallback bool) {
 		go func() {
-			results <- r.doReplica(legCtx, rep, method, target, body)
+			results <- r.doReplica(legCtx, rep, fallback, method, target, body)
 		}()
 	}
-	launch(first)
+	launch(first, firstFallback)
 	pending := 1
 
 	var hedgeCh <-chan time.Time
@@ -265,7 +288,7 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 		if secondLaunched {
 			return
 		}
-		second := r.pickFrom(set, first.idx)
+		second, secondFallback := r.pickFrom(set, first.idx)
 		if second == nil {
 			return
 		}
@@ -276,7 +299,7 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 			hedged = true
 			r.metrics.hedgeFired.Inc()
 		}
-		launch(second)
+		launch(second, secondFallback)
 	}
 
 	var fails []shardReply
@@ -288,6 +311,17 @@ func (r *Router) shardRequest(ctx context.Context, shard int, method, target str
 				// Cancel the losing leg promptly; its goroutine drains into
 				// the buffered channel and exits on its own.
 				cancelLegs()
+				if hedged {
+					// Stamp hedge attribution onto the winning leg's span —
+					// deliberately after End(); the collector renders live
+					// span state, so the attribution shows up in the trace.
+					rep.span.SetAttr("hedge_fired", "true")
+					if rep.replica != first.idx {
+						rep.span.SetAttr("hedge_won", "true")
+					} else {
+						rep.span.SetAttr("hedge_won", "false")
+					}
+				}
 				if hedged && rep.replica != first.idx {
 					r.metrics.hedgeWins.Inc()
 					if secondRep != nil {

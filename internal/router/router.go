@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/sqlparse"
+	"repro/internal/trace"
 )
 
 // Backend executes one shard-API request (the HTTP JSON API of
@@ -106,6 +107,14 @@ type Options struct {
 	// EjectFor overrides how long a failing replica sits out of the
 	// load-balanced pick. 0 means 2s.
 	EjectFor time.Duration
+	// Trace, when non-nil, records request-scoped spans — front door,
+	// parse/scatter/merge, one child span per scatter leg with hedge
+	// attribution, the write path, repair and join phases — and serves
+	// GET /debug/traces on the handler. nil disables tracing at zero
+	// cost. The collector's sampler uses its own seeded RNG, never the
+	// router's pick RNG, so tracing cannot perturb replica selection or
+	// results.
+	Trace *trace.Collector
 }
 
 // ErrBadQuery marks client-side query errors — unparseable SQL or a
@@ -150,6 +159,8 @@ type Router struct {
 	interpGen   uint64
 	// metrics backs GET /metrics (metrics.go).
 	metrics *routerMetrics
+	// tracer records request-scoped spans; nil disables tracing.
+	tracer *trace.Collector
 }
 
 // New builds a router over the given shards (ordered by shard index).
@@ -194,6 +205,7 @@ func New(shards []Shard, opts Options) (*Router, error) {
 		autoRepair:  !opts.DisableAutoRepair,
 		dirty:       map[int]bool{},
 		interpCache: lru.New[string, *server.InterpretResponse](maxInterpretCacheEntries),
+		tracer:      opts.Trace,
 	}
 	r.metrics = newRouterMetrics(opts.Metrics, len(shards))
 	v := &fleetView{}
@@ -242,6 +254,10 @@ type shardReply struct {
 	// fails carries per-replica attribution when more than one leg
 	// failed behind this reply.
 	fails []NodeError
+	// span is the leg's trace span (nil when tracing is off). The
+	// hedging state machine stamps won/lost attribution onto it after
+	// the race resolves — attrs may be set post-End by design.
+	span *trace.Span
 }
 
 // scatter fans one request out to every shard concurrently; each
@@ -252,6 +268,9 @@ type shardReply struct {
 // its p95 from — so a straggler shard is visible as the gap between its
 // percentiles and its peers'.
 func (r *Router) scatter(ctx context.Context, method, target string, body []byte) []shardReply {
+	ctx, span := r.tracer.Start(ctx, "router.scatter")
+	span.SetAttr("shards", fmt.Sprintf("%d", len(r.shards)))
+	defer span.End()
 	ctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
 	start := time.Now()
@@ -450,7 +469,12 @@ func (r *Router) errAllShardsFailed(op string, replies []shardReply, errs map[in
 // correctly at this layer.
 func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, error) {
 	parseStart := time.Now()
+	_, parseSpan := r.tracer.Start(ctx, "router.parse")
 	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		parseSpan.SetError(err.Error())
+	}
+	parseSpan.End()
 	r.metrics.parse.ObserveSince(parseStart)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
@@ -492,7 +516,9 @@ func (r *Router) Query(ctx context.Context, sql string, k int) (*QueryResult, er
 		return nil, r.errAllShardsFailed("query", replies, errs)
 	}
 	mergeStart := time.Now()
+	_, mergeSpan := r.tracer.Start(ctx, "router.merge")
 	res.Rows = mergeRanked(lists, k)
+	mergeSpan.End()
 	r.metrics.merge.ObserveSince(mergeStart)
 	res.Partial = len(errs) > 0
 	if len(errs) > 0 {
@@ -539,7 +565,9 @@ func (r *Router) TopK(ctx context.Context, predicates []string, k int) (*TopKRes
 		return nil, r.errAllShardsFailed("topk", replies, errs)
 	}
 	mergeStart := time.Now()
+	_, mergeSpan := r.tracer.Start(ctx, "router.merge")
 	res.Rows = mergeRanked(lists, k)
+	mergeSpan.End()
 	r.metrics.merge.ObserveSince(mergeStart)
 	res.Partial = len(errs) > 0
 	if len(errs) > 0 {

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -156,6 +157,8 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 	var status int
 	var respBody []byte
 	var firstErr error
+	ctx, ownerSpan := r.tracer.Start(ctx, "write.owner")
+	ownerSpan.SetAttr("shard", strconv.Itoa(owner))
 	for _, rep := range ownerSet {
 		ownerCtx, cancel := context.WithTimeout(ctx, r.timeout)
 		st, b, err := rep.backend.Do(ownerCtx, "POST", "/reviews", body)
@@ -183,8 +186,13 @@ func (r *Router) AddReview(ctx context.Context, req server.ReviewRequest) (*Revi
 		break
 	}
 	if ownerRep == nil {
+		ownerSpan.SetError(firstErr.Error())
+		ownerSpan.End()
 		return nil, firstErr
 	}
+	ownerSpan.SetAttr("replica", strconv.Itoa(ownerRep.idx))
+	ownerSpan.SetAttr("status", strconv.Itoa(status))
+	ownerSpan.End()
 	ownerNode := v.nodeIndex(ownerRep)
 	if status == http.StatusConflict {
 		// The owner already committed this review — the signature of a
@@ -264,6 +272,12 @@ func mergeHealed(a, b []int) []int {
 // nodes commute for a single review, and the write mutex already orders
 // distinct reviews.
 func (r *Router) replicate(ctx context.Context, v *fleetView, ownerNode int, replicaBody []byte, res *ReviewResult) map[int]string {
+	ctx, span := r.tracer.Start(ctx, "write.replicate")
+	defer func() {
+		span.SetAttr("replicated", strconv.Itoa(res.Replicated))
+		span.SetAttr("failed", strconv.Itoa(len(res.FailedNodes)))
+		span.End()
+	}()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	failed := map[int]string{}

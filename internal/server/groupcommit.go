@@ -22,12 +22,15 @@ package server
 // growing the backlog without bound (IngestOptions.MaxQueueDepth).
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // DefaultCommitQueueDepth bounds the staged commit queue when
@@ -49,6 +52,12 @@ type commitRequest struct {
 	status int            // HTTP status; 200 means resp is valid
 	errMsg string         // error body for non-200
 	resp   ReviewResponse // success body
+	// batchSize and leaderTrace attribute the commit for tracing: how
+	// many writes shared the fsync, and the trace id of the request that
+	// led the batch — a follower's queue-wait span points at the leader
+	// whose fsync it rode.
+	batchSize   int
+	leaderTrace string
 
 	done chan struct{} // closed when the outcome is ready
 	lead chan struct{} // closed to hand this waiter leadership
@@ -83,12 +92,16 @@ func (q *commitQueue) stage(cr *commitRequest) (ok, lead bool, n int) {
 
 // handleReviewGrouped is the group-commit write path: prepare outside
 // every lock, stage, commit (as leader or waiter), respond.
-func (s *Server) handleReviewGrouped(w http.ResponseWriter, req ReviewRequest, rv core.ReviewData) {
+func (s *Server) handleReviewGrouped(w http.ResponseWriter, ctx context.Context, req ReviewRequest, rv core.ReviewData) {
+	_, prepSpan := s.opts.Trace.Start(ctx, "commit.prepare")
 	p, err := s.db.PrepareReview(rv)
 	if err != nil {
+		prepSpan.SetError(err.Error())
+		prepSpan.End()
 		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	prepSpan.End()
 	cr := &commitRequest{
 		prepared: p,
 		replica:  req.Replica,
@@ -105,7 +118,21 @@ func (s *Server) handleReviewGrouped(w http.ResponseWriter, req ReviewRequest, r
 		return
 	}
 	s.metrics.queueDepth.Set(float64(depth))
-	s.awaitCommit(cr, lead)
+	// commit.wait covers staging → published outcome: for the leader this
+	// is the commit it ran itself; for a follower it is the queue wait
+	// plus the leader's batch, attributed via batch_size + leader_trace.
+	waitCtx, waitSpan := s.opts.Trace.Start(ctx, "commit.wait")
+	s.awaitCommit(waitCtx, cr, lead)
+	if waitSpan != nil {
+		if lead {
+			waitSpan.SetAttr("role", "leader")
+		} else {
+			waitSpan.SetAttr("role", "follower")
+		}
+		waitSpan.SetAttr("batch_size", strconv.Itoa(cr.batchSize))
+		waitSpan.SetAttr("leader_trace", cr.leaderTrace)
+	}
+	waitSpan.End()
 	s.metrics.commitWait.ObserveSince(cr.staged)
 	if cr.status != http.StatusOK {
 		WriteError(w, cr.status, "%s", cr.errMsg)
@@ -121,7 +148,7 @@ func (s *Server) handleReviewGrouped(w http.ResponseWriter, req ReviewRequest, r
 // after its own commit both channels are closed, and re-entering
 // leadCommit would run a second leader concurrently with the goroutine
 // the handoff actually chose.)
-func (s *Server) awaitCommit(cr *commitRequest, lead bool) {
+func (s *Server) awaitCommit(ctx context.Context, cr *commitRequest, lead bool) {
 	if !lead {
 		select {
 		case <-cr.done:
@@ -129,7 +156,7 @@ func (s *Server) awaitCommit(cr *commitRequest, lead bool) {
 		case <-cr.lead:
 		}
 	}
-	s.leadCommit()
+	s.leadCommit(ctx)
 	<-cr.done
 }
 
@@ -137,14 +164,14 @@ func (s *Server) awaitCommit(cr *commitRequest, lead bool) {
 // hands leadership to the first writer that staged during the commit
 // (if any). The handoff via close(lead) sequences batches: the next
 // leader's validation reads happen after this batch's fold completes.
-func (s *Server) leadCommit() {
+func (s *Server) leadCommit(ctx context.Context) {
 	s.cq.mu.Lock()
 	batch := s.cq.staged
 	s.cq.staged = nil
 	s.cq.mu.Unlock()
 	s.metrics.queueDepth.Set(0)
 
-	s.commitBatch(batch)
+	s.commitBatch(ctx, batch)
 
 	s.cq.mu.Lock()
 	var next *commitRequest
@@ -166,7 +193,12 @@ func (s *Server) leadCommit() {
 // outside the server lock — only this goroutine mutates the database
 // (single leader at a time, batches sequenced by the leadership
 // handoff), so its lock-free reads cannot race the fold.
-func (s *Server) commitBatch(batch []*commitRequest) {
+func (s *Server) commitBatch(ctx context.Context, batch []*commitRequest) {
+	leaderTrace := trace.ID(ctx)
+	for _, cr := range batch {
+		cr.batchSize = len(batch)
+		cr.leaderTrace = leaderTrace
+	}
 	defer func() {
 		for _, cr := range batch {
 			close(cr.done)
@@ -213,23 +245,31 @@ func (s *Server) commitBatch(batch []*commitRequest) {
 		for i, cr := range accepted {
 			rvs[i] = cr.prepared.Review()
 		}
+		_, jSpan := s.opts.Trace.Start(ctx, "commit.journal")
+		jSpan.SetAttr("batch_size", strconv.Itoa(len(accepted)))
 		t0 := time.Now()
 		seq, err := ing.AppendBatch(rvs)
 		s.metrics.journalAppend.ObserveSince(t0)
 		if err != nil {
+			jSpan.SetError(err.Error())
+			jSpan.End()
 			for _, cr := range accepted {
 				cr.status = http.StatusInternalServerError
 				cr.errMsg = fmt.Sprintf("journal append: %v", err)
 			}
 			return
 		}
+		jSpan.End()
 		firstSeq, durable = seq, true
 	} else if ing.Append != nil {
+		_, jSpan := s.opts.Trace.Start(ctx, "commit.journal")
+		jSpan.SetAttr("batch_size", strconv.Itoa(len(accepted)))
 		t0 := time.Now()
 		journaled := accepted[:0]
 		for i, cr := range accepted {
 			seq, err := ing.Append(cr.prepared.Review())
 			if err != nil {
+				jSpan.SetError(err.Error())
 				for _, c := range accepted[i:] {
 					c.status = http.StatusInternalServerError
 					c.errMsg = fmt.Sprintf("journal append: %v", err)
@@ -242,6 +282,7 @@ func (s *Server) commitBatch(batch []*commitRequest) {
 			journaled = append(journaled, cr)
 		}
 		s.metrics.journalAppend.ObserveSince(t0)
+		jSpan.End()
 		durable = ing.AppendDurable
 		accepted, owned = journaled, owned[:len(journaled)]
 		if len(accepted) == 0 {
@@ -254,7 +295,7 @@ func (s *Server) commitBatch(batch []*commitRequest) {
 	// concurrent /journal/status probes stay consistent.
 	if firstSeq > 0 {
 		for i, cr := range accepted {
-			s.extendPrefixChain(firstSeq+uint64(i), cr.prepared.Review())
+			s.extendPrefixChain(firstSeq+uint64(i), cr.prepared.Review(), leaderTrace)
 		}
 	}
 
@@ -262,6 +303,9 @@ func (s *Server) commitBatch(batch []*commitRequest) {
 	// un-journal the delta — the next load replays it — so the failure
 	// is surfaced (500) and the rest of the batch still folds; memoized
 	// fragments are invalidated either way.
+	_, applySpan := s.opts.Trace.Start(ctx, "commit.apply")
+	applySpan.SetAttr("batch_size", strconv.Itoa(len(accepted)))
+	defer applySpan.End()
 	s.mu.Lock()
 	for i, cr := range accepted {
 		var seq uint64

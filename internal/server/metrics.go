@@ -11,9 +11,11 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Metric family names served by GET /metrics; the router (internal/
@@ -128,16 +130,60 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 // timed wraps a handler with the endpoint's counter and latency
 // histogram. It sits outside read()'s lock acquisition on purpose: lock
 // wait is exactly the latency a caller experiences, so it belongs in
-// the histogram.
+// the histogram. With tracing enabled it is also the process's trace
+// front door: the propagation headers are extracted and a root span
+// opened before the handler runs, and the histogram observation carries
+// the trace id as an exemplar so metrics and traces join on one id.
 func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.metrics.requestSeconds[endpoint]
 	total := s.metrics.requestsTotal[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		total.Inc()
 		t0 := time.Now()
+		if c := s.opts.Trace; c != nil {
+			ctx := trace.Extract(r.Context(), r.Header)
+			ctx, sp := c.Start(ctx, "server."+endpoint)
+			sw := &statusWriter{ResponseWriter: w}
+			h(sw, r.WithContext(ctx))
+			sp.SetAttr("status", strconv.Itoa(sw.status()))
+			if sw.status() >= http.StatusInternalServerError {
+				sp.SetError(http.StatusText(sw.status()))
+			}
+			sp.End()
+			hist.ObserveSinceWithExemplar(t0, sp.Trace)
+			return
+		}
 		h(w, r)
 		hist.ObserveSince(t0)
 	}
+}
+
+// statusWriter captures the response status so the request span can be
+// annotated (and error-marked on 5xx) after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusWriter) WriteHeader(c int) {
+	if s.code == 0 {
+		s.code = c
+	}
+	s.ResponseWriter.WriteHeader(c)
+}
+
+func (s *statusWriter) Write(p []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *statusWriter) status() int {
+	if s.code == 0 {
+		return http.StatusOK
+	}
+	return s.code
 }
 
 // Metrics returns the registry backing GET /metrics — the daemon and

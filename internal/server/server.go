@@ -25,10 +25,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // SnapshotInfo describes the snapshot artifact a server was loaded from;
@@ -148,6 +150,12 @@ type Options struct {
 	// stable between writes and every applied write invalidates wholesale,
 	// so answers stay byte-identical either way.
 	DisableTopKMemo bool
+	// Trace, when non-nil, records a span per request (continuing a trace
+	// propagated in X-Opinedb-Trace/X-Opinedb-Span headers) plus the
+	// group-commit pipeline stages, and serves GET /debug/traces. nil
+	// disables tracing at zero cost. A single-process fleet passes one
+	// shared collector so router and shard spans land in one trace store.
+	Trace *trace.Collector
 }
 
 // Server is an http.Handler serving one built subjective database.
@@ -219,6 +227,10 @@ func New(db *core.DB, opts Options) *Server {
 	// The scrape endpoint deliberately bypasses the server lock: it reads
 	// only atomics, so metrics stay observable even mid-ingest.
 	s.mux.Handle("/metrics", s.metrics.reg.Handler())
+	if opts.Trace != nil {
+		// The trace store bypasses the server lock the same way.
+		s.mux.Handle("/debug/traces", opts.Trace.TracesHandler())
+	}
 	// Unknown paths get the JSON error envelope too, not the mux's
 	// plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -821,16 +833,16 @@ func (s *Server) handleReviews(w http.ResponseWriter, r *http.Request) {
 	}
 	rv := core.ReviewData{ID: req.ID, EntityID: req.EntityID, Reviewer: req.Reviewer, Day: req.Day, Text: req.Text}
 	if s.opts.Ingest.DisableGroupCommit {
-		s.handleReviewSerialized(w, req, rv)
+		s.handleReviewSerialized(w, r.Context(), req, rv)
 		return
 	}
-	s.handleReviewGrouped(w, req, rv)
+	s.handleReviewGrouped(w, r.Context(), req, rv)
 }
 
 // handleReviewSerialized is the pre-group-commit write path, kept as the
 // DisableGroupCommit control arm: validate → append → apply, all under
 // one exclusive lock per request.
-func (s *Server) handleReviewSerialized(w http.ResponseWriter, req ReviewRequest, rv core.ReviewData) {
+func (s *Server) handleReviewSerialized(w http.ResponseWriter, ctx context.Context, req ReviewRequest, rv core.ReviewData) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.db.HasReview(rv.ID) {
@@ -862,7 +874,7 @@ func (s *Server) handleReviewSerialized(w http.ResponseWriter, req ReviewRequest
 		// Extend the in-memory prefix-hash chain with exactly what was
 		// journaled — the chain mirrors the journal, not the applied
 		// state, so it advances before the apply below.
-		s.extendPrefixChain(seq, rv)
+		s.extendPrefixChain(seq, rv, trace.ID(ctx))
 	}
 	before := len(s.db.Extractions)
 	t0 := time.Now()
@@ -901,8 +913,9 @@ func (s *Server) handleReviewSerialized(w http.ResponseWriter, req ReviewRequest
 // extendPrefixChain advances the in-memory prefix-hash chain with one
 // journaled record. A chain error (cannot happen while this server owns
 // the journal) drops the chain with an operator signal — a counter and a
-// log line — and status probes fall back to on-disk scans.
-func (s *Server) extendPrefixChain(seq uint64, rv core.ReviewData) {
+// structured log line carrying the sequence and the trace id of the
+// request that hit it — and status probes fall back to on-disk scans.
+func (s *Server) extendPrefixChain(seq uint64, rv core.ReviewData, traceID string) {
 	ph := s.prefixHashes()
 	if ph == nil {
 		return
@@ -912,6 +925,7 @@ func (s *Server) extendPrefixChain(seq uint64, rv core.ReviewData) {
 	}); err != nil {
 		s.ph.Store(nil)
 		s.metrics.chainDropped.Inc()
-		log.Printf("server: prefix-hash chain dropped at seq %d (journal/status probes degrade to segment scans until restart): %v", seq, err)
+		slog.Warn("server: prefix-hash chain dropped; journal/status probes degrade to segment scans until restart",
+			"seq", seq, "trace", traceID, "err", err)
 	}
 }

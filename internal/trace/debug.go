@@ -1,0 +1,175 @@
+package trace
+
+// JSON exposition of the trace store, plus the pprof debug mux that the
+// -debug-addr flag serves. GET /debug/traces returns every kept trace
+// (retained slow/error traces first, newest first within each ring),
+// filtered by ?min_ms=N (root duration at or above N milliseconds) and
+// ?id=<trace id> (exact lookup, including still-pending traces so an
+// in-flight request can be inspected).
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// SpanJSON is one span in the exposition.
+type SpanJSON struct {
+	SpanID         string  `json:"span_id"`
+	ParentID       string  `json:"parent_id,omitempty"`
+	Name           string  `json:"name"`
+	StartUnixMicro int64   `json:"start_unix_micro"`
+	DurationMS     float64 `json:"duration_ms"`
+	Error          string  `json:"error,omitempty"`
+	Attrs          []Attr  `json:"attrs,omitempty"`
+	InFlight       bool    `json:"in_flight,omitempty"`
+}
+
+// TraceJSON is one kept trace in the exposition.
+type TraceJSON struct {
+	TraceID        string     `json:"trace_id"`
+	StartUnixMicro int64      `json:"start_unix_micro"`
+	DurationMS     float64    `json:"duration_ms"`
+	Kept           string     `json:"kept"` // "slow" | "error" | "sampled" | "pending"
+	Spans          []SpanJSON `json:"spans"`
+}
+
+// export renders one record. Caller holds c.mu; span state is read
+// under each span's own lock, so spans that ended (or gained attrs)
+// after the trace finalized still render correctly.
+func (c *Collector) exportLocked(rec *record) TraceJSON {
+	t := TraceJSON{
+		TraceID:        rec.id,
+		StartUnixMicro: rec.start.UnixMicro(),
+		DurationMS:     rec.durMS,
+		Kept:           rec.keep,
+	}
+	if t.Kept == "" {
+		t.Kept = "pending"
+	}
+	for _, s := range rec.spans {
+		s.mu.Lock()
+		sj := SpanJSON{
+			SpanID:         s.ID,
+			ParentID:       s.Parent,
+			Name:           s.Name,
+			StartUnixMicro: s.start.UnixMicro(),
+			DurationMS:     float64(s.dur.Microseconds()) / 1000,
+			Error:          s.err,
+			InFlight:       !s.ended,
+		}
+		if len(s.attrs) > 0 {
+			sj.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		s.mu.Unlock()
+		t.Spans = append(t.Spans, sj)
+	}
+	sort.SliceStable(t.Spans, func(i, j int) bool {
+		return t.Spans[i].StartUnixMicro < t.Spans[j].StartUnixMicro
+	})
+	return t
+}
+
+// Snapshot returns every kept trace: the retained ring first, then the
+// sampled ring, each newest-first.
+func (c *Collector) Snapshot() []TraceJSON {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TraceJSON, 0, len(c.retained)+len(c.sampled))
+	for i := len(c.retained) - 1; i >= 0; i-- {
+		out = append(out, c.exportLocked(c.retained[i]))
+	}
+	for i := len(c.sampled) - 1; i >= 0; i-- {
+		out = append(out, c.exportLocked(c.sampled[i]))
+	}
+	return out
+}
+
+// Get looks up one trace by id — kept or still pending.
+func (c *Collector) Get(id string) (TraceJSON, bool) {
+	if c == nil {
+		return TraceJSON{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.byID[id]
+	if !ok {
+		return TraceJSON{}, false
+	}
+	return c.exportLocked(rec), true
+}
+
+// Dropped reports how many finished traces the sampler discarded.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// tracesResponse is the /debug/traces payload.
+type tracesResponse struct {
+	Count   int         `json:"count"`
+	Dropped uint64      `json:"dropped"`
+	Traces  []TraceJSON `json:"traces"`
+}
+
+// TracesHandler serves GET /debug/traces.
+func (c *Collector) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			t, ok := c.Get(id)
+			if !ok {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			json.NewEncoder(w).Encode(tracesResponse{Count: 1, Dropped: c.Dropped(), Traces: []TraceJSON{t}})
+			return
+		}
+		traces := c.Snapshot()
+		if v := r.URL.Query().Get("min_ms"); v != "" {
+			min, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, `{"error":"bad min_ms"}`, http.StatusBadRequest)
+				return
+			}
+			kept := traces[:0]
+			for _, t := range traces {
+				if t.DurationMS >= min {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
+		json.NewEncoder(w).Encode(tracesResponse{Count: len(traces), Dropped: c.Dropped(), Traces: traces})
+	})
+}
+
+// DebugMux builds the diagnostics surface the -debug-addr flag serves:
+// the full net/http/pprof suite plus /debug/traces when a collector is
+// wired. Handlers are registered explicitly — nothing here depends on
+// http.DefaultServeMux.
+func DebugMux(c *Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if c != nil {
+		mux.Handle("/debug/traces", c.TracesHandler())
+	}
+	return mux
+}

@@ -1,0 +1,269 @@
+package trace
+
+// Unit tests of the tracing layer's load-bearing properties: tail
+// sampling keeps slow and errored traces unconditionally while fast
+// ones live or die by a seeded (deterministic) coin; the retained and
+// sampled rings rotate FIFO independently; propagation headers round-
+// trip a trace id across collectors (processes); and post-End attribute
+// stamping — the hedging attribution path — surfaces in the export.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestTailSamplingRetention: an errored trace and a slow trace are
+// always retained; fast clean traces are dropped when sampling is off,
+// and the drop is counted.
+func TestTailSamplingRetention(t *testing.T) {
+	c := New(Options{SlowCutoff: 5 * time.Millisecond, SampleRate: -1, Seed: 7})
+
+	// Fast and clean: dropped.
+	for i := 0; i < 3; i++ {
+		_, s := c.Start(context.Background(), "fast")
+		s.End()
+	}
+	// Errored: retained regardless of speed.
+	_, errSpan := c.Start(context.Background(), "failing")
+	errSpan.SetError("boom")
+	errSpan.End()
+	// Slow: retained because its duration clears the cutoff.
+	_, slowSpan := c.Start(context.Background(), "slow")
+	time.Sleep(8 * time.Millisecond)
+	slowSpan.End()
+
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("retained %d traces, want 2 (error + slow): %+v", len(snap), snap)
+	}
+	kept := map[string]bool{}
+	for _, tr := range snap {
+		kept[tr.Kept] = true
+	}
+	if !kept["error"] || !kept["slow"] {
+		t.Fatalf("retention reasons = %v, want error and slow", kept)
+	}
+	if got := c.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}
+
+// TestSampledRingRotatesFIFO: with sample-everything, the sampled ring
+// keeps exactly the newest Capacity traces; retained traces are never
+// evicted by the healthy burst because the rings are separate.
+func TestSampledRingRotatesFIFO(t *testing.T) {
+	c := New(Options{Capacity: 3, SlowCutoff: time.Hour, SampleRate: 1, Seed: 1})
+
+	_, bad := c.Start(context.Background(), "the-one-you-are-chasing")
+	bad.SetError("oops")
+	bad.End()
+	chased := bad.Trace
+
+	var ids []string
+	for i := 0; i < 10; i++ {
+		_, s := c.Start(context.Background(), "healthy")
+		ids = append(ids, s.Trace)
+		s.End()
+	}
+
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d traces, want 4 (1 retained + capacity 3 sampled)", len(snap))
+	}
+	if snap[0].TraceID != chased || snap[0].Kept != "error" {
+		t.Fatalf("retained trace missing or not first: %+v", snap[0])
+	}
+	// The sampled survivors are the NEWEST three, newest first.
+	want := []string{ids[9], ids[8], ids[7]}
+	for i, w := range want {
+		if snap[i+1].TraceID != w {
+			t.Fatalf("sampled ring slot %d = %s, want %s (FIFO rotation)", i, snap[i+1].TraceID, w)
+		}
+	}
+	// Rotated-out traces are gone from the ?id= index too.
+	if _, ok := c.Get(ids[0]); ok {
+		t.Fatalf("evicted trace %s still resolvable by id", ids[0])
+	}
+	if _, ok := c.Get(chased); !ok {
+		t.Fatal("retained trace lost its id lookup")
+	}
+}
+
+// TestSamplerDeterministicUnderSeed: two collectors with the same seed
+// make identical keep/drop decisions — the property that lets tests (and
+// A/B runs) assert on sampled traces at all.
+func TestSamplerDeterministicUnderSeed(t *testing.T) {
+	decisions := func() []bool {
+		c := New(Options{SlowCutoff: time.Hour, SampleRate: 0.4, Seed: 42})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, s := c.Start(context.Background(), "op")
+			id := s.Trace
+			s.End()
+			_, kept := c.Get(id)
+			out = append(out, kept)
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	anyKept, anyDropped := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under identical seeds", i)
+		}
+		anyKept = anyKept || a[i]
+		anyDropped = anyDropped || !a[i]
+	}
+	if !anyKept || !anyDropped {
+		t.Fatalf("sampler at 0.4 over 64 traces kept=%v dropped=%v — expected a mix", anyKept, anyDropped)
+	}
+}
+
+// TestHeaderRoundTrip: Inject on the caller's collector, Extract on the
+// callee's — the callee's root span joins the caller's trace id and is
+// parented at the caller's span id, across distinct collectors exactly
+// as across processes.
+func TestHeaderRoundTrip(t *testing.T) {
+	caller := New(Options{SampleRate: 1, SlowCutoff: time.Hour, Seed: 1})
+	callee := New(Options{SampleRate: 1, SlowCutoff: time.Hour, Seed: 99})
+
+	ctx, root := caller.Start(context.Background(), "router.topk")
+	h := http.Header{}
+	Inject(ctx, h)
+	if h.Get(TraceHeader) != root.Trace || h.Get(SpanHeader) != root.ID {
+		t.Fatalf("injected %q/%q, want %q/%q", h.Get(TraceHeader), h.Get(SpanHeader), root.Trace, root.ID)
+	}
+
+	remoteCtx := Extract(context.Background(), h)
+	if got := ID(remoteCtx); got != root.Trace {
+		t.Fatalf("ID after Extract = %q, want %q (log correlation before any span starts)", got, root.Trace)
+	}
+	_, child := callee.Start(remoteCtx, "server.topk")
+	child.End()
+	root.End()
+
+	if child.Trace != root.Trace {
+		t.Fatalf("callee trace %s != caller trace %s", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("callee parent %s != caller span %s", child.Parent, root.ID)
+	}
+	// Both collectors independently kept their half under the shared id.
+	if _, ok := caller.Get(root.Trace); !ok {
+		t.Fatal("caller side of the cross-process trace was not kept")
+	}
+	if _, ok := callee.Get(root.Trace); !ok {
+		t.Fatal("callee side of the cross-process trace was not kept")
+	}
+}
+
+// TestPostEndAttrsSurface: attributes stamped after End (hedge won/lost
+// attribution) must appear in the exported trace.
+func TestPostEndAttrsSurface(t *testing.T) {
+	c := New(Options{SampleRate: 1, SlowCutoff: time.Hour, Seed: 1})
+	ctx, root := c.Start(context.Background(), "router.scatter")
+	_, leg := c.Start(ctx, "router.leg")
+	leg.End()
+	root.End()
+	leg.SetAttr("hedge_won", "true") // after the trace finalized
+
+	tr, ok := c.Get(root.Trace)
+	if !ok {
+		t.Fatal("trace not kept")
+	}
+	found := false
+	for _, s := range tr.Spans {
+		for _, a := range s.Attrs {
+			if a.Key == "hedge_won" && a.Value == "true" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("post-End attr missing from export: %+v", tr.Spans)
+	}
+}
+
+// TestNilCollectorAndSpan: tracing off must be safe everywhere.
+func TestNilCollectorAndSpan(t *testing.T) {
+	var c *Collector
+	ctx, s := c.Start(context.Background(), "noop")
+	s.SetAttr("k", "v")
+	s.SetError("boom")
+	s.End()
+	s.End()
+	if s != nil {
+		t.Fatal("nil collector returned a live span")
+	}
+	Inject(ctx, http.Header{}) // no active span: no headers, no panic
+	if got := ID(ctx); got != "" {
+		t.Fatalf("ID on a span-free context = %q", got)
+	}
+}
+
+// TestTracesHandlerFilters: /debug/traces serves the store as JSON with
+// ?min_ms= and ?id= filters, and 404s on unknown ids.
+func TestTracesHandlerFilters(t *testing.T) {
+	c := New(Options{SlowCutoff: 5 * time.Millisecond, SampleRate: -1, Seed: 3})
+	_, slow := c.Start(context.Background(), "slow-op")
+	time.Sleep(8 * time.Millisecond)
+	slow.End()
+	_, errSpan := c.Start(context.Background(), "err-op")
+	errSpan.SetError("x")
+	errSpan.End()
+
+	srv := httptest.NewServer(c.TracesHandler())
+	defer srv.Close()
+
+	var all tracesPage
+	getTraces(t, srv.URL+"/debug/traces", http.StatusOK, &all)
+	if all.Count != 2 || len(all.Traces) != 2 {
+		t.Fatalf("unfiltered count = %d (%d traces), want 2", all.Count, len(all.Traces))
+	}
+
+	var slowOnly tracesPage
+	getTraces(t, srv.URL+"/debug/traces?min_ms=5", http.StatusOK, &slowOnly)
+	if len(slowOnly.Traces) != 1 || slowOnly.Traces[0].TraceID != slow.Trace {
+		t.Fatalf("min_ms filter returned %+v, want just the slow trace", slowOnly.Traces)
+	}
+
+	var byID tracesPage
+	getTraces(t, srv.URL+"/debug/traces?id="+errSpan.Trace, http.StatusOK, &byID)
+	if len(byID.Traces) != 1 || byID.Traces[0].Kept != "error" {
+		t.Fatalf("id lookup returned %+v", byID.Traces)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/traces?id=deadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id answered %d, want 404", resp.StatusCode)
+	}
+}
+
+type tracesPage struct {
+	Count   int         `json:"count"`
+	Dropped uint64      `json:"dropped"`
+	Traces  []TraceJSON `json:"traces"`
+}
+
+func getTraces(t *testing.T, url string, wantStatus int, out *tracesPage) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
